@@ -1,0 +1,102 @@
+(* Benchmark driver: regenerates every table and figure of the paper's
+   evaluation section (Figures 2-6 plus the SEP_THOLD selection of 4.1), then
+   runs one Bechamel micro-benchmark per artifact on a small representative.
+
+   Usage:
+     main.exe                 all figures (default 30s/run deadline) + micro
+     main.exe --figure 4      one artifact
+     main.exe --deadline 30   per-run CPU budget in seconds
+     main.exe --no-micro      skip the Bechamel pass                      *)
+
+module Experiments = Sepsat_harness.Experiments
+module Suite = Sepsat_workloads.Suite
+module Decide = Sepsat.Decide
+module Ast = Sepsat_suf.Ast
+module Deadline = Sepsat_util.Deadline
+
+let deadline_s = ref 30.
+
+let figure = ref "all"
+
+let micro_enabled = ref true
+
+let usage =
+  "main.exe [--figure 2|3|threshold|4|5|6|all] [--deadline S] [--no-micro]"
+
+let spec =
+  [
+    ("--figure", Arg.Set_string figure, " which artifact to regenerate");
+    ("--deadline", Arg.Set_float deadline_s, " per-run CPU budget (s)");
+    ("--no-micro", Arg.Clear micro_enabled, " skip Bechamel micro-benchmarks");
+  ]
+
+(* -- Bechamel micro-benchmarks: one per paper artifact ------------------- *)
+
+let decide_bench method_ bench_name () =
+  match Suite.find bench_name with
+  | None -> invalid_arg bench_name
+  | Some b ->
+    let ctx = Ast.create_ctx () in
+    let f = b.Suite.build ctx in
+    ignore (Decide.decide ~method_ ~deadline:(Deadline.after 10.) ctx f)
+
+let micro ppf =
+  let open Bechamel in
+  let stage name method_ bench =
+    Test.make ~name (Staged.stage (decide_bench method_ bench))
+  in
+  let tests =
+    Test.make_grouped ~name:"sepsat"
+      [
+        (* Figure 2: SD vs EIJ encodings feeding the CDCL solver *)
+        stage "fig2-sd-lsu.3" Decide.Sd "lsu.3";
+        stage "fig2-eij-lsu.3" Decide.Eij "lsu.3";
+        (* Figure 3: EIJ cost around the separation-predicate knee *)
+        stage "fig3-eij-cache.4" Decide.Eij "cache.4";
+        (* Figure 4: the hybrid on a non-invariant benchmark *)
+        stage "fig4-hybrid-pipe.4" Decide.Hybrid_default "pipe.4";
+        (* Figure 5: SD on an invariant-checking benchmark *)
+        stage "fig5-sd-ooo.0" Decide.Sd "ooo.0";
+        (* Figure 6: the lazy baseline *)
+        stage "fig6-lazy-cache.4" Decide.Lazy_baseline "cache.4";
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.fprintf ppf "== Bechamel micro-benchmarks (ns/run, OLS) ==@.";
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        let est =
+          match Analyze.OLS.estimates res with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) ->
+      Format.fprintf ppf "%-28s %14.0f ns/run  (%.3f s)@." name est (est /. 1e9))
+    rows;
+  Format.fprintf ppf "@."
+
+let () =
+  Arg.parse (Arg.align spec) (fun a -> raise (Arg.Bad a)) usage;
+  let ppf = Format.std_formatter in
+  let d = !deadline_s in
+  (match !figure with
+  | "2" -> Experiments.figure2 ~deadline_s:d ppf
+  | "3" -> Experiments.figure3 ~deadline_s:d ppf
+  | "threshold" -> ignore (Experiments.threshold_selection ~deadline_s:d ppf)
+  | "4" -> Experiments.figure4 ~deadline_s:d ppf
+  | "5" -> Experiments.figure5 ~deadline_s:d ppf
+  | "6" -> Experiments.figure6 ~deadline_s:d ppf
+  | "all" -> Experiments.all ~deadline_s:d ppf
+  | other -> raise (Arg.Bad ("unknown figure: " ^ other)));
+  if !micro_enabled && !figure = "all" then micro ppf

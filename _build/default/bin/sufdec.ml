@@ -1,0 +1,367 @@
+(* sufdec — command-line front end of the sepsat decision procedure.
+
+   sufdec solve FILE [--method M] [--timeout S] [--countermodel] [--certify]
+   sufdec smt FILE [--method M] [--timeout S]      SMT-LIB 2 (QF_UFIDL subset)
+   sufdec stats FILE
+   sufdec cnf FILE [--method M]                    DIMACS export
+   sufdec gen --family F --size N [--bug] [--seed K]
+   sufdec bench [--figure 2|3|threshold|4|5|6|all] [--timeout S]
+   sufdec list *)
+
+module Ast = Sepsat_suf.Ast
+module Parse = Sepsat_suf.Parse
+module Decide = Sepsat.Decide
+module Countermodel = Sepsat.Countermodel
+module Verdict = Sepsat_sep.Verdict
+module Brute = Sepsat_sep.Brute
+module Deadline = Sepsat_util.Deadline
+module Suite = Sepsat_workloads.Suite
+open Cmdliner
+
+let read_formula ctx path =
+  if path = "-" then (
+    let buf = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel buf stdin 1
+       done
+     with End_of_file -> ());
+    Parse.formula ctx (Buffer.contents buf))
+  else Parse.formula_of_file ctx path
+
+let method_conv =
+  let parse s =
+    match Decide.method_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown method %S (expected sd, eij, hybrid, hybrid:<n>, svc, \
+              lazy)"
+             s))
+  in
+  let print ppf m = Decide.pp_method ppf m in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Formula file in the s-expression syntax ('-' for stdin).")
+
+let method_arg =
+  Arg.(
+    value
+    & opt method_conv Decide.Hybrid_default
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Decision method: sd, eij, hybrid, hybrid:N, svc or lazy.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt float 60.
+    & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc:"CPU-time budget.")
+
+let countermodel_arg =
+  Arg.(
+    value & flag
+    & info [ "countermodel" ]
+        ~doc:"On an invalid formula, print a falsifying assignment.")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Record a DRUP proof and replay it through the independent \
+           checker; valid verdicts then report their certification status. \
+           Eager methods only.")
+
+let pp_assignment ppf (a : Brute.assignment) =
+  List.iter (fun (n, v) -> Format.fprintf ppf "  %s = %d@." n v) a.Brute.ints;
+  List.iter (fun (n, b) -> Format.fprintf ppf "  %s = %b@." n b) a.Brute.bools
+
+let solve_cmd =
+  let run file method_ timeout countermodel certify =
+    let ctx = Ast.create_ctx () in
+    match read_formula ctx file with
+    | exception Parse.Error msg ->
+      Format.eprintf "parse error: %s@." msg;
+      exit 2
+    | formula -> (
+      let deadline = Deadline.after timeout in
+      let r = Decide.decide ~method_ ~deadline ~certify ctx formula in
+      Format.printf "method:     %a@." Decide.pp_method method_;
+      Format.printf "size:       %d DAG nodes@." (Ast.size formula);
+      Format.printf "translate:  %.3fs@." r.Decide.translate_time;
+      Format.printf "search:     %.3fs@." r.Decide.sat_time;
+      (match r.Decide.sat_stats with
+      | Some st ->
+        Format.printf "sat:        %a@." Sepsat_sat.Solver.pp_stats st
+      | None -> ());
+      match r.Decide.verdict with
+      | Verdict.Valid ->
+        (match r.Decide.certified with
+        | Some true -> Format.printf "result:     valid (DRUP-certified)@."
+        | Some false -> Format.printf "result:     valid (CERTIFICATION FAILED)@."
+        | None -> Format.printf "result:     valid@.");
+        exit 0
+      | Verdict.Invalid assignment ->
+        Format.printf "result:     invalid@.";
+        if countermodel then begin
+          Format.printf "countermodel (separation-logic constants):@.";
+          pp_assignment Format.std_formatter assignment
+        end;
+        exit 1
+      | Verdict.Unknown why ->
+        Format.printf "result:     unknown (%s)@." why;
+        exit 3)
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ method_arg $ timeout_arg $ countermodel_arg
+      $ certify_arg)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Decide the validity of a SUF formula.")
+    term
+
+let stats_cmd =
+  let run file =
+    let ctx = Ast.create_ctx () in
+    match read_formula ctx file with
+    | exception Parse.Error msg ->
+      Format.eprintf "parse error: %s@." msg;
+      exit 2
+    | formula ->
+      let elim = Decide.eliminate ctx formula in
+      let normalized = Sepsat_sep.Normal.normalize ctx elim.Sepsat_suf.Elim.formula in
+      let classes =
+        Sepsat_sep.Classes.build ~p_consts:elim.Sepsat_suf.Elim.p_consts
+          normalized
+      in
+      Format.printf "size:             %d DAG nodes@." (Ast.size formula);
+      Format.printf "functions:        %d@."
+        (List.length (Ast.functions formula));
+      Format.printf "predicates:       %d@."
+        (List.length (Ast.predicates formula));
+      Format.printf "p-constants:      %d@."
+        (Sepsat_util.Sset.cardinal elim.Sepsat_suf.Elim.p_consts);
+      Format.printf "atoms:            %d@."
+        (Sepsat_sep.Classes.num_atoms classes);
+      Format.printf "sep. predicates:  %d@."
+        (Sepsat_sep.Classes.total_sep_cnt classes);
+      Format.printf "classes:@.";
+      Array.iter
+        (fun (c : Sepsat_sep.Classes.class_info) ->
+          Format.printf
+            "  class %d: %d members, range %d, SepCnt %d -> %s@."
+            c.Sepsat_sep.Classes.id
+            (List.length c.Sepsat_sep.Classes.members)
+            c.Sepsat_sep.Classes.range c.Sepsat_sep.Classes.sep_cnt
+            (if
+               c.Sepsat_sep.Classes.sep_cnt
+               > Sepsat_encode.Hybrid.default_threshold
+             then "SD"
+             else "EIJ"))
+        (Sepsat_sep.Classes.classes classes)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print encoding-relevant statistics of a SUF formula.")
+    Term.(const run $ file_arg)
+
+let family_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun f -> Suite.family_name f = s)
+        [
+          Suite.Pipeline; Suite.Load_store; Suite.Ooo_invariant; Suite.Cache;
+          Suite.Trans_valid; Suite.Device_driver;
+        ]
+    with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown family %S" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (Suite.family_name f))
+
+let gen_cmd =
+  let run family size bug seed =
+    let ctx = Ast.create_ctx () in
+    let formula =
+      match family with
+      | Suite.Pipeline ->
+        Sepsat_workloads.Pipeline.formula ~bug ctx ~n_instructions:size ~seed
+      | Suite.Load_store -> Sepsat_workloads.Load_store.formula ~bug ctx ~n_ops:size
+      | Suite.Ooo_invariant ->
+        Sepsat_workloads.Ooo_invariant.formula ~bug ctx ~n_entries:size
+      | Suite.Cache -> Sepsat_workloads.Cache.formula ~bug ctx ~n_caches:size
+      | Suite.Trans_valid ->
+        Sepsat_workloads.Trans_valid.formula ~bug ctx ~n_blocks:size ~seed
+      | Suite.Device_driver ->
+        Sepsat_workloads.Device_driver.formula ~bug ctx ~n_steps:size ~seed
+    in
+    Format.printf "%a@." Ast.pp formula
+  in
+  let family_arg =
+    Arg.(
+      required
+      & opt (some family_conv) None
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Benchmark family: pipeline, load-store, ooo-invariant, cache, \
+             trans-valid or device-driver.")
+  in
+  let size_arg =
+    Arg.(value & opt int 5 & info [ "size" ] ~docv:"N" ~doc:"Instance size.")
+  in
+  let bug_arg =
+    Arg.(value & flag & info [ "bug" ] ~doc:"Generate the invalid mutation.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"K" ~doc:"Random seed.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark formula on stdout.")
+    Term.(const run $ family_arg $ size_arg $ bug_arg $ seed_arg)
+
+let bench_cmd =
+  let run figure timeout =
+    let ppf = Format.std_formatter in
+    match figure with
+    | "2" -> Sepsat_harness.Experiments.figure2 ~deadline_s:timeout ppf
+    | "3" -> Sepsat_harness.Experiments.figure3 ~deadline_s:timeout ppf
+    | "threshold" ->
+      ignore (Sepsat_harness.Experiments.threshold_selection ~deadline_s:timeout ppf)
+    | "4" -> Sepsat_harness.Experiments.figure4 ~deadline_s:timeout ppf
+    | "5" -> Sepsat_harness.Experiments.figure5 ~deadline_s:timeout ppf
+    | "6" -> Sepsat_harness.Experiments.figure6 ~deadline_s:timeout ppf
+    | "all" -> Sepsat_harness.Experiments.all ~deadline_s:timeout ppf
+    | other ->
+      Format.eprintf "unknown figure %S@." other;
+      exit 2
+  in
+  let figure_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "figure" ] ~docv:"ID" ~doc:"2, 3, threshold, 4, 5, 6 or all.")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ figure_arg $ timeout_arg)
+
+let cnf_cmd =
+  let run file method_ =
+    let ctx = Ast.create_ctx () in
+    match read_formula ctx file with
+    | exception Parse.Error msg ->
+      Format.eprintf "parse error: %s@." msg;
+      exit 2
+    | formula -> (
+      let config =
+        match method_ with
+        | Decide.Sd -> Sepsat_encode.Hybrid.sd_only
+        | Decide.Eij -> Sepsat_encode.Hybrid.eij_only
+        | Decide.Hybrid_default -> Sepsat_encode.Hybrid.default
+        | Decide.Hybrid_at t -> Sepsat_encode.Hybrid.hybrid ~threshold:t ()
+        | Decide.Svc_baseline | Decide.Lazy_baseline ->
+          Format.eprintf "cnf export requires an eager method@.";
+          exit 2
+      in
+      let elim = Decide.eliminate ctx formula in
+      match
+        Sepsat_encode.Hybrid.encode ~config ctx
+          ~p_consts:elim.Sepsat_suf.Elim.p_consts elim.Sepsat_suf.Elim.formula
+      with
+      | exception Sepsat_encode.Hybrid.Translation_blowup ->
+        Format.eprintf "translation blowup@.";
+        exit 3
+      | encoded ->
+        let solver = Sepsat_sat.Solver.create () in
+        let ts = Sepsat_prop.Tseitin.create solver in
+        Sepsat_prop.Tseitin.assert_root ts
+          (Sepsat_prop.Formula.not_ encoded.Sepsat_encode.Hybrid.prop_ctx
+             encoded.Sepsat_encode.Hybrid.f_bool);
+        let nvars, clauses = Sepsat_sat.Solver.export_cnf solver in
+        Format.printf "c negation of the validity query of %s@." file;
+        Format.printf "c the formula is valid iff this instance is unsat@.";
+        Format.printf "%a" Sepsat_sat.Dimacs.print
+          { Sepsat_sat.Dimacs.nvars; clauses })
+  in
+  Cmd.v
+    (Cmd.info "cnf"
+       ~doc:
+         "Print the DIMACS CNF of the (negated) validity query, for external \
+          SAT solvers.")
+    Term.(const run $ file_arg $ method_arg)
+
+let smt_cmd =
+  let run file method_ timeout =
+    let ctx = Ast.create_ctx () in
+    match
+      if file = "-" then
+        let buf = Buffer.create 4096 in
+        (try
+           while true do
+             Buffer.add_channel buf stdin 1
+           done
+         with End_of_file -> ());
+        Sepsat_suf.Smtlib.script ctx (Buffer.contents buf)
+      else Sepsat_suf.Smtlib.script_of_file ctx file
+    with
+    | exception Sepsat_suf.Smtlib.Error msg ->
+      Format.eprintf "smt-lib error: %s@." msg;
+      exit 2
+    | script ->
+      let goal = Sepsat_suf.Smtlib.goal ctx script in
+      let deadline = Deadline.after timeout in
+      let r = Decide.decide ~method_ ~deadline ctx goal in
+      (match r.Decide.verdict with
+      | Verdict.Valid ->
+        print_endline "unsat";
+        exit 0
+      | Verdict.Invalid _ ->
+        print_endline "sat";
+        exit 0
+      | Verdict.Unknown why ->
+        Format.printf "unknown ; %s@." why;
+        exit 3)
+  in
+  Cmd.v
+    (Cmd.info "smt"
+       ~doc:
+         "Run an SMT-LIB 2 script (QF_UFIDL subset) and answer check-sat.")
+    Term.(const run $ file_arg $ method_arg $ timeout_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Suite.benchmark) ->
+        let ctx = Ast.create_ctx () in
+        let f = b.Suite.build ctx in
+        Format.printf "%-10s %-14s %6d nodes%s@." b.Suite.name
+          (Suite.family_name b.Suite.family)
+          (Ast.size f)
+          (if b.Suite.invariant_checking then "  [invariant-checking]" else ""))
+      Suite.benchmarks
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark suite.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "sufdec" ~version:"1.0.0"
+      ~doc:
+        "Hybrid SAT-based decision procedure for separation logic with \
+         uninterpreted functions (Seshia, Lahiri, Bryant; DAC 2003)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd; smt_cmd; stats_cmd; cnf_cmd; gen_cmd; bench_cmd;
+            list_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/certified_solving.ml: Format List Option Sepsat Sepsat_sep Sepsat_suf

@@ -1,0 +1,1 @@
+examples/pipeline_verification.ml: Format List Sepsat Sepsat_sat Sepsat_sep Sepsat_suf Sepsat_workloads

@@ -1,0 +1,1 @@
+examples/protocol_model_checking.ml: Format Sepsat_model Sepsat_suf

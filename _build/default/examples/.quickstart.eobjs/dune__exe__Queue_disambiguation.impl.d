@@ -1,0 +1,1 @@
+examples/queue_disambiguation.ml: Format List Printf Sepsat Sepsat_sep Sepsat_suf Sepsat_util Sepsat_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Sepsat Sepsat_sep Sepsat_suf

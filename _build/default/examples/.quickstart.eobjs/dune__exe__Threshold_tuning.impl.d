@@ -1,0 +1,1 @@
+examples/threshold_tuning.ml: Format List Printf Sepsat Sepsat_harness Sepsat_sep Sepsat_suf Sepsat_workloads

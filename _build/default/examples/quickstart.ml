@@ -1,0 +1,55 @@
+(* Quickstart: build SUF formulas through the API and decide their validity.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Ast = Sepsat_suf.Ast
+module Parse = Sepsat_suf.Parse
+module Decide = Sepsat.Decide
+module Verdict = Sepsat_sep.Verdict
+
+let () =
+  let ctx = Ast.create_ctx () in
+
+  (* Functional consistency: a = b implies f(a) = f(b). *)
+  let a = Ast.const ctx "a" and b = Ast.const ctx "b" in
+  let f t = Ast.app ctx "f" [ t ] in
+  let congruence =
+    Ast.implies ctx (Ast.eq ctx a b) (Ast.eq ctx (f a) (f b))
+  in
+  Format.printf "formula 1: %a@." Ast.pp congruence;
+  Format.printf "  valid? %b@.@." (Decide.valid ctx congruence);
+
+  (* The converse is not valid: f may collapse distinct arguments. *)
+  let converse =
+    Ast.implies ctx (Ast.eq ctx (f a) (f b)) (Ast.eq ctx a b)
+  in
+  Format.printf "formula 2: %a@." Ast.pp converse;
+  let r = Decide.decide ctx converse in
+  (match r.Decide.verdict with
+  | Verdict.Invalid assignment ->
+    Format.printf "  invalid; falsifying constants:@.";
+    List.iter
+      (fun (n, v) -> Format.printf "    %s = %d@." n v)
+      assignment.Sepsat_sep.Brute.ints
+  | Verdict.Valid | Verdict.Unknown _ -> assert false);
+  Format.printf "@.";
+
+  (* Separation predicates: the paper's own example x>=y ∧ y>=z ∧ z>=x+1 is
+     unsatisfiable, i.e. its negation is valid. Formulas can also be read
+     from the concrete syntax. *)
+  let negated =
+    Parse.formula ctx
+      "(not (and (>= x y) (and (>= y z) (>= z (succ x)))))"
+  in
+  Format.printf "formula 3: %a@." Ast.pp negated;
+  Format.printf "  valid? %b@." (Decide.valid ctx negated);
+
+  (* Every method agrees, from eager bit-vector to lazy refinement. *)
+  List.iter
+    (fun m ->
+      Format.printf "  %a says: %b@." Decide.pp_method m
+        (Decide.valid ~method_:m ctx negated))
+    [
+      Decide.Sd; Decide.Eij; Decide.Hybrid_default; Decide.Svc_baseline;
+      Decide.Lazy_baseline;
+    ]

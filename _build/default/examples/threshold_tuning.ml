@@ -1,0 +1,45 @@
+(* SEP_THOLD tuning (paper §4.1): run EIJ over a benchmark sample, cluster
+   the normalized run-times by variance minimization, and derive a domain
+   threshold; then compare HYBRID at the derived threshold against the paper
+   default on a formula near the knee.
+
+   Run with:  dune exec examples/threshold_tuning.exe *)
+
+module Ast = Sepsat_suf.Ast
+module Suite = Sepsat_workloads.Suite
+module Runner = Sepsat_harness.Runner
+module Cluster = Sepsat_harness.Cluster
+module Decide = Sepsat.Decide
+module Verdict = Sepsat_sep.Verdict
+
+let () =
+  let deadline_s = 8. in
+  Format.printf "running EIJ over the 16-benchmark sample...@.";
+  let samples =
+    List.map
+      (fun b ->
+        let row = Runner.run ~deadline_s Decide.Eij b in
+        (row.Runner.sep_cnt, Runner.normalized_time ~deadline_s row))
+      Suite.sample16
+  in
+  let threshold = Cluster.select_threshold samples in
+  Format.printf "derived SEP_THOLD = %d (paper default: 700)@.@." threshold;
+  (* A formula near the knee: under the derived threshold its class flips
+     from EIJ to SD. *)
+  match Suite.find "tv.2" with
+  | None -> assert false
+  | Some bench ->
+    List.iter
+      (fun (label, m) ->
+        let row = Runner.run ~deadline_s:20. m bench in
+        Format.printf "tv.2 with %-28s %.3fs (%s)@." label
+          row.Runner.total_time
+          (match row.Runner.verdict with
+          | Verdict.Valid -> "valid"
+          | Verdict.Invalid _ -> "invalid"
+          | Verdict.Unknown w -> w))
+      [
+        ("HYBRID at paper default (700):", Decide.Hybrid_default);
+        ( Printf.sprintf "HYBRID at derived (%d):" threshold,
+          Decide.Hybrid_at threshold );
+      ]

@@ -1,0 +1,1 @@
+lib/baselines/lazy_smt.ml: Hashtbl List Sepsat_encode Sepsat_prop Sepsat_sat Sepsat_sep Sepsat_suf Sepsat_theory Sepsat_util

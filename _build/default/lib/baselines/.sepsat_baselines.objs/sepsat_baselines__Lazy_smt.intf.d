@@ -1,0 +1,1 @@
+lib/baselines/lazy_smt.mli: Sepsat_sep Sepsat_suf Sepsat_util

@@ -1,0 +1,1 @@
+lib/baselines/svc.ml: Hashtbl List Sepsat_sep Sepsat_suf Sepsat_theory Sepsat_util

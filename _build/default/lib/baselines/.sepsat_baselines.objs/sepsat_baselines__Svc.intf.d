@@ -1,0 +1,1 @@
+lib/baselines/svc.mli: Sepsat_sep Sepsat_suf Sepsat_util

@@ -1,0 +1,22 @@
+(** SVC-style validity checker (baseline of paper §5).
+
+    The Stanford Validity Checker decides formulas by recursive case
+    splitting on atomic formulas with a theory context checked by graph
+    algorithms, and has no conflict learning. This stand-in reproduces both
+    signature behaviours the paper reports: conjunctions of separation
+    predicates reduce to a single shortest-path (negative-cycle) problem and
+    are fast, while formulas with many disjunctions blow up exponentially.
+
+    Operates on application-free formulas (run {!Sepsat_suf.Elim} first);
+    positive equality is not exploited, as in SVC. *)
+
+module Ast = Sepsat_suf.Ast
+
+type stats = { splits : int; theory_checks : int }
+
+val decide :
+  ?deadline:Sepsat_util.Deadline.t ->
+  Ast.ctx ->
+  Ast.formula ->
+  Sepsat_sep.Verdict.t * stats
+(** Validity of an application-free formula. *)

@@ -1,0 +1,1 @@
+lib/core/countermodel.ml: Hashtbl List Sepsat_sep Sepsat_suf

@@ -1,0 +1,1 @@
+lib/core/countermodel.mli: Sepsat_sep Sepsat_suf

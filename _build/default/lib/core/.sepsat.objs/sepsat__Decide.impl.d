@@ -1,0 +1,1 @@
+lib/core/decide.ml: Format Sepsat_baselines Sepsat_encode Sepsat_prop Sepsat_sat Sepsat_sep Sepsat_suf Sepsat_util String

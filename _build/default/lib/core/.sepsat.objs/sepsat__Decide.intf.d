@@ -1,0 +1,1 @@
+lib/core/decide.mli: Format Sepsat_encode Sepsat_sat Sepsat_sep Sepsat_suf Sepsat_util

@@ -1,0 +1,16 @@
+(** Lifting separation-logic countermodels back to SUF.
+
+    A falsifying assignment of the eliminated formula [F_sep] determines a
+    first-order interpretation falsifying the original formula: each fresh
+    constant's value becomes a function-table entry at its definition's
+    argument values. Constants absent from the assignment (simplified away
+    during encoding) may take any value — they cannot influence [F_sep] — so
+    they default to 0. *)
+
+module Elim = Sepsat_suf.Elim
+module Interp = Sepsat_suf.Interp
+module Brute = Sepsat_sep.Brute
+
+val lift : Elim.result -> Brute.assignment -> Interp.t
+(** An interpretation of the *original* formula's symbols; if the assignment
+    falsifies [F_sep], the interpretation falsifies the original formula. *)

@@ -1,0 +1,171 @@
+module Ast = Sepsat_suf.Ast
+module Elim = Sepsat_suf.Elim
+module Verdict = Sepsat_sep.Verdict
+module Hybrid = Sepsat_encode.Hybrid
+module F = Sepsat_prop.Formula
+module Tseitin = Sepsat_prop.Tseitin
+module Solver = Sepsat_sat.Solver
+module Deadline = Sepsat_util.Deadline
+module Svc = Sepsat_baselines.Svc
+module Lazy_smt = Sepsat_baselines.Lazy_smt
+
+type method_ =
+  | Sd
+  | Eij
+  | Hybrid_default
+  | Hybrid_at of int
+  | Svc_baseline
+  | Lazy_baseline
+
+let pp_method ppf = function
+  | Sd -> Format.pp_print_string ppf "SD"
+  | Eij -> Format.pp_print_string ppf "EIJ"
+  | Hybrid_default ->
+    Format.fprintf ppf "HYBRID(%d)" Hybrid.default_threshold
+  | Hybrid_at t -> Format.fprintf ppf "HYBRID(%d)" t
+  | Svc_baseline -> Format.pp_print_string ppf "SVC"
+  | Lazy_baseline -> Format.pp_print_string ppf "LAZY"
+
+let method_of_string s =
+  match String.lowercase_ascii s with
+  | "sd" -> Some Sd
+  | "eij" -> Some Eij
+  | "hybrid" -> Some Hybrid_default
+  | "svc" -> Some Svc_baseline
+  | "lazy" -> Some Lazy_baseline
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "hybrid" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some t -> Some (Hybrid_at t)
+      | None -> None)
+    | _ -> None)
+
+type result = {
+  verdict : Verdict.t;
+  certified : bool option;
+  elim : Elim.result;
+  translate_time : float;
+  sat_time : float;
+  total_time : float;
+  cnf_clauses : int;
+  sat_stats : Solver.stats option;
+  encode_stats : Hybrid.stats option;
+}
+
+let eliminate = Elim.eliminate
+
+let eager_config = function
+  | Sd -> Hybrid.sd_only
+  | Eij -> Hybrid.eij_only
+  | Hybrid_default -> Hybrid.default
+  | Hybrid_at t -> Hybrid.hybrid ~threshold:t ()
+  | Svc_baseline | Lazy_baseline ->
+    invalid_arg "Decide.eager_config: not an eager method"
+
+let decide_eager ~config ~deadline ~certify ctx formula =
+  let t0 = Deadline.now () in
+  let elim = Elim.eliminate ctx formula in
+  match
+    Hybrid.encode ~config ctx ~p_consts:elim.Elim.p_consts elim.Elim.formula
+  with
+  | exception Hybrid.Translation_blowup ->
+    let t1 = Deadline.now () in
+    {
+      verdict = Verdict.Unknown "translation blowup";
+      certified = None;
+      elim;
+      translate_time = t1 -. t0;
+      sat_time = 0.;
+      total_time = t1 -. t0;
+      cnf_clauses = 0;
+      sat_stats = None;
+      encode_stats = None;
+    }
+  | encoded ->
+    let solver = Solver.create () in
+    let proof = if certify then Some (Solver.start_proof solver) else None in
+    let tseitin = Tseitin.create solver in
+    Tseitin.assert_root tseitin
+      (F.not_ encoded.Hybrid.prop_ctx encoded.Hybrid.f_bool);
+    let t1 = Deadline.now () in
+    let outcome = Solver.solve ~deadline solver in
+    let t2 = Deadline.now () in
+    let verdict =
+      match outcome with
+      | Solver.Unsat -> Verdict.Valid
+      | Solver.Unknown -> Verdict.Unknown "timeout"
+      | Solver.Sat ->
+        let assign i =
+          match Tseitin.find_var tseitin i with
+          | Some lit -> Solver.value solver lit
+          | None -> false
+        in
+        Verdict.Invalid (encoded.Hybrid.decode assign)
+    in
+    let certified =
+      match (verdict, proof) with
+      | Verdict.Valid, Some p -> Some (Sepsat_sat.Drup_check.certified p)
+      | (Verdict.Invalid _ | Verdict.Unknown _), Some _ | _, None -> None
+    in
+    {
+      verdict;
+      certified;
+      elim;
+      translate_time = t1 -. t0;
+      sat_time = t2 -. t1;
+      total_time = t2 -. t0;
+      cnf_clauses = Tseitin.clauses_added tseitin;
+      sat_stats = Some (Solver.stats solver);
+      encode_stats = Some encoded.Hybrid.stats;
+    }
+
+let decide_svc ~deadline ctx formula =
+  let t0 = Deadline.now () in
+  let elim = Elim.eliminate ctx formula in
+  let t1 = Deadline.now () in
+  let verdict, _stats = Svc.decide ~deadline ctx elim.Elim.formula in
+  let t2 = Deadline.now () in
+  {
+    verdict;
+    certified = None;
+    elim;
+    translate_time = t1 -. t0;
+    sat_time = t2 -. t1;
+    total_time = t2 -. t0;
+    cnf_clauses = 0;
+    sat_stats = None;
+    encode_stats = None;
+  }
+
+let decide_lazy ~deadline ctx formula =
+  let t0 = Deadline.now () in
+  let elim = Elim.eliminate ctx formula in
+  let t1 = Deadline.now () in
+  let verdict, _stats = Lazy_smt.decide ~deadline ctx elim.Elim.formula in
+  let t2 = Deadline.now () in
+  {
+    verdict;
+    certified = None;
+    elim;
+    translate_time = t1 -. t0;
+    sat_time = t2 -. t1;
+    total_time = t2 -. t0;
+    cnf_clauses = 0;
+    sat_stats = None;
+    encode_stats = None;
+  }
+
+let decide ?(method_ = Hybrid_default) ?(deadline = Deadline.none)
+    ?(certify = false) ctx formula =
+  match method_ with
+  | Sd | Eij | Hybrid_default | Hybrid_at _ ->
+    decide_eager ~config:(eager_config method_) ~deadline ~certify ctx formula
+  | Svc_baseline -> decide_svc ~deadline ctx formula
+  | Lazy_baseline -> decide_lazy ~deadline ctx formula
+
+let valid ?method_ ctx formula =
+  match (decide ?method_ ctx formula).verdict with
+  | Verdict.Valid -> true
+  | Verdict.Invalid _ -> false
+  | Verdict.Unknown why -> failwith ("Decide.valid: unknown verdict: " ^ why)

@@ -1,0 +1,68 @@
+(** The decision procedure for SUF validity — the library's front door.
+
+    Runs the full pipeline of the paper: positive-equality-aware function
+    elimination (§2.1.1), the hybrid SD/EIJ propositional encoding (§4), CNF
+    conversion and CDCL search. The encoding configuration selects the pure
+    SD method, the pure EIJ method, or HYBRID at any [SEP_THOLD].
+
+    Baseline procedures (SVC-style case splitting, CVC-style lazy
+    refinement) are reachable through {!method_} for apples-to-apples
+    comparison on the same formulas. *)
+
+module Ast = Sepsat_suf.Ast
+module Verdict = Sepsat_sep.Verdict
+module Hybrid = Sepsat_encode.Hybrid
+module Solver = Sepsat_sat.Solver
+
+type method_ =
+  | Sd  (** small-domain encoding everywhere *)
+  | Eij  (** per-constraint encoding everywhere *)
+  | Hybrid_default  (** HYBRID at the paper's default SEP_THOLD (700) *)
+  | Hybrid_at of int  (** HYBRID at an explicit SEP_THOLD *)
+  | Svc_baseline
+  | Lazy_baseline
+
+val pp_method : Format.formatter -> method_ -> unit
+
+val method_of_string : string -> method_ option
+(** Accepts ["sd"], ["eij"], ["hybrid"], ["hybrid:<n>"], ["svc"],
+    ["lazy"]. *)
+
+type result = {
+  verdict : Verdict.t;
+  certified : bool option;
+      (** with [~certify:true] on an eager method: [Some true] iff the
+          [Valid] verdict's DRUP trace passed the independent
+          {!Sepsat_sat.Drup_check} replay; [None] when certification was not
+          requested or not applicable *)
+  elim : Sepsat_suf.Elim.result;
+      (** the function-elimination actually used; pass it (not a fresh
+          re-elimination, whose fresh names would differ) to
+          {!Countermodel.lift} *)
+  translate_time : float;  (** seconds spent producing the CNF / abstraction *)
+  sat_time : float;  (** seconds inside the SAT/theory search *)
+  total_time : float;
+  cnf_clauses : int;  (** CNF clauses handed to the solver (0 for SVC) *)
+  sat_stats : Solver.stats option;
+  encode_stats : Hybrid.stats option;  (** eager methods only *)
+}
+
+val decide :
+  ?method_:method_ ->
+  ?deadline:Sepsat_util.Deadline.t ->
+  ?certify:bool ->
+  Ast.ctx ->
+  Ast.formula ->
+  result
+(** Validity of a SUF formula; defaults to [Hybrid_default]. An [Invalid]
+    verdict carries a falsifying assignment of the eliminated formula; use
+    {!Countermodel.lift} (with {!eliminate}'s output) to obtain a first-order
+    interpretation falsifying the original formula. *)
+
+val eliminate : Ast.ctx -> Ast.formula -> Sepsat_suf.Elim.result
+(** Re-export of {!Sepsat_suf.Elim.eliminate}. Note that each call draws
+    fresh constant names from the context; to lift a countermodel of a
+    {!decide} run, use the [elim] field of its result. *)
+
+val valid : ?method_:method_ -> Ast.ctx -> Ast.formula -> bool
+(** Convenience wrapper. @raise Failure on an [Unknown] verdict. *)

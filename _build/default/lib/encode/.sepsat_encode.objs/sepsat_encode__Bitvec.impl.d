@@ -1,0 +1,1 @@
+lib/encode/bitvec.ml: Array Printf Sepsat_prop

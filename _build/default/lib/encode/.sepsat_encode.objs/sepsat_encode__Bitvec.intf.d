@@ -1,0 +1,1 @@
+lib/encode/bitvec.mli: Sepsat_prop

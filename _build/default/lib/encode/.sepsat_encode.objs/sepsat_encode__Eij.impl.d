@@ -1,0 +1,1 @@
+lib/encode/eij.ml: Hashtbl List Map Sepsat_prop Sepsat_sep String

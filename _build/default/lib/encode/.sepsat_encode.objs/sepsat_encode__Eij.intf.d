@@ -1,0 +1,1 @@
+lib/encode/eij.mli: Sepsat_prop Sepsat_sep

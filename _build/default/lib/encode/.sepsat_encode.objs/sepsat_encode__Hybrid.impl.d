@@ -1,0 +1,1 @@
+lib/encode/hybrid.ml: Array Eij Hashtbl List Printf Sd Sepsat_prop Sepsat_sep Sepsat_suf Sepsat_theory Sepsat_util

@@ -1,0 +1,1 @@
+lib/encode/hybrid.mli: Sepsat_prop Sepsat_sep Sepsat_suf Sepsat_util

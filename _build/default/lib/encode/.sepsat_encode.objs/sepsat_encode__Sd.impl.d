@@ -1,0 +1,1 @@
+lib/encode/sd.ml: Bitvec Hashtbl List Sepsat_prop Sepsat_sep Sepsat_suf Sepsat_util

@@ -1,0 +1,1 @@
+lib/encode/sd.mli: Sepsat_prop Sepsat_sep Sepsat_suf

@@ -1,0 +1,78 @@
+module F = Sepsat_prop.Formula
+
+type t = F.t array
+
+let width_for n =
+  let n = max n 0 in
+  let rec loop bits cap = if cap > n then bits else loop (bits + 1) (2 * cap) in
+  loop 1 2
+
+let of_int ctx ~width n =
+  if n < 0 then invalid_arg "Bitvec.of_int: negative";
+  if width < 63 && n lsr width <> 0 then
+    invalid_arg "Bitvec.of_int: value does not fit";
+  Array.init width (fun i -> F.of_bool ctx (n lsr i land 1 = 1))
+
+let fresh ctx ~width = Array.init width (fun _ -> F.fresh_var ctx)
+
+let add_int ctx bv k =
+  let width = Array.length bv in
+  let k =
+    (* normalize into [0, 2^width) so subtraction is two's-complement *)
+    let m = 1 lsl width in
+    ((k mod m) + m) mod m
+  in
+  if k = 0 then bv
+  else begin
+    let out = Array.make width (F.fls ctx) in
+    let carry = ref (F.fls ctx) in
+    for i = 0 to width - 1 do
+      let a = bv.(i) and c = !carry in
+      if k lsr i land 1 = 1 then begin
+        out.(i) <- F.iff ctx a c;
+        carry := F.or_ ctx a c
+      end
+      else begin
+        out.(i) <- F.xor ctx a c;
+        carry := F.and_ ctx a c
+      end
+    done;
+    out
+  end
+
+let check_widths name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Bitvec.%s: width mismatch" name)
+
+let equal ctx a b =
+  check_widths "equal" a b;
+  let acc = ref (F.tru ctx) in
+  for i = 0 to Array.length a - 1 do
+    acc := F.and_ ctx !acc (F.iff ctx a.(i) b.(i))
+  done;
+  !acc
+
+let ult ctx a b =
+  check_widths "ult" a b;
+  (* From the LSB up: lt_i = (a_i < b_i) or (a_i = b_i and lt_{i-1}). *)
+  let lt = ref (F.fls ctx) in
+  for i = 0 to Array.length a - 1 do
+    lt :=
+      F.or_ ctx
+        (F.and_ ctx (F.not_ ctx a.(i)) b.(i))
+        (F.and_ ctx (F.iff ctx a.(i) b.(i)) !lt)
+  done;
+  !lt
+
+let ule ctx a b = F.not_ ctx (ult ctx b a)
+
+let mux ctx c a b =
+  check_widths "mux" a b;
+  Array.init (Array.length a) (fun i -> F.ite ctx c a.(i) b.(i))
+
+let decode assign bv =
+  let v = ref 0 in
+  for i = Array.length bv - 1 downto 0 do
+    v := (2 * !v) + if F.eval assign bv.(i) then 1 else 0
+  done;
+  !v

@@ -1,0 +1,39 @@
+(** Unsigned bit-vector circuits over propositional formulas.
+
+    The small-domain encoding interprets each symbolic constant over a finite
+    domain as a "symbolic bit-vector" (paper §2.1.2); arithmetic and
+    relational operators are re-synthesized here as Boolean circuits:
+    ripple-carry constant addition, unsigned comparators, and per-bit
+    multiplexers for ITE. Bit order is LSB-first. *)
+
+module F = Sepsat_prop.Formula
+
+type t = F.t array
+
+val width_for : int -> int
+(** Bits needed to represent values [0 .. n] (at least 1). *)
+
+val of_int : F.ctx -> width:int -> int -> t
+(** Constant vector. @raise Invalid_argument if negative or too wide. *)
+
+val fresh : F.ctx -> width:int -> t
+(** Vector of fresh Boolean variables. *)
+
+val add_int : F.ctx -> t -> int -> t
+(** Ripple-carry addition of an integer constant, modulo [2^width]; negative
+    constants subtract via two's complement, which is exact whenever the true
+    result is non-negative. *)
+
+val equal : F.ctx -> t -> t -> F.t
+
+val ult : F.ctx -> t -> t -> F.t
+(** Unsigned strict comparator. *)
+
+val ule : F.ctx -> t -> t -> F.t
+
+val mux : F.ctx -> F.t -> t -> t -> t
+(** [mux ctx c a b] selects [a] when [c] holds, else [b]. *)
+
+val decode : (int -> bool) -> t -> int
+(** Value under a variable assignment (non-variable bits are evaluated
+    structurally). *)

@@ -1,0 +1,246 @@
+module F = Sepsat_prop.Formula
+module Ast = Sepsat_suf.Ast
+module Sset = Sepsat_util.Sset
+module Sep = Sepsat_sep
+module Classes = Sep.Classes
+module Normal = Sep.Normal
+module Ground = Sep.Ground
+module Bound = Sep.Bound
+module Brute = Sep.Brute
+module Diff_solver = Sepsat_theory.Diff_solver
+
+exception Translation_blowup
+
+type config = { threshold : int; eij_budget : int }
+
+let default_threshold = 700
+
+let default_budget = 500_000
+
+let default = { threshold = default_threshold; eij_budget = default_budget }
+
+let sd_only = { threshold = -1; eij_budget = default_budget }
+
+let eij_only = { threshold = max_int; eij_budget = default_budget }
+
+let hybrid ?(threshold = default_threshold) () =
+  { threshold; eij_budget = default_budget }
+
+type stats = {
+  n_classes : int;
+  sd_classes : int;
+  eij_classes : int;
+  total_sep_cnt : int;
+  eij_predicates : int;
+  trans_constraints : int;
+  bool_size : int;
+}
+
+type encoded = {
+  prop_ctx : F.ctx;
+  f_bool : F.t;
+  stats : stats;
+  decode : (int -> bool) -> Brute.assignment;
+}
+
+type method_choice = Use_sd | Use_eij
+
+(* Fixed values realizing the maximally diverse interpretation: above every
+   value a class bit-vector can reach, spaced wider than any pair of offsets
+   can bridge. *)
+let p_value_fun classes ~p_consts =
+  let infos = Classes.classes classes in
+  let global_reach =
+    Array.fold_left
+      (fun acc (c : Classes.class_info) ->
+        max acc (c.range + c.shift - 1 + max 0 c.umax))
+      0 infos
+  in
+  let p_names = Sset.elements p_consts in
+  let max_abs_offset =
+    List.fold_left
+      (fun acc name ->
+        let l, u = Classes.offsets classes name in
+        max acc (max (abs l) (abs u)))
+      (Array.fold_left
+         (fun acc (c : Classes.class_info) ->
+           List.fold_left
+             (fun acc m ->
+               let l, u = Classes.offsets classes m in
+               max acc (max (abs l) (abs u)))
+             acc c.members)
+         0 infos)
+      p_names
+  in
+  let spacing = (2 * max_abs_offset) + 1 in
+  let base = global_reach + spacing in
+  let table = Hashtbl.create 16 in
+  List.iteri (fun i name -> Hashtbl.add table name (base + (i * spacing))) p_names;
+  fun name ->
+    match Hashtbl.find_opt table name with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Hybrid: unknown p-constant %S" name)
+
+let encode ?(config = default) ctx ~p_consts formula =
+  let formula = Normal.normalize ctx formula in
+  let classes = Classes.build ~p_consts formula in
+  let infos = Classes.classes classes in
+  let choice =
+    Array.map
+      (fun (c : Classes.class_info) ->
+        if c.sep_cnt > config.threshold then Use_sd else Use_eij)
+      infos
+  in
+  let pctx = F.create_ctx () in
+  let p_value = p_value_fun classes ~p_consts in
+  let sd = Sd.create pctx classes ~p_value in
+  let eij = Eij.create ~budget:config.eij_budget pctx in
+  let is_p name = Classes.is_p classes name in
+  let gmap = Sep.Ground_map.create ctx in
+  let bconst_vars : (string, F.t) Hashtbl.t = Hashtbl.create 16 in
+  let fmemo : (int, F.t) Hashtbl.t = Hashtbl.create 1024 in
+  let rec encode_f (f : Ast.formula) =
+    match Hashtbl.find_opt fmemo f.fid with
+    | Some p -> p
+    | None ->
+      let p =
+        match f.fnode with
+        | Ast.Ftrue -> F.tru pctx
+        | Ast.Ffalse -> F.fls pctx
+        | Ast.Not g -> F.not_ pctx (encode_f g)
+        | Ast.And (a, b) -> F.and_ pctx (encode_f a) (encode_f b)
+        | Ast.Or (a, b) -> F.or_ pctx (encode_f a) (encode_f b)
+        | Ast.Bconst name -> (
+          match Hashtbl.find_opt bconst_vars name with
+          | Some v -> v
+          | None ->
+            let v = F.fresh_var pctx in
+            Hashtbl.add bconst_vars name v;
+            v)
+        | Ast.Eq _ | Ast.Lt _ -> encode_atom f
+        | Ast.Papp (name, _) ->
+          invalid_arg
+            (Printf.sprintf "Hybrid.encode: application of %S present" name)
+      in
+      Hashtbl.add fmemo f.fid p;
+      p
+  and encode_atom atom =
+    match Classes.atom_class classes atom with
+    | Some cls when choice.(cls.Classes.id) = Use_sd ->
+      Sd.encode_atom sd ~encode_formula:encode_f ~cls atom
+    | None | Some _ -> (
+      (* EIJ (or pure-p): enumerate ground pairs with their ITE path
+         conditions — the Bryant et al. technique of paper §4 step 5. *)
+      match atom.Ast.fnode with
+      | Ast.Eq (t1, t2) -> encode_pairs t1 t2 (Eij.encode_eq eij ~is_p)
+      | Ast.Lt (t1, t2) -> encode_pairs t1 t2 (Eij.encode_lt eij ~is_p)
+      | _ -> assert false)
+  and encode_pairs t1 t2 encode_ground_pair =
+    let g1s = Sep.Ground_map.of_term gmap t1 in
+    let g2s = Sep.Ground_map.of_term gmap t2 in
+    let disjuncts =
+      List.concat_map
+        (fun (g1, c1) ->
+          List.map
+            (fun (g2, c2) ->
+              F.and_ pctx
+                (F.and_ pctx (encode_f c1) (encode_f c2))
+                (encode_ground_pair g1 g2))
+            g2s)
+        g1s
+    in
+    F.or_list pctx disjuncts
+  in
+  let f_bvar =
+    try encode_f formula
+    with Eij.Translation_blowup -> raise Translation_blowup
+  in
+  let f_trans =
+    try Eij.trans_constraints eij
+    with Eij.Translation_blowup -> raise Translation_blowup
+  in
+  let f_domain = Sd.domain_constraints sd in
+  (* F_bool = (F_trans ∧ domain) ⟹ F_bvar: falsifying models must respect
+     both the realizability constraints and the finite domains. *)
+  let f_bool = F.implies pctx (F.and_ pctx f_trans f_domain) f_bvar in
+  let sd_classes =
+    Array.fold_left (fun n c -> if c = Use_sd then n + 1 else n) 0 choice
+  in
+  let stats =
+    {
+      n_classes = Array.length infos;
+      sd_classes;
+      eij_classes = Array.length infos - sd_classes;
+      total_sep_cnt = Classes.total_sep_cnt classes;
+      eij_predicates = Eij.num_predicates eij;
+      trans_constraints = Eij.num_trans_constraints eij;
+      bool_size = F.size f_bool;
+    }
+  in
+  let decode assign =
+    let bools =
+      Hashtbl.fold
+        (fun name v acc -> (name, F.eval assign v) :: acc)
+        bconst_vars []
+      |> List.sort compare
+    in
+    let sd_ints = Sd.decode_consts sd assign in
+    (* EIJ classes: rebuild the difference constraints a model asserts and
+       read integer values off shortest paths, then shift each class below
+       the p-constant region (classes are independent, so a uniform per-class
+       shift is invisible to every encoded atom). *)
+    let eij_ints = ref [] in
+    let by_class : (int, (Bound.t * bool) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun ((b : Bound.t), v) ->
+        match Classes.const_class classes b.Bound.x with
+        | None -> assert false
+        | Some cls ->
+          let r =
+            match Hashtbl.find_opt by_class cls.Classes.id with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.add by_class cls.Classes.id r;
+              r
+          in
+          r := (b, F.eval assign v) :: !r)
+      (Eij.bounds eij);
+    let global_reach =
+      Array.fold_left
+        (fun acc (c : Classes.class_info) ->
+          max acc (c.range + c.shift - 1 + max 0 c.umax))
+        0 infos
+    in
+    Array.iter
+      (fun (cls : Classes.class_info) ->
+        if choice.(cls.id) = Use_eij then begin
+          let ds = Diff_solver.create () in
+          List.iter (fun m -> ignore (Diff_solver.node ds m)) cls.members;
+          (match Hashtbl.find_opt by_class cls.id with
+          | None -> ()
+          | Some constraints ->
+            List.iter
+              (fun ((b : Bound.t), value) ->
+                let x = Diff_solver.node ds b.Bound.x in
+                let y = Diff_solver.node ds b.Bound.y in
+                if value then Diff_solver.assert_le ds ~x ~y ~c:b.Bound.c ~tag:()
+                else
+                  Diff_solver.assert_le ds ~x:y ~y:x ~c:(-b.Bound.c - 1)
+                    ~tag:())
+              !constraints);
+          let values = Diff_solver.model ds in
+          let maxv = List.fold_left (fun acc (_, v) -> max acc v) 0 values in
+          let delta = global_reach - maxv in
+          List.iter
+            (fun (name, v) -> eij_ints := (name, v + delta) :: !eij_ints)
+            values
+        end)
+      infos;
+    let p_ints = List.map (fun name -> (name, p_value name)) (Sset.elements p_consts) in
+    (* Only constants of the formula matter; extra p entries are harmless. *)
+    { Brute.ints = sd_ints @ List.sort compare !eij_ints @ p_ints; bools }
+  in
+  { prop_ctx = pctx; f_bool; stats; decode }

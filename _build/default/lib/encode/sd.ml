@@ -1,0 +1,101 @@
+module F = Sepsat_prop.Formula
+module Ast = Sepsat_suf.Ast
+module Sep = Sepsat_sep
+module Classes = Sep.Classes
+module Ground = Sep.Ground
+module Normal = Sep.Normal
+
+type t = {
+  pctx : F.ctx;
+  classes : Classes.t;
+  p_value : string -> int;
+  widths : (int, int) Hashtbl.t;  (* class id -> width *)
+  bvs : (string, Bitvec.t) Hashtbl.t;  (* g-constant -> bit-vector *)
+  term_memo : (int * int, Bitvec.t) Hashtbl.t;  (* (tid, class id) -> bits *)
+  mutable domain : F.t list;
+}
+
+let create pctx classes ~p_value =
+  {
+    pctx;
+    classes;
+    p_value;
+    widths = Hashtbl.create 16;
+    bvs = Hashtbl.create 64;
+    term_memo = Hashtbl.create 256;
+    domain = [];
+  }
+
+let width_of_class t (cls : Classes.class_info) =
+  match Hashtbl.find_opt t.widths cls.id with
+  | Some w -> w
+  | None ->
+    (* Largest value any ground term of this class can denote: class members
+       reach shift + range − 1 + umax; fixed p-constant values reach their
+       assigned value plus their largest offset. *)
+    let reach = cls.shift + cls.range - 1 + max 0 cls.umax in
+    let reach =
+      Sepsat_util.Sset.fold
+        (fun p acc ->
+          let _, u = Classes.offsets t.classes p in
+          max acc (t.p_value p + max 0 u))
+        cls.p_neighbors reach
+    in
+    let w = Bitvec.width_for reach in
+    Hashtbl.add t.widths cls.id w;
+    w
+
+let const_bv t (cls : Classes.class_info) name =
+  match Hashtbl.find_opt t.bvs name with
+  | Some bv -> bv
+  | None ->
+    let width = width_of_class t cls in
+    let bv = Bitvec.fresh t.pctx ~width in
+    let lo = Bitvec.of_int t.pctx ~width cls.shift in
+    let hi = Bitvec.of_int t.pctx ~width (cls.shift + cls.range - 1) in
+    t.domain <-
+      Bitvec.ule t.pctx lo bv :: Bitvec.ule t.pctx bv hi :: t.domain;
+    Hashtbl.add t.bvs name bv;
+    bv
+
+let rec encode_term t ~encode_formula ~(cls : Classes.class_info)
+    (term : Ast.term) =
+  match Hashtbl.find_opt t.term_memo (term.tid, cls.id) with
+  | Some bv -> bv
+  | None ->
+    let bv =
+      match term.tnode with
+      | Ast.Const _ | Ast.Succ _ | Ast.Pred _ ->
+        let g = Normal.ground_of_term term in
+        if Classes.is_p t.classes g.Ground.base then
+          let width = width_of_class t cls in
+          Bitvec.of_int t.pctx ~width (t.p_value g.Ground.base + g.offset)
+        else
+          Bitvec.add_int t.pctx (const_bv t cls g.Ground.base) g.offset
+      | Ast.Tite (c, a, b) ->
+        Bitvec.mux t.pctx (encode_formula c)
+          (encode_term t ~encode_formula ~cls a)
+          (encode_term t ~encode_formula ~cls b)
+      | Ast.App _ -> invalid_arg "Sd.encode_term: application present"
+    in
+    Hashtbl.add t.term_memo (term.tid, cls.id) bv;
+    bv
+
+let encode_atom t ~encode_formula ~cls (atom : Ast.formula) =
+  match atom.fnode with
+  | Ast.Eq (t1, t2) ->
+    Bitvec.equal t.pctx
+      (encode_term t ~encode_formula ~cls t1)
+      (encode_term t ~encode_formula ~cls t2)
+  | Ast.Lt (t1, t2) ->
+    Bitvec.ult t.pctx
+      (encode_term t ~encode_formula ~cls t1)
+      (encode_term t ~encode_formula ~cls t2)
+  | _ -> invalid_arg "Sd.encode_atom: not an atom"
+
+let domain_constraints t = F.and_list t.pctx t.domain
+
+let decode_consts t assign =
+  Hashtbl.fold (fun name bv acc -> (name, Bitvec.decode assign bv) :: acc)
+    t.bvs []
+  |> List.sort compare

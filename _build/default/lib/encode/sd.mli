@@ -1,0 +1,36 @@
+(** Small-domain (finite instantiation) encoding — the paper's SD method
+    (§2.1.2).
+
+    Every g-constant of a class [V_i] becomes a symbolic bit-vector
+    range-constrained to the class domain [\[L_i, L_i + range(V_i) − 1\]],
+    which is sufficient by the small-model property. Ground terms [v + k] are
+    constant adders, ITE is a mux, and [=]/[<] are comparators. p-constants
+    receive fixed bit patterns placed above every reachable class value
+    (maximally diverse interpretation), as supplied by the caller. *)
+
+module F = Sepsat_prop.Formula
+module Ast = Sepsat_suf.Ast
+module Classes = Sepsat_sep.Classes
+
+type t
+
+val create : F.ctx -> Classes.t -> p_value:(string -> int) -> t
+
+val encode_atom :
+  t ->
+  encode_formula:(Ast.formula -> F.t) ->
+  cls:Classes.class_info ->
+  Ast.formula ->
+  F.t
+(** Encodes an [Eq]/[Lt] atom owned by class [cls]; ITE guards inside the
+    atom's terms are encoded through the [encode_formula] callback (they may
+    mention other classes). *)
+
+val domain_constraints : t -> F.t
+(** Conjunction of the range constraints of every bit-vector allocated so
+    far. Must be conjoined with (the antecedent side of) the final query. *)
+
+val decode_consts : t -> (int -> bool) -> (string * int) list
+(** Values of the g-constants that received bit-vectors, under a model. *)
+
+val width_of_class : t -> Classes.class_info -> int

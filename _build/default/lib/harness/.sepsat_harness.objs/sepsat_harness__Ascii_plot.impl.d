@@ -1,0 +1,1 @@
+lib/harness/ascii_plot.ml: Array Format List String

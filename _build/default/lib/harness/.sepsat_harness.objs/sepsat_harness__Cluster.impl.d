@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Array List

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Ascii_plot Cluster Format List Printf Runner Sepsat Sepsat_encode Sepsat_prop Sepsat_sat Sepsat_sep Sepsat_suf Sepsat_util Sepsat_workloads

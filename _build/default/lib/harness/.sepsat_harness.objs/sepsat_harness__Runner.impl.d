@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Sepsat Sepsat_encode Sepsat_sat Sepsat_sep Sepsat_suf Sepsat_util Sepsat_workloads

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Sepsat Sepsat_sep Sepsat_workloads

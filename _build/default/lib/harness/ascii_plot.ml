@@ -1,0 +1,54 @@
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let scatter ?(width = 64) ?(height = 22) ?(diagonal = false) ~xlabel ~ylabel
+    ppf series_list =
+  let all_points = List.concat_map (fun s -> s.points) series_list in
+  if all_points = [] then Format.fprintf ppf "(no data)@."
+  else begin
+    let positives =
+      List.concat_map (fun (x, y) -> [ x; y ]) all_points
+      |> List.filter (fun v -> v > 0.)
+    in
+    let min_pos = List.fold_left min infinity (1.0 :: positives) in
+    let clamp v = if v > 0. then v else min_pos in
+    let lo = ref infinity and hi = ref neg_infinity in
+    List.iter
+      (fun (x, y) ->
+        lo := min !lo (min (clamp x) (clamp y));
+        hi := max !hi (max (clamp x) (clamp y)))
+      all_points;
+    let lo = log10 !lo and hi = log10 (max (!lo *. 1.001) !hi) in
+    let span = if hi -. lo < 1e-9 then 1. else hi -. lo in
+    let grid = Array.make_matrix height width ' ' in
+    let place x y glyph =
+      let gx =
+        int_of_float ((log10 (clamp x) -. lo) /. span *. float_of_int (width - 1))
+      in
+      let gy =
+        int_of_float ((log10 (clamp y) -. lo) /. span *. float_of_int (height - 1))
+      in
+      let gx = max 0 (min (width - 1) gx) in
+      let gy = height - 1 - max 0 (min (height - 1) gy) in
+      grid.(gy).(gx) <- glyph
+    in
+    if diagonal then
+      for i = 0 to width - 1 do
+        let v = lo +. (float_of_int i /. float_of_int (width - 1) *. span) in
+        let v = 10. ** v in
+        place v v '.'
+      done;
+    List.iter
+      (fun s -> List.iter (fun (x, y) -> place x y s.glyph) s.points)
+      series_list;
+    Format.fprintf ppf "  %s (log scale)@." ylabel;
+    Array.iter
+      (fun line ->
+        Format.fprintf ppf "  |%s|@." (String.init width (Array.get line)))
+      grid;
+    Format.fprintf ppf "  +%s+@." (String.make width '-');
+    Format.fprintf ppf "   %s (log scale)   " xlabel;
+    List.iter
+      (fun s -> Format.fprintf ppf "[%c = %s] " s.glyph s.label)
+      series_list;
+    Format.fprintf ppf "@."
+  end

@@ -1,0 +1,17 @@
+(** Log-log ASCII scatter plots, for regenerating the paper's figures in a
+    terminal. *)
+
+type series = { label : string; glyph : char; points : (float * float) list }
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  ?diagonal:bool ->
+  xlabel:string ->
+  ylabel:string ->
+  Format.formatter ->
+  series list ->
+  unit
+(** Both axes are log-scaled; non-positive values are clamped to the smallest
+    positive value plotted. [diagonal] draws the y = x line (the paper's
+    Figs. 4–6 reference). *)

@@ -1,0 +1,33 @@
+let variance a =
+  let n = Array.length a in
+  if n <= 1 then 0.
+  else begin
+    let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a in
+    sq /. float_of_int n
+  end
+
+let best_split values =
+  let n = Array.length values in
+  if n < 2 then invalid_arg "Cluster.best_split: need at least 2 values";
+  let cost k =
+    variance (Array.sub values 0 k) +. variance (Array.sub values k (n - k))
+  in
+  let best = ref 1 and best_cost = ref (cost 1) in
+  for k = 2 to n - 1 do
+    let c = cost k in
+    if c < !best_cost then begin
+      best := k;
+      best_cost := c
+    end
+  done;
+  !best
+
+let select_threshold samples =
+  let sorted =
+    List.sort (fun (_, t1) (_, t2) -> compare t1 t2) samples |> Array.of_list
+  in
+  let times = Array.map snd sorted in
+  let k = best_split times in
+  let n_k = fst sorted.(k - 1) in
+  ((n_k / 100) + 1) * 100

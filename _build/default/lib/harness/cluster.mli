@@ -1,0 +1,22 @@
+(** One-dimensional clustering for SEP_THOLD selection (paper §4.1).
+
+    Given the sorted sequence of normalized EIJ run-times over a benchmark
+    sample, the paper splits it at the index minimizing the sum of the two
+    parts' variances (squared-distance clustering in one dimension), then
+    takes as threshold the smallest multiple of 100 above the
+    separation-predicate count at the split point. *)
+
+val best_split : float array -> int
+(** [best_split values] for a sorted array returns [k] (1-based count of the
+    lower cluster, in [1, n-1]) minimizing
+    [variance values[0..k-1] + variance values[k..n-1]].
+    @raise Invalid_argument if fewer than 2 values. *)
+
+val variance : float array -> float
+(** Population variance; 0 for empty or singleton arrays. *)
+
+val select_threshold : (int * float) list -> int
+(** [select_threshold samples] where each sample is (separation-predicate
+    count, normalized EIJ run-time): sorts by run-time, finds the best
+    variance split, and returns the smallest multiple of 100 strictly greater
+    than the predicate count at the split point. *)

@@ -1,0 +1,80 @@
+module Ast = Sepsat_suf.Ast
+module Suite = Sepsat_workloads.Suite
+module Decide = Sepsat.Decide
+module Verdict = Sepsat_sep.Verdict
+module Deadline = Sepsat_util.Deadline
+module Solver = Sepsat_sat.Solver
+module Hybrid = Sepsat_encode.Hybrid
+
+type outcome = Completed | Timed_out | Blew_up
+
+type row = {
+  bench : string;
+  family : string;
+  invariant_checking : bool;
+  method_ : Decide.method_;
+  size : int;
+  sep_cnt : int;
+  verdict : Verdict.t;
+  outcome : outcome;
+  total_time : float;
+  translate_time : float;
+  sat_time : float;
+  cnf_clauses : int;
+  conflicts : int;
+  trans_constraints : int;
+}
+
+(* The separation-predicate estimate is a property of the formula, not of
+   the method, so compute it through the standard pipeline. *)
+let sep_count ctx formula =
+  let elim = Sepsat_suf.Elim.eliminate ctx formula in
+  let normalized = Sepsat_sep.Normal.normalize ctx elim.Sepsat_suf.Elim.formula in
+  let classes =
+    Sepsat_sep.Classes.build ~p_consts:elim.Sepsat_suf.Elim.p_consts normalized
+  in
+  Sepsat_sep.Classes.total_sep_cnt classes
+
+let run ?(deadline_s = 30.) method_ (bench : Suite.benchmark) =
+  let ctx = Ast.create_ctx () in
+  let formula = bench.Suite.build ctx in
+  let size = Ast.size formula in
+  let sep_cnt = sep_count ctx formula in
+  let deadline = Deadline.after deadline_s in
+  let r = Decide.decide ~method_ ~deadline ctx formula in
+  let outcome =
+    match r.Decide.verdict with
+    | Verdict.Valid | Verdict.Invalid _ -> Completed
+    | Verdict.Unknown "translation blowup" -> Blew_up
+    | Verdict.Unknown _ -> Timed_out
+  in
+  {
+    bench = bench.Suite.name;
+    family = Suite.family_name bench.Suite.family;
+    invariant_checking = bench.Suite.invariant_checking;
+    method_;
+    size;
+    sep_cnt;
+    verdict = r.Decide.verdict;
+    outcome;
+    total_time = r.Decide.total_time;
+    translate_time = r.Decide.translate_time;
+    sat_time = r.Decide.sat_time;
+    cnf_clauses = r.Decide.cnf_clauses;
+    conflicts =
+      (match r.Decide.sat_stats with
+      | Some st -> st.Solver.conflicts
+      | None -> 0);
+    trans_constraints =
+      (match r.Decide.encode_stats with
+      | Some es -> es.Hybrid.trans_constraints
+      | None -> 0);
+  }
+
+let penalized_time ~deadline_s row =
+  match row.outcome with
+  | Completed -> row.total_time
+  | Timed_out | Blew_up -> deadline_s
+
+let normalized_time ~deadline_s row =
+  penalized_time ~deadline_s row /. (float_of_int (max row.size 1) /. 1000.)

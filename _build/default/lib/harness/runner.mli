@@ -1,0 +1,37 @@
+(** Uniform benchmark execution with statistics collection. *)
+
+module Suite = Sepsat_workloads.Suite
+module Decide = Sepsat.Decide
+module Verdict = Sepsat_sep.Verdict
+
+type outcome = Completed | Timed_out | Blew_up
+
+type row = {
+  bench : string;
+  family : string;
+  invariant_checking : bool;
+  method_ : Decide.method_;
+  size : int;  (** SUF DAG nodes *)
+  sep_cnt : int;  (** separation-predicate estimate of the formula *)
+  verdict : Verdict.t;
+  outcome : outcome;
+  total_time : float;
+  translate_time : float;
+  sat_time : float;
+  cnf_clauses : int;
+  conflicts : int;  (** learned conflict clauses (0 for SVC) *)
+  trans_constraints : int;
+}
+
+val run : ?deadline_s:float -> Decide.method_ -> Suite.benchmark -> row
+(** Builds the benchmark in a fresh context and decides it. Default deadline
+    30 seconds of CPU time (the laptop-scale stand-in for the paper's
+    30-minute limit). *)
+
+val penalized_time : deadline_s:float -> row -> float
+(** Total time, with timeouts/blowups charged the full deadline — the
+    convention used when plotting against the paper's "timeout" gridline. *)
+
+val normalized_time : deadline_s:float -> row -> float
+(** {!penalized_time} per thousand DAG nodes (the paper's sec/Knodes
+    normalization for Fig. 3). *)

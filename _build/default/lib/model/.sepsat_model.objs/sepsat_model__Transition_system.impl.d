@@ -1,0 +1,1 @@
+lib/model/transition_system.ml: Format Hashtbl List Printf Sepsat Sepsat_sep Sepsat_suf Sepsat_util

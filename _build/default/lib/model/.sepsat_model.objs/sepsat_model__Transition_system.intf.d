@@ -1,0 +1,1 @@
+lib/model/transition_system.mli: Format Sepsat Sepsat_suf Sepsat_util

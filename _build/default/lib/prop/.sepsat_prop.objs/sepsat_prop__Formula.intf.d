@@ -1,0 +1,1 @@
+lib/prop/formula.mli: Format

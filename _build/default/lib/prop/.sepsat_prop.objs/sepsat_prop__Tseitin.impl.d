@@ -1,0 +1,1 @@
+lib/prop/tseitin.ml: Formula Hashtbl Sepsat_sat

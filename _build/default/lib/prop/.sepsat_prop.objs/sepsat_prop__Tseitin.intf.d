@@ -1,0 +1,1 @@
+lib/prop/tseitin.mli: Formula Sepsat_sat

@@ -1,0 +1,150 @@
+type t = { id : int; node : node }
+
+and node =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+type key =
+  | KTrue
+  | KFalse
+  | KVar of int
+  | KNot of int
+  | KAnd of int * int
+  | KOr of int * int
+
+type ctx = {
+  mutable next_id : int;
+  mutable next_var : int;
+  tbl : (key, t) Hashtbl.t;
+}
+
+let create_ctx () = { next_id = 0; next_var = 0; tbl = Hashtbl.create 4096 }
+
+let mk ctx key node =
+  match Hashtbl.find_opt ctx.tbl key with
+  | Some f -> f
+  | None ->
+    let f = { id = ctx.next_id; node } in
+    ctx.next_id <- ctx.next_id + 1;
+    Hashtbl.add ctx.tbl key f;
+    f
+
+let tru ctx = mk ctx KTrue True
+
+let fls ctx = mk ctx KFalse False
+
+let of_bool ctx b = if b then tru ctx else fls ctx
+
+let var ctx i =
+  if i < 0 || i >= ctx.next_var then invalid_arg "Formula.var: unallocated";
+  mk ctx (KVar i) (Var i)
+
+let fresh_var ctx =
+  let i = ctx.next_var in
+  ctx.next_var <- ctx.next_var + 1;
+  mk ctx (KVar i) (Var i)
+
+let var_index f =
+  match f.node with
+  | Var i -> i
+  | True | False | Not _ | And _ | Or _ ->
+    invalid_arg "Formula.var_index: not a variable"
+
+let nb_vars ctx = ctx.next_var
+
+let not_ ctx f =
+  match f.node with
+  | True -> fls ctx
+  | False -> tru ctx
+  | Not g -> g
+  | Var _ | And _ | Or _ -> mk ctx (KNot f.id) (Not f)
+
+let and_ ctx a b =
+  match (a.node, b.node) with
+  | False, _ | _, False -> fls ctx
+  | True, _ -> b
+  | _, True -> a
+  | _ ->
+    if a == b then a
+    else if (match a.node with Not a' -> a' == b | _ -> false) then fls ctx
+    else if (match b.node with Not b' -> b' == a | _ -> false) then fls ctx
+    else
+      let x, y = if a.id <= b.id then (a, b) else (b, a) in
+      mk ctx (KAnd (x.id, y.id)) (And (x, y))
+
+let or_ ctx a b =
+  match (a.node, b.node) with
+  | True, _ | _, True -> tru ctx
+  | False, _ -> b
+  | _, False -> a
+  | _ ->
+    if a == b then a
+    else if (match a.node with Not a' -> a' == b | _ -> false) then tru ctx
+    else if (match b.node with Not b' -> b' == a | _ -> false) then tru ctx
+    else
+      let x, y = if a.id <= b.id then (a, b) else (b, a) in
+      mk ctx (KOr (x.id, y.id)) (Or (x, y))
+
+let implies ctx a b = or_ ctx (not_ ctx a) b
+
+let iff ctx a b = and_ ctx (implies ctx a b) (implies ctx b a)
+
+let xor ctx a b = not_ ctx (iff ctx a b)
+
+let ite ctx c a b = and_ ctx (implies ctx c a) (implies ctx (not_ ctx c) b)
+
+let and_list ctx fs = List.fold_left (and_ ctx) (tru ctx) fs
+
+let or_list ctx fs = List.fold_left (or_ ctx) (fls ctx) fs
+
+let eval assign root =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match Hashtbl.find_opt memo f.id with
+    | Some b -> b
+    | None ->
+      let b =
+        match f.node with
+        | True -> true
+        | False -> false
+        | Var i -> assign i
+        | Not g -> not (go g)
+        | And (a, b) -> go a && go b
+        | Or (a, b) -> go a || go b
+      in
+      Hashtbl.add memo f.id b;
+      b
+  in
+  go root
+
+let size root =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if not (Hashtbl.mem seen f.id) then begin
+      Hashtbl.add seen f.id ();
+      match f.node with
+      | True | False | Var _ -> ()
+      | Not g -> go g
+      | And (a, b) | Or (a, b) ->
+        go a;
+        go b
+    end
+  in
+  go root;
+  Hashtbl.length seen
+
+let pp ppf root =
+  let rec go ppf f =
+    match f.node with
+    | True -> Format.pp_print_string ppf "true"
+    | False -> Format.pp_print_string ppf "false"
+    | Var i -> Format.fprintf ppf "b%d" i
+    | Not g -> Format.fprintf ppf "(not %a)" go g
+    | And (a, b) -> Format.fprintf ppf "(and %a %a)" go a go b
+    | Or (a, b) -> Format.fprintf ppf "(or %a %a)" go a go b
+  in
+  go ppf root

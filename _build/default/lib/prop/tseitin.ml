@@ -1,0 +1,76 @@
+module Solver = Sepsat_sat.Solver
+module Lit = Sepsat_sat.Lit
+
+type t = {
+  solver : Solver.t;
+  var_lits : (int, Lit.t) Hashtbl.t;  (* formula var index -> solver literal *)
+  memo : (int, Lit.t) Hashtbl.t;  (* formula node id -> solver literal *)
+  mutable const_true : Lit.t option;
+  mutable n_clauses : int;
+}
+
+let create solver =
+  {
+    solver;
+    var_lits = Hashtbl.create 256;
+    memo = Hashtbl.create 1024;
+    const_true = None;
+    n_clauses = 0;
+  }
+
+let add_clause t c =
+  t.n_clauses <- t.n_clauses + 1;
+  Solver.add_clause t.solver c
+
+let lit_of_var t i =
+  match Hashtbl.find_opt t.var_lits i with
+  | Some l -> l
+  | None ->
+    let l = Lit.pos (Solver.new_var t.solver) in
+    Hashtbl.add t.var_lits i l;
+    l
+
+let find_var t i = Hashtbl.find_opt t.var_lits i
+
+let true_lit t =
+  match t.const_true with
+  | Some l -> l
+  | None ->
+    let l = Lit.pos (Solver.new_var t.solver) in
+    add_clause t [ l ];
+    t.const_true <- Some l;
+    l
+
+let rec encode t (f : Formula.t) =
+  match Hashtbl.find_opt t.memo f.id with
+  | Some l -> l
+  | None ->
+    let l =
+      match f.node with
+      | Formula.True -> true_lit t
+      | Formula.False -> Lit.neg (true_lit t)
+      | Formula.Var i -> lit_of_var t i
+      | Formula.Not g -> Lit.neg (encode t g)
+      | Formula.And (a, b) ->
+        let la = encode t a and lb = encode t b in
+        let l = Lit.pos (Solver.new_var t.solver) in
+        add_clause t [ Lit.neg l; la ];
+        add_clause t [ Lit.neg l; lb ];
+        add_clause t [ l; Lit.neg la; Lit.neg lb ];
+        l
+      | Formula.Or (a, b) ->
+        let la = encode t a and lb = encode t b in
+        let l = Lit.pos (Solver.new_var t.solver) in
+        add_clause t [ Lit.neg l; la; lb ];
+        add_clause t [ l; Lit.neg la ];
+        add_clause t [ l; Lit.neg lb ];
+        l
+    in
+    Hashtbl.add t.memo f.id l;
+    l
+
+let assert_root t f =
+  let l = encode t f in
+  add_clause t [ l ]
+
+let clauses_added t = t.n_clauses

@@ -1,0 +1,29 @@
+(** Tseitin CNF conversion into a live SAT solver.
+
+    Each distinct formula DAG node is encoded once (sharing-preserving), so
+    the clause count is linear in the DAG size, matching the translation the
+    paper feeds to zChaff. Negations reuse the complemented literal and cost
+    no variables or clauses. *)
+
+type t
+
+val create : Sepsat_sat.Solver.t -> t
+
+val lit_of_var : t -> int -> Sepsat_sat.Lit.t
+(** Solver literal standing for a formula variable index; allocated (and
+    cached) on demand, so the caller can decode models. *)
+
+val find_var : t -> int -> Sepsat_sat.Lit.t option
+(** Like {!lit_of_var} but without allocating: [None] means the formula
+    variable never reached the solver (its value is unconstrained). *)
+
+val encode : t -> Formula.t -> Sepsat_sat.Lit.t
+(** Returns the literal equisatisfiably representing the formula; definition
+    clauses are added to the solver as a side effect. *)
+
+val assert_root : t -> Formula.t -> unit
+(** Encodes the formula and asserts it as a unit clause. *)
+
+val clauses_added : t -> int
+(** Total CNF clauses this encoder has pushed into the solver (the "# of CNF
+    clauses" column of the paper's Fig. 2). *)

@@ -1,0 +1,1 @@
+lib/sat/drup_check.ml: Array Format Hashtbl List Lit Proof Sepsat_util String

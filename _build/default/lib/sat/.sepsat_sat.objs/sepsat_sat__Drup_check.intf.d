@@ -1,0 +1,1 @@
+lib/sat/drup_check.mli: Proof

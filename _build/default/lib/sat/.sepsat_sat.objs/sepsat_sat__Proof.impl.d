@@ -1,0 +1,1 @@
+lib/sat/proof.ml: Format List Lit

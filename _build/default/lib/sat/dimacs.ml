@@ -1,0 +1,54 @@
+type cnf = { nvars : int; clauses : Lit.t list list }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Dimacs.parse: bad token %S" tok)
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some i ->
+      let l = Lit.of_dimacs i in
+      if Lit.var l + 1 > !nvars then nvars := Lit.var l + 1;
+      current := l :: !current
+  in
+  let handle_line line =
+    let line = String.trim line in
+    if String.length line = 0 then ()
+    else if line.[0] = 'c' then ()
+    else if line.[0] = 'p' then begin
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | [ "p"; "cnf"; nv; _nc ] -> (
+        match int_of_string_opt nv with
+        | Some n -> nvars := max !nvars n
+        | None -> failwith "Dimacs.parse: bad header")
+      | _ -> failwith "Dimacs.parse: bad header"
+    end
+    else
+      String.split_on_char ' ' line
+      |> List.filter (( <> ) "")
+      |> List.iter handle_token
+  in
+  List.iter handle_line lines;
+  if !current <> [] then failwith "Dimacs.parse: unterminated clause";
+  { nvars = !nvars; clauses = List.rev !clauses }
+
+let print ppf { nvars; clauses } =
+  Format.fprintf ppf "p cnf %d %d@." nvars (List.length clauses);
+  let pp_clause ppf c =
+    List.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_dimacs l)) c;
+    Format.fprintf ppf "0@."
+  in
+  List.iter (pp_clause ppf) clauses
+
+let load_into solver { nvars; clauses } =
+  let base = Solver.nvars solver in
+  for _ = 1 to nvars do
+    ignore (Solver.new_var solver)
+  done;
+  let shift l = Lit.make (base + Lit.var l) (Lit.sign l) in
+  List.iter (fun c -> Solver.add_clause solver (List.map shift c)) clauses

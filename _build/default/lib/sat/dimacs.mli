@@ -1,0 +1,18 @@
+(** DIMACS CNF interchange.
+
+    Lets the solver be exercised and debugged against standard CNF instances,
+    and lets encodings be dumped for external inspection. *)
+
+type cnf = { nvars : int; clauses : Lit.t list list }
+
+val parse : string -> cnf
+(** Parses DIMACS CNF text. Comments ([c] lines) and the [p cnf] header are
+    accepted; literals are 1-based signed integers, clauses end with [0].
+    @raise Failure on malformed input. *)
+
+val print : Format.formatter -> cnf -> unit
+
+val load_into : Solver.t -> cnf -> unit
+(** Allocates the instance's variables in a fresh region of the solver and
+    adds every clause. Variable [i] (1-based DIMACS) maps to solver variable
+    [base + i - 1] where [base] is the solver's variable count beforehand. *)

@@ -1,0 +1,22 @@
+(** Independent DRUP proof checker.
+
+    Replays a {!Proof} trace with a self-contained unit-propagation engine:
+    every [Learned] clause must have the RUP property (asserting its negation
+    and propagating over the active database yields a conflict), and the
+    trace must derive the empty clause. The engine shares no code with the
+    CDCL solver, so a successful check certifies an UNSAT answer without
+    trusting the solver's search, learning, or simplification.
+
+    Deletions of non-unit clauses are honoured; unit deletions are ignored
+    (the standard lenient DRUP treatment — every retained clause is a logical
+    consequence of the input, so the final verdict is unaffected). *)
+
+type result =
+  | Certified  (** every step RUP-valid and the empty clause derived *)
+  | Incomplete  (** steps valid, but no empty clause: proves nothing *)
+  | Bogus of string  (** some learned clause is not RUP *)
+
+val check : Proof.step list -> result
+
+val certified : Proof.t -> bool
+(** [check (Proof.steps p) = Certified]. *)

@@ -1,0 +1,33 @@
+type t = int
+
+let make v sign =
+  assert (v >= 0);
+  (2 * v) + if sign then 0 else 1
+
+let pos v = make v true
+
+let neg_of v = make v false
+
+let var l = l lsr 1
+
+let sign l = l land 1 = 0
+
+let neg l = l lxor 1
+
+let to_int l = l
+
+let of_int i =
+  assert (i >= 0);
+  i
+
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: 0";
+  if i > 0 then pos (i - 1) else neg_of (-i - 1)
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let pp ppf l = Format.fprintf ppf "%s%d" (if sign l then "" else "-") (var l + 1)

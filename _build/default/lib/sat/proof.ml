@@ -1,0 +1,26 @@
+type step = Input of Lit.t list | Learned of Lit.t list | Deleted of Lit.t list
+
+type t = { mutable rev_steps : step list }
+
+let create () = { rev_steps = [] }
+
+let input t c = t.rev_steps <- Input c :: t.rev_steps
+
+let learned t c = t.rev_steps <- Learned c :: t.rev_steps
+
+let deleted t c = t.rev_steps <- Deleted c :: t.rev_steps
+
+let steps t = List.rev t.rev_steps
+
+let pp_dimacs ppf t =
+  let pp_lits ppf c =
+    List.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_dimacs l)) c;
+    Format.fprintf ppf "0@."
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Input c -> Format.fprintf ppf "c input %a" pp_lits c
+      | Learned c -> pp_lits ppf c
+      | Deleted c -> Format.fprintf ppf "d %a" pp_lits c)
+    (steps t)

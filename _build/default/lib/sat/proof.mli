@@ -1,0 +1,30 @@
+(** DRUP proof traces.
+
+    When recording is enabled, the solver logs every input clause, every
+    learned (or input-simplification) clause, and every deletion. An
+    unsatisfiability conclusion appends the empty clause. The resulting trace
+    can be replayed by {!Drup_check} — an independent unit-propagation
+    checker — so UNSAT answers (hence [Valid] verdicts upstream) do not
+    depend on trusting the CDCL implementation. *)
+
+type step =
+  | Input of Lit.t list  (** axiom: part of the problem *)
+  | Learned of Lit.t list  (** must have the RUP property when checked *)
+  | Deleted of Lit.t list  (** removed from the active database *)
+
+type t
+
+val create : unit -> t
+
+val input : t -> Lit.t list -> unit
+
+val learned : t -> Lit.t list -> unit
+
+val deleted : t -> Lit.t list -> unit
+
+val steps : t -> step list
+(** In logging order. *)
+
+val pp_dimacs : Format.formatter -> t -> unit
+(** The standard textual DRUP format ([d] lines for deletions); inputs are
+    emitted as comments, since DRUP files accompany a separate CNF. *)

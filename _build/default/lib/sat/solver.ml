@@ -1,0 +1,618 @@
+module Vec = Sepsat_util.Vec
+module Deadline = Sepsat_util.Deadline
+
+(* Truth values: 0 = undefined, 1 = true, -1 = false. *)
+
+type clause = {
+  mutable lits : Lit.t array;
+  learnt : bool;
+  mutable activity : float;
+}
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  clauses : int;
+  learnts : int;
+  max_vars : int;
+}
+
+let dummy_lit = Lit.pos 0
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0. }
+
+type t = {
+  (* Clause database *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  watches : clause Vec.t Vec.t;  (* literal -> clauses watching it *)
+  (* Assignment *)
+  assigns : int Vec.t;  (* var -> -1/0/1 *)
+  level : int Vec.t;
+  reason : clause Vec.t;  (* dummy_clause = no reason *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* Branching *)
+  var_act : float Vec.t;
+  polarity : bool Vec.t;
+  heap : int Vec.t;
+  heap_index : int Vec.t;  (* var -> position in heap, -1 if absent *)
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  (* Analysis scratch *)
+  seen : bool Vec.t;
+  (* State *)
+  mutable ok : bool;
+  mutable model : bool array option;
+  mutable proof : Proof.t option;
+  (* Statistics *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_props : int;
+  mutable n_restarts : int;
+}
+
+let var_decay = 1. /. 0.95
+
+let cla_decay = 1. /. 0.999
+
+let create () =
+  {
+    clauses = Vec.create ~dummy:dummy_clause;
+    learnts = Vec.create ~dummy:dummy_clause;
+    watches = Vec.create ~dummy:(Vec.create ~dummy:dummy_clause);
+    assigns = Vec.create ~dummy:0;
+    level = Vec.create ~dummy:0;
+    reason = Vec.create ~dummy:dummy_clause;
+    trail = Vec.create ~dummy:dummy_lit;
+    trail_lim = Vec.create ~dummy:0;
+    qhead = 0;
+    var_act = Vec.create ~dummy:0.;
+    polarity = Vec.create ~dummy:false;
+    heap = Vec.create ~dummy:(-1);
+    heap_index = Vec.create ~dummy:(-1);
+    var_inc = 1.;
+    cla_inc = 1.;
+    seen = Vec.create ~dummy:false;
+    ok = true;
+    model = None;
+    proof = None;
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_props = 0;
+    n_restarts = 0;
+  }
+
+let start_proof s =
+  let p = Proof.create () in
+  s.proof <- Some p;
+  p
+
+let log_learned s lits =
+  match s.proof with None -> () | Some p -> Proof.learned p lits
+
+let log_input s lits =
+  match s.proof with None -> () | Some p -> Proof.input p lits
+
+let log_deleted s lits =
+  match s.proof with None -> () | Some p -> Proof.deleted p lits
+
+let nvars s = Vec.size s.assigns
+
+let decision_level s = Vec.size s.trail_lim
+
+(* Value of a literal under the current partial assignment. *)
+let value s l =
+  let a = Vec.get s.assigns (Lit.var l) in
+  if Lit.sign l then a else -a
+
+(* -- Variable order heap (max-heap on activity) ----------------------- *)
+
+let heap_lt s v w = Vec.get s.var_act v > Vec.get s.var_act w
+
+let heap_percolate_up s i =
+  let x = Vec.get s.heap i in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let px = Vec.get s.heap p in
+    if heap_lt s x px then begin
+      Vec.set s.heap !i px;
+      Vec.set s.heap_index px !i;
+      i := p
+    end
+    else continue := false
+  done;
+  Vec.set s.heap !i x;
+  Vec.set s.heap_index x !i
+
+let heap_percolate_down s i =
+  let x = Vec.get s.heap i in
+  let sz = Vec.size s.heap in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && (2 * !i) + 1 < sz do
+    let l = (2 * !i) + 1 in
+    let r = l + 1 in
+    let child =
+      if r < sz && heap_lt s (Vec.get s.heap r) (Vec.get s.heap l) then r
+      else l
+    in
+    let cx = Vec.get s.heap child in
+    if heap_lt s cx x then begin
+      Vec.set s.heap !i cx;
+      Vec.set s.heap_index cx !i;
+      i := child
+    end
+    else continue := false
+  done;
+  Vec.set s.heap !i x;
+  Vec.set s.heap_index x !i
+
+let heap_in s v = Vec.get s.heap_index v >= 0
+
+let heap_insert s v =
+  if not (heap_in s v) then begin
+    Vec.push s.heap v;
+    Vec.set s.heap_index v (Vec.size s.heap - 1);
+    heap_percolate_up s (Vec.size s.heap - 1)
+  end
+
+let heap_pop s =
+  let x = Vec.get s.heap 0 in
+  let last = Vec.pop s.heap in
+  Vec.set s.heap_index x (-1);
+  if Vec.size s.heap > 0 then begin
+    Vec.set s.heap 0 last;
+    Vec.set s.heap_index last 0;
+    heap_percolate_down s 0
+  end;
+  x
+
+let heap_bump s v = if heap_in s v then heap_percolate_up s (Vec.get s.heap_index v)
+
+(* -- Activities -------------------------------------------------------- *)
+
+let var_bump s v =
+  Vec.set s.var_act v (Vec.get s.var_act v +. s.var_inc);
+  if Vec.get s.var_act v > 1e100 then begin
+    for u = 0 to nvars s - 1 do
+      Vec.set s.var_act u (Vec.get s.var_act u *. 1e-100)
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_bump s v
+
+let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let cla_bump s c =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun cl -> cl.activity <- cl.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay_activity s = s.cla_inc <- s.cla_inc *. cla_decay
+
+(* -- Variables --------------------------------------------------------- *)
+
+let new_var s =
+  let v = nvars s in
+  Vec.push s.assigns 0;
+  Vec.push s.level 0;
+  Vec.push s.reason dummy_clause;
+  Vec.push s.var_act 0.;
+  Vec.push s.polarity false;
+  Vec.push s.seen false;
+  Vec.push s.heap_index (-1);
+  Vec.push s.watches (Vec.create ~dummy:dummy_clause);
+  Vec.push s.watches (Vec.create ~dummy:dummy_clause);
+  heap_insert s v;
+  v
+
+(* -- Assignment trail -------------------------------------------------- *)
+
+let unchecked_enqueue s p reason =
+  assert (value s p = 0);
+  let v = Lit.var p in
+  Vec.set s.assigns v (if Lit.sign p then 1 else -1);
+  Vec.set s.level v (decision_level s);
+  Vec.set s.reason v reason;
+  Vec.push s.trail p
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let p = Vec.get s.trail i in
+      let v = Lit.var p in
+      Vec.set s.assigns v 0;
+      Vec.set s.polarity v (Lit.sign p);
+      Vec.set s.reason v dummy_clause;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* -- Clause attachment -------------------------------------------------- *)
+
+let attach s c =
+  assert (Array.length c.lits >= 2);
+  Vec.push (Vec.get s.watches (Lit.to_int (Lit.neg c.lits.(0)))) c;
+  Vec.push (Vec.get s.watches (Lit.to_int (Lit.neg c.lits.(1)))) c
+
+let detach s c =
+  let remove l =
+    Vec.remove_if (fun c' -> c' == c) (Vec.get s.watches (Lit.to_int (Lit.neg l)))
+  in
+  remove c.lits.(0);
+  remove c.lits.(1)
+
+(* -- Propagation -------------------------------------------------------- *)
+
+(* Visits the watch list of the literal [neg p] after [p] became true.
+   Returns the conflicting clause, if any. *)
+let propagate s =
+  let confl = ref dummy_clause in
+  while !confl == dummy_clause && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.n_props <- s.n_props + 1;
+    let false_lit = Lit.neg p in
+    let ws = Vec.get s.watches (Lit.to_int p) in
+    (* [ws] holds clauses in which [false_lit] is watched: a clause watching
+       literal l is registered under index (neg l). *)
+    let i = ref 0 in
+    let j = ref 0 in
+    let n = Vec.size ws in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      (* Make sure the false literal is at position 1. *)
+      if Lit.equal c.lits.(0) false_lit then begin
+        c.lits.(0) <- c.lits.(1);
+        c.lits.(1) <- false_lit
+      end;
+      let first = c.lits.(0) in
+      if value s first = 1 then begin
+        (* Clause already satisfied; keep the watch. *)
+        Vec.set ws !j c;
+        incr j
+      end
+      else begin
+        (* Look for a new literal to watch. *)
+        let len = Array.length c.lits in
+        let k = ref 2 in
+        while !k < len && value s c.lits.(!k) = -1 do
+          incr k
+        done;
+        if !k < len then begin
+          c.lits.(1) <- c.lits.(!k);
+          c.lits.(!k) <- false_lit;
+          Vec.push (Vec.get s.watches (Lit.to_int (Lit.neg c.lits.(1)))) c
+          (* watch moved: do not keep in this list *)
+        end
+        else if value s first = -1 then begin
+          (* Conflict: keep remaining watches and stop. *)
+          confl := c;
+          s.qhead <- Vec.size s.trail;
+          while !i < n do
+            Vec.set ws !j (Vec.get ws !i);
+            incr j;
+            incr i
+          done;
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          unchecked_enqueue s first c;
+          Vec.set ws !j c;
+          incr j
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  if !confl == dummy_clause then None else Some !confl
+
+(* -- Conflict analysis (first UIP) -------------------------------------- *)
+
+let litredundant s l =
+  (* Basic minimization: a literal is redundant if it has a reason clause all
+     of whose other literals are already seen or at level 0. *)
+  let c = Vec.get s.reason (Lit.var l) in
+  c != dummy_clause
+  && Array.for_all
+       (fun q ->
+         Lit.var q = Lit.var l
+         || Vec.get s.seen (Lit.var q)
+         || Vec.get s.level (Lit.var q) = 0)
+       c.lits
+
+let analyze s confl =
+  let out = Vec.create ~dummy:dummy_lit in
+  Vec.push out dummy_lit (* slot for the asserting literal *);
+  let to_clear = Vec.create ~dummy:0 in
+  let path = ref 0 in
+  let p = ref dummy_lit in
+  let first = ref true in
+  let c = ref confl in
+  let index = ref (Vec.size s.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    if !c.learnt then cla_bump s !c;
+    let start = if !first then 0 else 1 in
+    for k = start to Array.length !c.lits - 1 do
+      let q = !c.lits.(k) in
+      let v = Lit.var q in
+      if (not (Vec.get s.seen v)) && Vec.get s.level v > 0 then begin
+        var_bump s v;
+        Vec.set s.seen v true;
+        Vec.push to_clear v;
+        if Vec.get s.level v >= decision_level s then incr path
+        else Vec.push out q
+      end
+    done;
+    (* Select the next trail literal to expand. *)
+    while not (Vec.get s.seen (Lit.var (Vec.get s.trail !index))) do
+      decr index
+    done;
+    p := Vec.get s.trail !index;
+    decr index;
+    c := Vec.get s.reason (Lit.var !p);
+    Vec.set s.seen (Lit.var !p) false;
+    decr path;
+    first := false;
+    if !path <= 0 then continue := false
+  done;
+  Vec.set out 0 (Lit.neg !p);
+  (* Minimize. *)
+  let keep = Vec.create ~dummy:dummy_lit in
+  Vec.push keep (Vec.get out 0);
+  for k = 1 to Vec.size out - 1 do
+    let l = Vec.get out k in
+    if not (litredundant s l) then Vec.push keep l
+  done;
+  (* Find backtrack level: highest level among keep[1..]. *)
+  let btlevel = ref 0 in
+  if Vec.size keep > 1 then begin
+    let maxi = ref 1 in
+    for k = 2 to Vec.size keep - 1 do
+      if Vec.get s.level (Lit.var (Vec.get keep k))
+         > Vec.get s.level (Lit.var (Vec.get keep !maxi))
+      then maxi := k
+    done;
+    btlevel := Vec.get s.level (Lit.var (Vec.get keep !maxi));
+    Vec.swap keep 1 !maxi
+  end;
+  Vec.iter (fun v -> Vec.set s.seen v false) to_clear;
+  (Vec.to_list keep, !btlevel)
+
+(* -- Learnt clause management ------------------------------------------- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  && Vec.get s.reason (Lit.var c.lits.(0)) == c
+  && value s c.lits.(0) = 1
+
+let reduce_db s =
+  Vec.sort (fun a b -> compare b.activity a.activity) s.learnts;
+  let keep_count = Vec.size s.learnts / 2 in
+  let kept = Vec.create ~dummy:dummy_clause in
+  Vec.iteri
+    (fun i c ->
+      if i < keep_count || locked s c || Array.length c.lits <= 2 then
+        Vec.push kept c
+      else begin
+        log_deleted s (Array.to_list c.lits);
+        detach s c
+      end)
+    s.learnts;
+  Vec.clear s.learnts;
+  Vec.iter (Vec.push s.learnts) kept
+
+(* -- Clause addition ----------------------------------------------------- *)
+
+let add_clause s lits =
+  if s.ok then begin
+    cancel_until s 0;
+    s.model <- None;
+    (* Sort, dedupe, drop false-at-root literals, detect tautology. *)
+    let lits = List.sort_uniq Lit.compare lits in
+    log_input s lits;
+    let taut =
+      List.exists (fun l -> List.exists (Lit.equal (Lit.neg l)) lits) lits
+      || List.exists (fun l -> value s l = 1 && Vec.get s.level (Lit.var l) = 0)
+           lits
+    in
+    if not taut then begin
+      let live =
+        List.filter
+          (fun l -> not (value s l = -1 && Vec.get s.level (Lit.var l) = 0))
+          lits
+      in
+      (* Removing root-falsified literals is itself a RUP inference. *)
+      if live <> lits then log_learned s live;
+      match live with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        if value s l = -1 then begin
+          log_learned s [];
+          s.ok <- false
+        end
+        else if value s l = 0 then unchecked_enqueue s l dummy_clause
+      | _ :: _ :: _ ->
+        let c =
+          { lits = Array.of_list live; learnt = false; activity = 0. }
+        in
+        Vec.push s.clauses c;
+        attach s c
+    end
+  end
+
+(* -- Search -------------------------------------------------------------- *)
+
+let all_assigned s = Vec.size s.trail = nvars s
+
+let pick_branch_var s =
+  let rec loop () =
+    if Vec.size s.heap = 0 then -1
+    else
+      let v = heap_pop s in
+      if Vec.get s.assigns v = 0 then v else loop ()
+  in
+  loop ()
+
+let record_learnt s lits =
+  log_learned s lits;
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] -> unchecked_enqueue s l dummy_clause
+  | l :: _ ->
+    let c = { lits = Array.of_list lits; learnt = true; activity = 0. } in
+    Vec.push s.learnts c;
+    attach s c;
+    cla_bump s c;
+    unchecked_enqueue s l c
+
+let luby y x =
+  (* Finite-subsequence Luby restart sequence. *)
+  let rec find_size size seq =
+    if size >= x + 1 then (size, seq) else find_size ((2 * size) + 1) (seq + 1)
+  in
+  let rec loop x (size, seq) =
+    if size - 1 = x then (size, seq)
+    else
+      let size = (size - 1) / 2 in
+      loop (x mod size) (size, seq - 1)
+  in
+  let size, seq = loop x (find_size 1 0) in
+  ignore size;
+  y ** float_of_int seq
+
+exception Solved of result
+
+let search s ~nof_conflicts ~deadline ~budget =
+  let conflict_count = ref 0 in
+  let rec loop () =
+    match propagate s with
+    | Some confl ->
+      s.n_conflicts <- s.n_conflicts + 1;
+      incr conflict_count;
+      if decision_level s = 0 then begin
+        log_learned s [];
+        raise (Solved Unsat)
+      end;
+      let learnt, btlevel = analyze s confl in
+      cancel_until s btlevel;
+      record_learnt s learnt;
+      var_decay_activity s;
+      cla_decay_activity s;
+      if s.n_conflicts land 1023 = 0 && Deadline.exceeded deadline then
+        raise (Solved Unknown);
+      if budget > 0 && s.n_conflicts >= budget then raise (Solved Unknown);
+      loop ()
+    | None ->
+      if !conflict_count >= nof_conflicts then begin
+        s.n_restarts <- s.n_restarts + 1;
+        cancel_until s 0
+        (* restart *)
+      end
+      else if
+        Vec.size s.learnts >= (Vec.size s.clauses / 2) + 5000 + nvars s
+      then begin
+        reduce_db s;
+        loop ()
+      end
+      else if all_assigned s then begin
+        let m = Array.init (nvars s) (fun v -> Vec.get s.assigns v = 1) in
+        s.model <- Some m;
+        raise (Solved Sat)
+      end
+      else begin
+        let v = pick_branch_var s in
+        if v < 0 then begin
+          let m = Array.init (nvars s) (fun u -> Vec.get s.assigns u = 1) in
+          s.model <- Some m;
+          raise (Solved Sat)
+        end;
+        s.n_decisions <- s.n_decisions + 1;
+        Vec.push s.trail_lim (Vec.size s.trail);
+        unchecked_enqueue s (Lit.make v (Vec.get s.polarity v)) dummy_clause;
+        loop ()
+      end
+  in
+  loop ()
+
+let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    s.model <- None;
+    try
+      (match propagate s with
+      | Some _ ->
+        log_learned s [];
+        s.ok <- false;
+        raise (Solved Unsat)
+      | None -> ());
+      let restart = ref 0 in
+      while true do
+        let nof_conflicts = int_of_float (100. *. luby 2. !restart) in
+        incr restart;
+        search s ~nof_conflicts ~deadline ~budget:conflict_budget;
+        if Deadline.exceeded deadline then raise (Solved Unknown)
+      done;
+      assert false
+    with Solved r ->
+      if r = Unsat then s.ok <- false;
+      r
+  end
+
+let model s =
+  match s.model with
+  | Some m -> Array.copy m
+  | None -> invalid_arg "Solver.model: no model available"
+
+let value s l =
+  match s.model with
+  | Some m ->
+    let b = m.(Lit.var l) in
+    if Lit.sign l then b else not b
+  | None -> invalid_arg "Solver.value: no model available"
+
+let export_cnf s =
+  let clauses = ref [] in
+  Vec.iter (fun c -> clauses := Array.to_list c.lits :: !clauses) s.clauses;
+  (* Root-level facts live on the trail, not in the clause database. *)
+  for i = 0 to Vec.size s.trail - 1 do
+    let p = Vec.get s.trail i in
+    if Vec.get s.level (Lit.var p) = 0 then clauses := [ p ] :: !clauses
+  done;
+  (nvars s, List.rev !clauses)
+
+let stats s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_props;
+    restarts = s.n_restarts;
+    clauses = Vec.size s.clauses;
+    learnts = Vec.size s.learnts;
+    max_vars = nvars s;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d \
+     learnts=%d"
+    st.max_vars st.clauses st.conflicts st.decisions st.propagations
+    st.restarts st.learnts

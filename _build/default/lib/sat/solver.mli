@@ -1,0 +1,67 @@
+(** CDCL Boolean satisfiability solver.
+
+    A from-scratch conflict-driven clause-learning solver in the Chaff/MiniSat
+    family, standing in for the zChaff 2001.2.17 engine used by the paper:
+    two-watched-literal propagation, VSIDS branching with phase saving,
+    first-UIP clause learning with basic self-subsumption minimization,
+    activity-driven learnt-clause deletion and Luby restarts.
+
+    Clauses may be added after a [solve] call returned (the solver backtracks
+    to the root level first), which is what the lazy CVC-style refinement loop
+    relies on. *)
+
+type t
+
+type result =
+  | Sat
+  | Unsat
+  | Unknown  (** conflict budget or deadline exhausted *)
+
+type stats = {
+  conflicts : int;  (** conflict clauses learned, the paper's Fig. 2 metric *)
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  clauses : int;  (** problem clauses currently attached *)
+  learnts : int;  (** learnt clauses currently attached *)
+  max_vars : int;
+}
+
+val create : unit -> t
+
+val start_proof : t -> Proof.t
+(** Enables DRUP proof logging (from a fresh solver, before any clause is
+    added) and returns the trace being built; verify it afterwards with
+    {!Drup_check}. Logging costs memory proportional to the learned-clause
+    traffic. *)
+
+val new_var : t -> int
+(** Allocates the next variable; returns its index (dense, from 0). *)
+
+val nvars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Adds a clause. Tautologies are dropped; literals false at the root level
+    are removed; an empty or root-contradicting clause makes the instance
+    unsatisfiable. May be called between [solve] calls. *)
+
+val solve :
+  ?deadline:Sepsat_util.Deadline.t -> ?conflict_budget:int -> t -> result
+
+val value : t -> Lit.t -> bool
+(** Model value of a literal after [solve] returned [Sat].
+    @raise Invalid_argument if no model is available. *)
+
+val model : t -> bool array
+(** Model as an array indexed by variable, after [Sat].
+    @raise Invalid_argument if no model is available. *)
+
+val export_cnf : t -> int * Lit.t list list
+(** [(nvars, clauses)]: the active problem clauses plus the root-level unit
+    facts — equisatisfiable with everything added so far. Learnt clauses are
+    not included. Feed to {!Dimacs.print} via its [cnf] record for
+    interchange with external solvers. *)
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

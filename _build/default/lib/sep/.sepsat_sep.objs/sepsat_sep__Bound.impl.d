@@ -1,0 +1,1 @@
+lib/sep/bound.ml: Format Ground Int Printf String

@@ -1,0 +1,1 @@
+lib/sep/bound.mli: Format Ground

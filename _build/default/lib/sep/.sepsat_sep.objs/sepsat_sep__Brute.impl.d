@@ -1,0 +1,1 @@
+lib/sep/brute.ml: Hashtbl List Printf Sepsat_suf

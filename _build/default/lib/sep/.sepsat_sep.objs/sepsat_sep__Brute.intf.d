@@ -1,0 +1,1 @@
+lib/sep/brute.mli: Sepsat_suf

@@ -1,0 +1,1 @@
+lib/sep/classes.ml: Array Ground Hashtbl List Normal Sepsat_suf Sepsat_util String

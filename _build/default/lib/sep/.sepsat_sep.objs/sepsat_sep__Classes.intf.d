@@ -1,0 +1,1 @@
+lib/sep/classes.mli: Sepsat_suf Sepsat_util

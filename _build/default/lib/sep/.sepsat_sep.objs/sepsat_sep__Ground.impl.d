@@ -1,0 +1,1 @@
+lib/sep/ground.ml: Format Int Sepsat_suf String

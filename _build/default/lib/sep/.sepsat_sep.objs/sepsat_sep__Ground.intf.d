@@ -1,0 +1,1 @@
+lib/sep/ground.mli: Format Sepsat_suf

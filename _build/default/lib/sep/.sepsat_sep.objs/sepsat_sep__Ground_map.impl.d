@@ -1,0 +1,1 @@
+lib/sep/ground_map.ml: Ground Hashtbl List Normal Sepsat_suf

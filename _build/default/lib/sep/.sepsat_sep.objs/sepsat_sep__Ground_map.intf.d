@@ -1,0 +1,1 @@
+lib/sep/ground_map.mli: Ground Sepsat_suf

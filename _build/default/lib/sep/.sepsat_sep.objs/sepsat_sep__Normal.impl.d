@@ -1,0 +1,1 @@
+lib/sep/normal.ml: Ground Hashtbl List Printf Sepsat_suf

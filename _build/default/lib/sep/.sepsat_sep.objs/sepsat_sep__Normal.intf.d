@@ -1,0 +1,1 @@
+lib/sep/normal.mli: Ground Sepsat_suf

@@ -1,0 +1,1 @@
+lib/sep/verdict.ml: Brute Format List

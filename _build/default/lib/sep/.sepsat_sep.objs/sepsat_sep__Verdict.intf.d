@@ -1,0 +1,1 @@
+lib/sep/verdict.mli: Brute Format

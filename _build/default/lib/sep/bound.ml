@@ -1,0 +1,47 @@
+type t = { x : string; y : string; c : int }
+
+type view = { bound : t; negated : bool }
+
+let view ~x ~y ~c =
+  match String.compare x y with
+  | 0 -> invalid_arg "Bound.view: identical constants"
+  | n when n < 0 -> { bound = { x; y; c }; negated = false }
+  | _ ->
+    (* x − y <= c  <=>  not (y − x <= −c − 1) *)
+    { bound = { x = y; y = x; c = -c - 1 }; negated = true }
+
+let negate v = { v with negated = not v.negated }
+
+let compare a b =
+  match String.compare a.x b.x with
+  | 0 -> (
+    match String.compare a.y b.y with 0 -> Int.compare a.c b.c | n -> n)
+  | n -> n
+
+let equal a b = compare a b = 0
+
+let pp ppf { x; y; c } = Format.fprintf ppf "%s-%s<=%d" x y c
+
+(* g1 = g2 with g1 = x+a, g2 = y+b:  x − y = b − a. *)
+let eq_grounds ~is_p (g1 : Ground.t) (g2 : Ground.t) =
+  if String.equal g1.Ground.base g2.Ground.base then
+    `Static (g1.offset = g2.offset)
+  else if is_p g1.Ground.base || is_p g2.Ground.base then
+    (* Maximally diverse interpretation: a p-constant differs from every
+       other constant (paper §4 step 5). *)
+    `Static false
+  else
+    let d = g2.offset - g1.offset in
+    `Conj
+      ( view ~x:g1.Ground.base ~y:g2.Ground.base ~c:d,
+        view ~x:g2.Ground.base ~y:g1.Ground.base ~c:(-d) )
+
+(* g1 < g2:  x − y <= b − a − 1. *)
+let lt_grounds ~is_p (g1 : Ground.t) (g2 : Ground.t) =
+  if String.equal g1.Ground.base g2.Ground.base then
+    `Static (g1.offset < g2.offset)
+  else if is_p g1.Ground.base || is_p g2.Ground.base then
+    invalid_arg
+      (Printf.sprintf "Bound.lt_grounds: p-constant %s or %s under inequality"
+         g1.Ground.base g2.Ground.base)
+  else `Bound (view ~x:g1.Ground.base ~y:g2.Ground.base ~c:(g2.offset - g1.offset - 1))

@@ -1,0 +1,46 @@
+(** Canonical integer difference bounds over symbolic constants.
+
+    A separation predicate between ground terms reduces to a bound
+    [x − y ≤ c]. Over the integers its negation is again a bound
+    ([y − x ≤ −c − 1]), so one Boolean variable per canonical bound suffices —
+    the EIJ insight. Canonical form orders the two constants lexicographically
+    and tracks whether the client's bound is the variable or its negation. *)
+
+type t = { x : string; y : string; c : int }
+(** Invariant: [x < y] lexicographically; meaning [x − y <= c]. *)
+
+type view = { bound : t; negated : bool }
+(** The client bound is [bound] itself, or its integer negation when
+    [negated]. *)
+
+val view : x:string -> y:string -> c:int -> view
+(** Canonical view of [x − y <= c]. @raise Invalid_argument if [x = y]. *)
+
+val negate : view -> view
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Classification of a ground-term comparison (paper §4 step 5):
+    - [`Static b] — decidable up front: both sides share a base constant, or a
+      p-constant is involved and the maximally diverse interpretation settles
+      the equality;
+    - a bound (or conjunction of two bounds for equality) otherwise. *)
+
+val eq_grounds :
+  is_p:(string -> bool) ->
+  Ground.t ->
+  Ground.t ->
+  [ `Static of bool | `Conj of view * view ]
+
+val lt_grounds :
+  is_p:(string -> bool) ->
+  Ground.t ->
+  Ground.t ->
+  [ `Static of bool | `Bound of view ]
+(** @raise Invalid_argument if a p-constant occurs under an inequality with a
+    different base — the positive-equality classification is supposed to rule
+    this out. *)

@@ -1,0 +1,98 @@
+module Ast = Sepsat_suf.Ast
+module Interp = Sepsat_suf.Interp
+
+type assignment = { ints : (string * int) list; bools : (string * bool) list }
+
+let interp_of_assignment { ints; bools } =
+  {
+    Interp.func =
+      (fun name args ->
+        match (List.assoc_opt name ints, args) with
+        | Some v, [] -> v
+        | _ ->
+          invalid_arg
+            (Printf.sprintf "Brute: unassigned function symbol %S" name));
+    Interp.pred =
+      (fun name args ->
+        match (List.assoc_opt name bools, args) with
+        | Some b, [] -> b
+        | _ ->
+          invalid_arg
+            (Printf.sprintf "Brute: unassigned predicate symbol %S" name));
+  }
+
+(* Offsets of every constant, computed without the Classes machinery so the
+   oracle stays independent of it. *)
+let offsets formula =
+  let offs = Hashtbl.create 32 in
+  let rec leaf (t : Ast.term) k =
+    match t.tnode with
+    | Ast.Const c ->
+      let l, u = try Hashtbl.find offs c with Not_found -> (k, k) in
+      Hashtbl.replace offs c (min l k, max u k)
+    | Ast.Succ u -> leaf u (k + 1)
+    | Ast.Pred u -> leaf u (k - 1)
+    | Ast.Tite (_, a, b) ->
+      leaf a k;
+      leaf b k
+    | Ast.App _ -> invalid_arg "Brute: application present"
+  in
+  let collect atom =
+    match (atom : Ast.formula).fnode with
+    | Ast.Eq (t1, t2) | Ast.Lt (t1, t2) ->
+      leaf t1 0;
+      leaf t2 0
+    | _ -> ()
+  in
+  List.iter collect (Ast.atoms formula);
+  offs
+
+let countermodel formula =
+  let consts =
+    Ast.functions formula
+    |> List.map (fun (name, arity) ->
+           if arity > 0 then invalid_arg "Brute: application present" else name)
+  in
+  let bconsts = Ast.predicates formula |> List.map fst in
+  let offs = offsets formula in
+  let off name = try Hashtbl.find offs name with Not_found -> (0, 0) in
+  (* Small-model range: min of the gap-compression bound and the
+     per-variable budget bound (see Classes.build). *)
+  let umax, lmin, budget =
+    List.fold_left
+      (fun (umax, lmin, budget) name ->
+        let l, u = off name in
+        (max umax u, min lmin l, budget + max 0 u - min 0 l + 1))
+      (0, 0, 0) consts
+  in
+  let spread = umax - lmin in
+  let compression = ((List.length consts - 1) * (spread + 1)) + 1 in
+  let range = max 1 (min compression budget) in
+  let shift =
+    List.fold_left (fun acc name -> max acc (-fst (off name))) 0 consts
+  in
+  let lo = shift and hi = shift + range - 1 in
+  let found = ref None in
+  let rec enum_bools pending bools =
+    match pending with
+    | [] -> enum_ints consts [] bools
+    | b :: rest ->
+      enum_bools rest ((b, true) :: bools);
+      if !found = None then enum_bools rest ((b, false) :: bools)
+  and enum_ints pending ints bools =
+    match pending with
+    | [] ->
+      let assignment = { ints; bools } in
+      if not (Interp.eval (interp_of_assignment assignment) formula) then
+        found := Some assignment
+    | c :: rest ->
+      let v = ref lo in
+      while !found = None && !v <= hi do
+        enum_ints rest ((c, !v) :: ints) bools;
+        incr v
+      done
+  in
+  enum_bools bconsts [];
+  !found
+
+let valid formula = countermodel formula = None

@@ -1,0 +1,25 @@
+(** Brute-force validity oracle for separation logic.
+
+    Exhaustively enumerates assignments over the finite domain guaranteed
+    sufficient by the small-model property (paper §2.1.2): every symbolic
+    constant ranges over [\[L, L + R − 1\]] where [R] is the sum over all
+    constants of [u(v) − l(v) + 1] and [L] clears the most negative offset.
+    Exponential in the number of constants — strictly a test oracle used to
+    cross-check the six decision paths on small formulas. *)
+
+module Ast = Sepsat_suf.Ast
+
+type assignment = {
+  ints : (string * int) list;  (** symbolic constants *)
+  bools : (string * bool) list;  (** symbolic Boolean constants *)
+}
+
+val interp_of_assignment : assignment -> Sepsat_suf.Interp.t
+(** @raise Invalid_argument when applied to a symbol outside the
+    assignment. *)
+
+val countermodel : Ast.formula -> assignment option
+(** A falsifying assignment of an application-free formula, or [None] when
+    the formula is valid. @raise Invalid_argument on applications. *)
+
+val valid : Ast.formula -> bool

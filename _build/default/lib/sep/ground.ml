@@ -1,0 +1,19 @@
+module Ast = Sepsat_suf.Ast
+
+type t = { base : string; offset : int }
+
+let make base offset = { base; offset }
+
+let compare a b =
+  match String.compare a.base b.base with
+  | 0 -> Int.compare a.offset b.offset
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf { base; offset } =
+  if offset = 0 then Format.pp_print_string ppf base
+  else if offset > 0 then Format.fprintf ppf "%s+%d" base offset
+  else Format.fprintf ppf "%s%d" base offset
+
+let to_term ctx { base; offset } = Ast.plus ctx (Ast.const ctx base) offset

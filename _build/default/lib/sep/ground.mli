@@ -1,0 +1,17 @@
+(** Ground terms [v + k]: a symbolic constant plus an integer offset.
+
+    After normalization (paper §4 step 2) every term is an ITE tree whose
+    leaves are ground terms; separation predicates compare ground terms. *)
+
+type t = { base : string; offset : int }
+
+val make : string -> int -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_term : Sepsat_suf.Ast.ctx -> t -> Sepsat_suf.Ast.term
+(** Back to AST form: [succ]/[pred] chains over the base constant. *)

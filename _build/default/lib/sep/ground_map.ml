@@ -1,0 +1,35 @@
+module Ast = Sepsat_suf.Ast
+
+type t = { ctx : Ast.ctx; memo : (int, (Ground.t * Ast.formula) list) Hashtbl.t }
+
+let create ctx = { ctx; memo = Hashtbl.create 256 }
+
+(* Merge two ground->condition maps (each sorted), or-ing collisions. *)
+let rec merge ctx xs ys =
+  match (xs, ys) with
+  | [], zs | zs, [] -> zs
+  | (g1, c1) :: xs', (g2, c2) :: ys' -> (
+    match Ground.compare g1 g2 with
+    | 0 -> (g1, Ast.or_ ctx c1 c2) :: merge ctx xs' ys'
+    | n when n < 0 -> (g1, c1) :: merge ctx xs' ys
+    | _ -> (g2, c2) :: merge ctx xs ys')
+
+let under ctx cond entries =
+  List.map (fun (g, c) -> (g, Ast.and_ ctx cond c)) entries
+
+let rec of_term t (term : Ast.term) =
+  match Hashtbl.find_opt t.memo term.tid with
+  | Some entries -> entries
+  | None ->
+    let entries =
+      match term.tnode with
+      | Ast.Const _ | Ast.Succ _ | Ast.Pred _ ->
+        [ (Normal.ground_of_term term, Ast.tru t.ctx) ]
+      | Ast.Tite (c, a, b) ->
+        merge t.ctx
+          (under t.ctx c (of_term t a))
+          (under t.ctx (Ast.not_ t.ctx c) (of_term t b))
+      | Ast.App _ -> invalid_arg "Ground_map.of_term: application present"
+    in
+    Hashtbl.add t.memo term.tid entries;
+    entries

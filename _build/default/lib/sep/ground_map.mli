@@ -1,0 +1,22 @@
+(** Ground-term decomposition with per-ground conditions.
+
+    For a normalized term, computes the pairs [(g, c)] such that the term
+    evaluates to ground term [g] exactly when condition [c] holds (paper §4
+    step 5: "T1 evaluates to a ground term g_i under the condition c_1i").
+    Unlike a per-ITE-path enumeration — which explodes exponentially on
+    chained ITEs — this works bottom-up over the shared DAG and merges the
+    conditions of equal grounds with disjunction, so the result size is the
+    number of *distinct* grounds and the work is polynomial.
+
+    The conditions of one decomposition are exhaustive and pairwise
+    exclusive. State is a memo table, so terms shared across many atoms are
+    decomposed once. *)
+
+module Ast = Sepsat_suf.Ast
+
+type t
+
+val create : Ast.ctx -> t
+
+val of_term : t -> Ast.term -> (Ground.t * Ast.formula) list
+(** Sorted by ground term. @raise Invalid_argument on applications. *)

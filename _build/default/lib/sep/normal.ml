@@ -1,0 +1,103 @@
+module Ast = Sepsat_suf.Ast
+
+(* Normalization works by pushing an integer shift down to the leaves: a term
+   is rewritten bottom-up, and succ/pred contribute +-1 to the shift applied
+   to the subterm. This reaches the rewrite system's fixed point in one
+   pass. *)
+
+let normalize ctx root =
+  let fmemo = Hashtbl.create 256 in
+  let tmemo = Hashtbl.create 256 in
+  (* (tid, shift) -> normalized term *)
+  let rec go_t (t : Ast.term) shift =
+    match Hashtbl.find_opt tmemo (t.tid, shift) with
+    | Some t' -> t'
+    | None ->
+      let t' =
+        match t.tnode with
+        | Ast.Const _ -> Ast.plus ctx t shift
+        | Ast.Succ u -> go_t u (shift + 1)
+        | Ast.Pred u -> go_t u (shift - 1)
+        | Ast.Tite (c, a, b) ->
+          Ast.tite ctx (go_f c) (go_t a shift) (go_t b shift)
+        | Ast.App (f, _) ->
+          invalid_arg
+            (Printf.sprintf
+               "Normal.normalize: application of %S present; eliminate first" f)
+      in
+      Hashtbl.add tmemo (t.tid, shift) t';
+      t'
+  and go_f (f : Ast.formula) =
+    match Hashtbl.find_opt fmemo f.fid with
+    | Some f' -> f'
+    | None ->
+      let f' =
+        match f.fnode with
+        | Ast.Ftrue | Ast.Ffalse | Ast.Bconst _ -> f
+        | Ast.Not g -> Ast.not_ ctx (go_f g)
+        | Ast.And (a, b) -> Ast.and_ ctx (go_f a) (go_f b)
+        | Ast.Or (a, b) -> Ast.or_ ctx (go_f a) (go_f b)
+        | Ast.Eq (t1, t2) -> Ast.eq ctx (go_t t1 0) (go_t t2 0)
+        | Ast.Lt (t1, t2) -> Ast.lt ctx (go_t t1 0) (go_t t2 0)
+        | Ast.Papp (p, _) ->
+          invalid_arg
+            (Printf.sprintf
+               "Normal.normalize: application of %S present; eliminate first" p)
+      in
+      Hashtbl.add fmemo f.fid f';
+      f'
+  in
+  go_f root
+
+let ground_of_term t =
+  let rec go (t : Ast.term) offset =
+    match t.tnode with
+    | Ast.Const c -> Ground.make c offset
+    | Ast.Succ u -> go u (offset + 1)
+    | Ast.Pred u -> go u (offset - 1)
+    | Ast.Tite _ | Ast.App _ ->
+      invalid_arg "Normal.ground_of_term: not a ground leaf"
+  in
+  go t 0
+
+(* A term is in normal form when no ITE or application occurs strictly below
+   a succ/pred. *)
+let rec term_normal (t : Ast.term) under_shift =
+  match t.tnode with
+  | Ast.Const _ -> true
+  | Ast.Succ u | Ast.Pred u -> term_normal u true
+  | Ast.Tite (c, a, b) ->
+    (not under_shift) && formula_normal c && term_normal a false
+    && term_normal b false
+  | Ast.App _ -> false
+
+and formula_normal (f : Ast.formula) =
+  match f.fnode with
+  | Ast.Ftrue | Ast.Ffalse | Ast.Bconst _ -> true
+  | Ast.Not g -> formula_normal g
+  | Ast.And (a, b) | Ast.Or (a, b) -> formula_normal a && formula_normal b
+  | Ast.Eq (t1, t2) | Ast.Lt (t1, t2) ->
+    term_normal t1 false && term_normal t2 false
+  | Ast.Papp _ -> false
+
+let is_normal = formula_normal
+
+let leaves t =
+  let rec go (t : Ast.term) acc =
+    match t.tnode with
+    | Ast.Const _ | Ast.Succ _ | Ast.Pred _ -> ground_of_term t :: acc
+    | Ast.Tite (_, a, b) -> go a (go b acc)
+    | Ast.App _ -> invalid_arg "Normal.leaves: application present"
+  in
+  List.sort_uniq Ground.compare (go t [])
+
+let enum_grounds ctx t =
+  let rec go (t : Ast.term) cond acc =
+    match t.tnode with
+    | Ast.Const _ | Ast.Succ _ | Ast.Pred _ -> (cond, ground_of_term t) :: acc
+    | Ast.Tite (c, a, b) ->
+      let acc = go a (Ast.and_ ctx cond c) acc in
+      go b (Ast.and_ ctx cond (Ast.not_ ctx c)) acc
+    | Ast.App _ -> invalid_arg "Normal.enum_grounds: application present"
+  in
+  List.rev (go t (Ast.tru ctx) [])

@@ -1,0 +1,35 @@
+(** Ground-term normalization (paper §4 step 2).
+
+    Rewrites an application-free formula to a fixed point of
+
+    {v
+    succ (pred T)       -> T
+    pred (succ T)       -> T
+    succ (ITE(F,T1,T2)) -> ITE(F, succ T1, succ T2)
+    pred (ITE(F,T1,T2)) -> ITE(F, pred T1, pred T2)
+    v}
+
+    so that afterwards every term is an ITE tree whose leaves are ground
+    terms [v + k]. *)
+
+module Ast = Sepsat_suf.Ast
+
+val normalize : Ast.ctx -> Ast.formula -> Ast.formula
+(** @raise Invalid_argument if the formula still contains uninterpreted
+    applications (run {!Sepsat_suf.Elim} first). *)
+
+val is_normal : Ast.formula -> bool
+(** Whether every term already has the ITE-of-ground shape. *)
+
+val ground_of_term : Ast.term -> Ground.t
+(** Reads a ground leaf. @raise Invalid_argument if the term contains an ITE
+    or application. *)
+
+val leaves : Ast.term -> Ground.t list
+(** Distinct ground leaves of a normalized term, sorted. *)
+
+val enum_grounds : Ast.ctx -> Ast.term -> (Ast.formula * Ground.t) list
+(** Path-condition decomposition of a normalized term: all pairs [(c, g)]
+    such that the term evaluates to ground term [g] exactly when the
+    conjunction [c] of ITE guards along the path holds. Conditions of the
+    returned list are exhaustive and mutually exclusive. *)

@@ -1,0 +1,17 @@
+type t = Valid | Invalid of Brute.assignment | Unknown of string
+
+let pp ppf = function
+  | Valid -> Format.pp_print_string ppf "valid"
+  | Invalid { Brute.ints; bools } ->
+    Format.fprintf ppf "invalid:";
+    List.iter (fun (n, v) -> Format.fprintf ppf " %s=%d" n v) ints;
+    List.iter (fun (n, b) -> Format.fprintf ppf " %s=%b" n b) bools
+  | Unknown why -> Format.fprintf ppf "unknown (%s)" why
+
+let agrees a b =
+  match (a, b) with
+  | Valid, Valid -> true
+  | Invalid _, Invalid _ -> true
+  | Unknown _, (Valid | Invalid _ | Unknown _) -> true
+  | (Valid | Invalid _), Unknown _ -> true
+  | Valid, Invalid _ | Invalid _, Valid -> false

@@ -1,0 +1,13 @@
+(** Verdicts of the validity-checking procedures. *)
+
+type t =
+  | Valid
+  | Invalid of Brute.assignment
+      (** with a falsifying assignment of the separation-logic formula *)
+  | Unknown of string  (** resource exhaustion; the payload says which *)
+
+val pp : Format.formatter -> t -> unit
+
+val agrees : t -> t -> bool
+(** Whether two verdicts agree where both are decisive ([Unknown] agrees with
+    everything). *)

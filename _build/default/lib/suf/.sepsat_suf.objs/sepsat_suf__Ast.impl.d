@@ -1,0 +1,1 @@
+lib/suf/ast.ml: Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/suf/ast.mli: Format

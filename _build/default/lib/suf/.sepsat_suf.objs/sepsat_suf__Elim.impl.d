@@ -1,0 +1,1 @@
+lib/suf/elim.ml: Ast Hashtbl List Polarity Sepsat_util

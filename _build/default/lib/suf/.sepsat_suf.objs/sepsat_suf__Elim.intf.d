@@ -1,0 +1,1 @@
+lib/suf/elim.mli: Ast Sepsat_util

@@ -1,0 +1,1 @@
+lib/suf/interp.ml: Ast Hashtbl List String

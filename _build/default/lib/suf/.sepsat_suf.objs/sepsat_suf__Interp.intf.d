@@ -1,0 +1,1 @@
+lib/suf/interp.mli: Ast

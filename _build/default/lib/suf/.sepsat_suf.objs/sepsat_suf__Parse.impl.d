@@ -1,0 +1,1 @@
+lib/suf/parse.ml: Ast Format List Sexp

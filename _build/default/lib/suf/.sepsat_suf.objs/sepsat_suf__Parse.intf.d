@@ -1,0 +1,1 @@
+lib/suf/parse.mli: Ast

@@ -1,0 +1,1 @@
+lib/suf/polarity.ml: Ast Hashtbl List Sepsat_util

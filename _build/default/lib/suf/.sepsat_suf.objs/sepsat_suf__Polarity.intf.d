@@ -1,0 +1,1 @@
+lib/suf/polarity.mli: Ast Sepsat_util

@@ -1,0 +1,1 @@
+lib/suf/sexp.mli:

@@ -1,0 +1,1 @@
+lib/suf/smtlib.ml: Ast Format Hashtbl List Option Sexp String

@@ -1,0 +1,1 @@
+lib/suf/smtlib.mli: Ast

@@ -1,0 +1,324 @@
+type term = { tid : int; tnode : tnode }
+
+and tnode =
+  | Const of string
+  | Succ of term
+  | Pred of term
+  | Tite of formula * term * term
+  | App of string * term list
+
+and formula = { fid : int; fnode : fnode }
+
+and fnode =
+  | Ftrue
+  | Ffalse
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Eq of term * term
+  | Lt of term * term
+  | Papp of string * term list
+  | Bconst of string
+
+type tkey =
+  | KConst of string
+  | KSucc of int
+  | KPred of int
+  | KTite of int * int * int
+  | KApp of string * int list
+
+type fkey =
+  | KTrue
+  | KFalse
+  | KNot of int
+  | KAnd of int * int
+  | KOr of int * int
+  | KEq of int * int
+  | KLt of int * int
+  | KPapp of string * int list
+  | KBconst of string
+
+type kind = Func of int | Pred_sym of int  (* payload: arity *)
+
+type ctx = {
+  mutable next_tid : int;
+  mutable next_fid : int;
+  terms : (tkey, term) Hashtbl.t;
+  formulas : (fkey, formula) Hashtbl.t;
+  symbols : (string, kind) Hashtbl.t;
+}
+
+let create_ctx () =
+  {
+    next_tid = 0;
+    next_fid = 0;
+    terms = Hashtbl.create 1024;
+    formulas = Hashtbl.create 1024;
+    symbols = Hashtbl.create 64;
+  }
+
+let register ctx name kind =
+  match Hashtbl.find_opt ctx.symbols name with
+  | None -> Hashtbl.add ctx.symbols name kind
+  | Some k ->
+    if k <> kind then
+      invalid_arg
+        (Printf.sprintf "Ast: symbol %S used with inconsistent kind/arity" name)
+
+let mk_term ctx key node =
+  match Hashtbl.find_opt ctx.terms key with
+  | Some t -> t
+  | None ->
+    let t = { tid = ctx.next_tid; tnode = node } in
+    ctx.next_tid <- ctx.next_tid + 1;
+    Hashtbl.add ctx.terms key t;
+    t
+
+let mk_formula ctx key node =
+  match Hashtbl.find_opt ctx.formulas key with
+  | Some f -> f
+  | None ->
+    let f = { fid = ctx.next_fid; fnode = node } in
+    ctx.next_fid <- ctx.next_fid + 1;
+    Hashtbl.add ctx.formulas key f;
+    f
+
+(* -- Terms --------------------------------------------------------------- *)
+
+let const ctx name =
+  register ctx name (Func 0);
+  mk_term ctx (KConst name) (Const name)
+
+let succ ctx t =
+  match t.tnode with
+  | Pred t' -> t'
+  | Const _ | Succ _ | Tite _ | App _ -> mk_term ctx (KSucc t.tid) (Succ t)
+
+let pred ctx t =
+  match t.tnode with
+  | Succ t' -> t'
+  | Const _ | Pred _ | Tite _ | App _ -> mk_term ctx (KPred t.tid) (Pred t)
+
+let plus ctx t k =
+  let rec up t k = if k = 0 then t else up (succ ctx t) (k - 1) in
+  let rec down t k = if k = 0 then t else down (pred ctx t) (k - 1) in
+  if k >= 0 then up t k else down t (-k)
+
+(* -- Formulas ------------------------------------------------------------ *)
+
+let tru ctx = mk_formula ctx KTrue Ftrue
+
+let fls ctx = mk_formula ctx KFalse Ffalse
+
+let of_bool ctx b = if b then tru ctx else fls ctx
+
+let tite ctx c a b =
+  match c.fnode with
+  | Ftrue -> a
+  | Ffalse -> b
+  | Not _ | And _ | Or _ | Eq _ | Lt _ | Papp _ | Bconst _ ->
+    if a == b then a else mk_term ctx (KTite (c.fid, a.tid, b.tid)) (Tite (c, a, b))
+
+let app ctx name args =
+  match args with
+  | [] -> const ctx name
+  | _ :: _ ->
+    register ctx name (Func (List.length args));
+    mk_term ctx
+      (KApp (name, List.map (fun t -> t.tid) args))
+      (App (name, args))
+
+let not_ ctx f =
+  match f.fnode with
+  | Ftrue -> fls ctx
+  | Ffalse -> tru ctx
+  | Not g -> g
+  | And _ | Or _ | Eq _ | Lt _ | Papp _ | Bconst _ ->
+    mk_formula ctx (KNot f.fid) (Not f)
+
+let and_ ctx a b =
+  match (a.fnode, b.fnode) with
+  | Ffalse, _ | _, Ffalse -> fls ctx
+  | Ftrue, _ -> b
+  | _, Ftrue -> a
+  | _ ->
+    if a == b then a
+    else if (match a.fnode with Not a' -> a' == b | _ -> false) then fls ctx
+    else if (match b.fnode with Not b' -> b' == a | _ -> false) then fls ctx
+    else
+      let x, y = if a.fid <= b.fid then (a, b) else (b, a) in
+      mk_formula ctx (KAnd (x.fid, y.fid)) (And (x, y))
+
+let or_ ctx a b =
+  match (a.fnode, b.fnode) with
+  | Ftrue, _ | _, Ftrue -> tru ctx
+  | Ffalse, _ -> b
+  | _, Ffalse -> a
+  | _ ->
+    if a == b then a
+    else if (match a.fnode with Not a' -> a' == b | _ -> false) then tru ctx
+    else if (match b.fnode with Not b' -> b' == a | _ -> false) then tru ctx
+    else
+      let x, y = if a.fid <= b.fid then (a, b) else (b, a) in
+      mk_formula ctx (KOr (x.fid, y.fid)) (Or (x, y))
+
+let implies ctx a b = or_ ctx (not_ ctx a) b
+
+let iff ctx a b = and_ ctx (implies ctx a b) (implies ctx b a)
+
+let fite ctx c a b = and_ ctx (implies ctx c a) (implies ctx (not_ ctx c) b)
+
+let and_list ctx fs = List.fold_left (and_ ctx) (tru ctx) fs
+
+let or_list ctx fs = List.fold_left (or_ ctx) (fls ctx) fs
+
+let eq ctx t1 t2 =
+  if t1 == t2 then tru ctx
+  else
+    let x, y = if t1.tid <= t2.tid then (t1, t2) else (t2, t1) in
+    mk_formula ctx (KEq (x.tid, y.tid)) (Eq (x, y))
+
+let lt ctx t1 t2 =
+  if t1 == t2 then fls ctx else mk_formula ctx (KLt (t1.tid, t2.tid)) (Lt (t1, t2))
+
+let le ctx t1 t2 = not_ ctx (lt ctx t2 t1)
+
+let gt ctx t1 t2 = lt ctx t2 t1
+
+let ge ctx t1 t2 = not_ ctx (lt ctx t1 t2)
+
+let bconst ctx name =
+  register ctx name (Pred_sym 0);
+  mk_formula ctx (KBconst name) (Bconst name)
+
+let papp ctx name args =
+  match args with
+  | [] -> bconst ctx name
+  | _ :: _ ->
+    register ctx name (Pred_sym (List.length args));
+    mk_formula ctx
+      (KPapp (name, List.map (fun t -> t.tid) args))
+      (Papp (name, args))
+
+(* -- Traversal ------------------------------------------------------------ *)
+
+(* Visits every distinct node once; [ft] on terms, [ff] on formulas. *)
+let traverse ~ft ~ff root =
+  let seen_t = Hashtbl.create 256 in
+  let seen_f = Hashtbl.create 256 in
+  let rec go_t t =
+    if not (Hashtbl.mem seen_t t.tid) then begin
+      Hashtbl.add seen_t t.tid ();
+      ft t;
+      match t.tnode with
+      | Const _ -> ()
+      | Succ t' | Pred t' -> go_t t'
+      | Tite (c, a, b) ->
+        go_f c;
+        go_t a;
+        go_t b
+      | App (_, args) -> List.iter go_t args
+    end
+  and go_f f =
+    if not (Hashtbl.mem seen_f f.fid) then begin
+      Hashtbl.add seen_f f.fid ();
+      ff f;
+      match f.fnode with
+      | Ftrue | Ffalse | Bconst _ -> ()
+      | Not g -> go_f g
+      | And (a, b) | Or (a, b) ->
+        go_f a;
+        go_f b
+      | Eq (t1, t2) | Lt (t1, t2) ->
+        go_t t1;
+        go_t t2
+      | Papp (_, args) -> List.iter go_t args
+    end
+  in
+  go_f root
+
+let size root =
+  let n = ref 0 in
+  traverse ~ft:(fun _ -> incr n) ~ff:(fun _ -> incr n) root;
+  !n
+
+let collect_symbols root =
+  let funcs = Hashtbl.create 32 in
+  let preds = Hashtbl.create 32 in
+  let ft t =
+    match t.tnode with
+    | Const c -> Hashtbl.replace funcs c 0
+    | App (f, args) -> Hashtbl.replace funcs f (List.length args)
+    | Succ _ | Pred _ | Tite _ -> ()
+  in
+  let ff f =
+    match f.fnode with
+    | Bconst b -> Hashtbl.replace preds b 0
+    | Papp (p, args) -> Hashtbl.replace preds p (List.length args)
+    | Ftrue | Ffalse | Not _ | And _ | Or _ | Eq _ | Lt _ -> ()
+  in
+  traverse ~ft ~ff root;
+  let sorted tbl =
+    Hashtbl.fold (fun name arity acc -> (name, arity) :: acc) tbl []
+    |> List.sort compare
+  in
+  (sorted funcs, sorted preds)
+
+let functions root = fst (collect_symbols root)
+
+let predicates root = snd (collect_symbols root)
+
+let atoms root =
+  let acc = ref [] in
+  let ff f =
+    match f.fnode with
+    | Eq _ | Lt _ -> acc := f :: !acc
+    | Ftrue | Ffalse | Not _ | And _ | Or _ | Papp _ | Bconst _ -> ()
+  in
+  traverse ~ft:(fun _ -> ()) ~ff root;
+  List.rev !acc
+
+let has_applications root =
+  let found = ref false in
+  let ft t = match t.tnode with App _ -> found := true | _ -> () in
+  let ff f = match f.fnode with Papp _ -> found := true | _ -> () in
+  traverse ~ft ~ff root;
+  !found
+
+let fresh_name ctx stem =
+  let rec loop i =
+    let name = Printf.sprintf "%s!%d" stem i in
+    if Hashtbl.mem ctx.symbols name then loop (i + 1) else name
+  in
+  if Hashtbl.mem ctx.symbols stem then loop 1 else stem
+
+(* -- Printing ------------------------------------------------------------- *)
+
+let rec pp_term ppf t =
+  match t.tnode with
+  | Const c -> Format.pp_print_string ppf c
+  | Succ t' -> Format.fprintf ppf "(succ %a)" pp_term t'
+  | Pred t' -> Format.fprintf ppf "(pred %a)" pp_term t'
+  | Tite (c, a, b) ->
+    Format.fprintf ppf "@[<hv 1>(ite %a@ %a@ %a)@]" pp c pp_term a pp_term b
+  | App (f, args) ->
+    Format.fprintf ppf "@[<hv 1>(%s" f;
+    List.iter (fun a -> Format.fprintf ppf "@ %a" pp_term a) args;
+    Format.fprintf ppf ")@]"
+
+and pp ppf f =
+  match f.fnode with
+  | Ftrue -> Format.pp_print_string ppf "true"
+  | Ffalse -> Format.pp_print_string ppf "false"
+  | Not g -> Format.fprintf ppf "@[<hv 1>(not@ %a)@]" pp g
+  | And (a, b) -> Format.fprintf ppf "@[<hv 1>(and@ %a@ %a)@]" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "@[<hv 1>(or@ %a@ %a)@]" pp a pp b
+  | Eq (t1, t2) -> Format.fprintf ppf "@[<hv 1>(=@ %a@ %a)@]" pp_term t1 pp_term t2
+  | Lt (t1, t2) -> Format.fprintf ppf "@[<hv 1>(<@ %a@ %a)@]" pp_term t1 pp_term t2
+  | Papp (p, args) ->
+    Format.fprintf ppf "@[<hv 1>(%s" p;
+    List.iter (fun a -> Format.fprintf ppf "@ %a" pp_term a) args;
+    Format.fprintf ppf ")@]"
+  | Bconst b -> Format.pp_print_string ppf b
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,124 @@
+(** Abstract syntax of SUF — separation logic with uninterpreted functions.
+
+    This is the input logic of the decision procedure, exactly the grammar of
+    the paper's Figure 1: Boolean connectives over equalities, inequalities
+    and uninterpreted predicate applications; integer expressions built from
+    symbolic constants, [succ]/[pred], [ITE] and uninterpreted function
+    applications.
+
+    Terms and formulas are hash-consed inside a {!ctx} manager: structurally
+    equal subexpressions are physically shared, so {!size} counts DAG nodes
+    (the paper's formula-size measure) and downstream analyses memoize on node
+    ids. The manager also enforces symbol discipline: a name keeps a single
+    kind (function vs predicate) and arity for its lifetime.
+    @raise Invalid_argument on symbol misuse. *)
+
+type ctx
+
+type term = private { tid : int; tnode : tnode }
+
+and tnode =
+  | Const of string  (** symbolic constant: 0-ary uninterpreted function *)
+  | Succ of term
+  | Pred of term
+  | Tite of formula * term * term
+  | App of string * term list  (** uninterpreted function, arity >= 1 *)
+
+and formula = private { fid : int; fnode : fnode }
+
+and fnode =
+  | Ftrue
+  | Ffalse
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Eq of term * term
+  | Lt of term * term
+  | Papp of string * term list  (** uninterpreted predicate, arity >= 1 *)
+  | Bconst of string  (** symbolic Boolean constant: 0-ary predicate *)
+
+val create_ctx : unit -> ctx
+
+(** {1 Term constructors} *)
+
+val const : ctx -> string -> term
+
+val succ : ctx -> term -> term
+
+val pred : ctx -> term -> term
+
+val plus : ctx -> term -> int -> term
+(** [plus ctx t k] is [succ]{^ k}[(t)] ([pred] chains for negative [k]). *)
+
+val tite : ctx -> formula -> term -> term -> term
+
+val app : ctx -> string -> term list -> term
+(** 0-ary application collapses to {!const}. *)
+
+(** {1 Formula constructors} *)
+
+val tru : ctx -> formula
+
+val fls : ctx -> formula
+
+val of_bool : ctx -> bool -> formula
+
+val not_ : ctx -> formula -> formula
+
+val and_ : ctx -> formula -> formula -> formula
+
+val or_ : ctx -> formula -> formula -> formula
+
+val implies : ctx -> formula -> formula -> formula
+
+val iff : ctx -> formula -> formula -> formula
+
+val fite : ctx -> formula -> formula -> formula -> formula
+
+val and_list : ctx -> formula list -> formula
+
+val or_list : ctx -> formula list -> formula
+
+val eq : ctx -> term -> term -> formula
+
+val lt : ctx -> term -> term -> formula
+
+val le : ctx -> term -> term -> formula
+
+val gt : ctx -> term -> term -> formula
+
+val ge : ctx -> term -> term -> formula
+
+val papp : ctx -> string -> term list -> formula
+(** 0-ary application collapses to {!bconst}. *)
+
+val bconst : ctx -> string -> formula
+
+(** {1 Queries} *)
+
+val size : formula -> int
+(** Distinct DAG nodes (terms + formulas) reachable from the root. *)
+
+val functions : formula -> (string * int) list
+(** Function symbols with arities, sorted by name; arity 0 = symbolic
+    constants. *)
+
+val predicates : formula -> (string * int) list
+(** Predicate symbols with arities, sorted by name; arity 0 = symbolic
+    Boolean constants. *)
+
+val atoms : formula -> formula list
+(** All distinct [Eq]/[Lt] atom nodes. *)
+
+val has_applications : formula -> bool
+(** Whether any uninterpreted function or predicate of arity >= 1 remains. *)
+
+val fresh_name : ctx -> string -> string
+(** A name based on the stem that is not yet registered in the manager. *)
+
+val pp_term : Format.formatter -> term -> unit
+
+val pp : Format.formatter -> formula -> unit
+(** Prints in the concrete s-expression syntax accepted by {!Parse}. *)
+
+val to_string : formula -> string

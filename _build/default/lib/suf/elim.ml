@@ -1,0 +1,167 @@
+module Sset = Sepsat_util.Sset
+
+type def = {
+  fresh : string;
+  symbol : string;
+  args : Ast.term list;
+  is_predicate : bool;
+}
+
+type result = { formula : Ast.formula; p_consts : Sset.t; defs : def list }
+
+let args_equal ctx args1 args2 =
+  Ast.and_list ctx (List.map2 (Ast.eq ctx) args1 args2)
+
+(* Shared transformation skeleton: [on_app] and [on_papp] decide what replaces
+   an application whose arguments are already transformed. *)
+let transform ctx ~on_app ~on_papp root =
+  let tmemo = Hashtbl.create 256 in
+  let fmemo = Hashtbl.create 256 in
+  let rec go_t (t : Ast.term) =
+    match Hashtbl.find_opt tmemo t.tid with
+    | Some t' -> t'
+    | None ->
+      let t' =
+        match t.tnode with
+        | Ast.Const _ -> t
+        | Ast.Succ u -> Ast.succ ctx (go_t u)
+        | Ast.Pred u -> Ast.pred ctx (go_t u)
+        | Ast.Tite (c, a, b) -> Ast.tite ctx (go_f c) (go_t a) (go_t b)
+        | Ast.App (f, args) -> on_app f (List.map go_t args)
+      in
+      Hashtbl.add tmemo t.tid t';
+      t'
+  and go_f (f : Ast.formula) =
+    match Hashtbl.find_opt fmemo f.fid with
+    | Some f' -> f'
+    | None ->
+      let f' =
+        match f.fnode with
+        | Ast.Ftrue | Ast.Ffalse | Ast.Bconst _ -> f
+        | Ast.Not g -> Ast.not_ ctx (go_f g)
+        | Ast.And (a, b) -> Ast.and_ ctx (go_f a) (go_f b)
+        | Ast.Or (a, b) -> Ast.or_ ctx (go_f a) (go_f b)
+        | Ast.Eq (t1, t2) -> Ast.eq ctx (go_t t1) (go_t t2)
+        | Ast.Lt (t1, t2) -> Ast.lt ctx (go_t t1) (go_t t2)
+        | Ast.Papp (p, args) -> on_papp p (List.map go_t args)
+      in
+      Hashtbl.add fmemo f.fid f';
+      f'
+  in
+  go_f root
+
+let eliminate ctx root =
+  let classification = Polarity.classify root in
+  let p_funcs = classification.Polarity.p_funcs in
+  let func_occs : (string, (Ast.term list * Ast.term) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let pred_occs : (string, (Ast.term list * Ast.formula) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let defs = ref [] in
+  let fresh_p = ref Sset.empty in
+  let occs tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add tbl name r;
+      r
+  in
+  let on_app f args =
+    let prevs = occs func_occs f in
+    let v = Ast.const ctx (Ast.fresh_name ctx f) in
+    let vname = match v.Ast.tnode with Ast.Const c -> c | _ -> assert false in
+    if Sset.mem f p_funcs then fresh_p := Sset.add vname !fresh_p;
+    defs := { fresh = vname; symbol = f; args; is_predicate = false } :: !defs;
+    (* ITE chain matching previous occurrences in order; functional
+       consistency is enforced by construction. *)
+    let rec chain = function
+      | [] -> v
+      | (args_j, v_j) :: rest ->
+        Ast.tite ctx (args_equal ctx args args_j) v_j (chain rest)
+    in
+    let replacement = chain (List.rev !prevs) in
+    prevs := (args, v) :: !prevs;
+    replacement
+  in
+  let on_papp p args =
+    let prevs = occs pred_occs p in
+    let b = Ast.bconst ctx (Ast.fresh_name ctx p) in
+    let bname = match b.Ast.fnode with Ast.Bconst c -> c | _ -> assert false in
+    defs := { fresh = bname; symbol = p; args; is_predicate = true } :: !defs;
+    let rec chain = function
+      | [] -> b
+      | (args_j, b_j) :: rest ->
+        Ast.fite ctx (args_equal ctx args args_j) b_j (chain rest)
+    in
+    let replacement = chain (List.rev !prevs) in
+    prevs := (args, b) :: !prevs;
+    replacement
+  in
+  let formula = transform ctx ~on_app ~on_papp root in
+  let p_orig =
+    Ast.functions root
+    |> List.filter (fun (name, arity) -> arity = 0 && Sset.mem name p_funcs)
+    |> List.map fst |> Sset.of_list
+  in
+  { formula; p_consts = Sset.union p_orig !fresh_p; defs = List.rev !defs }
+
+let ackermannize ctx root =
+  let func_occs : (string, (Ast.term list * Ast.term) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let pred_occs : (string, (Ast.term list * Ast.formula) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let defs = ref [] in
+  let occs tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add tbl name r;
+      r
+  in
+  let on_app f args =
+    let prevs = occs func_occs f in
+    let v = Ast.const ctx (Ast.fresh_name ctx f) in
+    let vname = match v.Ast.tnode with Ast.Const c -> c | _ -> assert false in
+    defs := { fresh = vname; symbol = f; args; is_predicate = false } :: !defs;
+    prevs := (args, v) :: !prevs;
+    v
+  in
+  let on_papp p args =
+    let prevs = occs pred_occs p in
+    let b = Ast.bconst ctx (Ast.fresh_name ctx p) in
+    let bname = match b.Ast.fnode with Ast.Bconst c -> c | _ -> assert false in
+    defs := { fresh = bname; symbol = p; args; is_predicate = true } :: !defs;
+    prevs := (args, b) :: !prevs;
+    b
+  in
+  let body = transform ctx ~on_app ~on_papp root in
+  (* Functional-consistency antecedents over all same-symbol pairs. *)
+  let fc = ref [] in
+  let rec pairs f = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter (f x) rest;
+      pairs f rest
+  in
+  Hashtbl.iter
+    (fun _ prevs ->
+      pairs
+        (fun (a1, v1) (a2, v2) ->
+          fc := Ast.implies ctx (args_equal ctx a1 a2) (Ast.eq ctx v1 v2) :: !fc)
+        !prevs)
+    func_occs;
+  Hashtbl.iter
+    (fun _ prevs ->
+      pairs
+        (fun (a1, b1) (a2, b2) ->
+          fc := Ast.implies ctx (args_equal ctx a1 a2) (Ast.iff ctx b1 b2) :: !fc)
+        !prevs)
+    pred_occs;
+  let formula = Ast.implies ctx (Ast.and_list ctx !fc) body in
+  { formula; p_consts = Sset.empty; defs = List.rev !defs }

@@ -1,0 +1,39 @@
+(** Elimination of uninterpreted function and predicate applications
+    (paper §2.1.1).
+
+    Two validity-preserving schemes are provided:
+
+    - {!eliminate} — the Bryant-German-Velev nested-ITE scheme used by the
+      paper: the i-th application [f(ā_i)] becomes
+      [ITE(ā_i = ā_1, vf_1, ITE(ā_i = ā_2, vf_2, ..., vf_i))], which bakes in
+      functional consistency. Fresh constants introduced for p-function
+      symbols are reported in [p_consts] (the set [V_p] of paper §4 step 1).
+    - {!ackermannize} — classical Ackermann expansion, used as an independent
+      cross-check: fresh constants plus explicit functional-consistency
+      antecedents.
+
+    Both leave a *separation logic* formula: symbolic constants, succ/pred,
+    ITE, equalities, inequalities and Boolean structure only. *)
+
+type def = {
+  fresh : string;  (** introduced symbolic (Boolean) constant *)
+  symbol : string;  (** the eliminated function/predicate symbol *)
+  args : Ast.term list;  (** arguments, already in eliminated form *)
+  is_predicate : bool;
+}
+
+type result = {
+  formula : Ast.formula;  (** application-free; valid iff the input is *)
+  p_consts : Sepsat_util.Sset.t;
+      (** symbolic constants interpretable maximally diversely: p-classified
+          input constants plus fresh constants of p-function symbols *)
+  defs : def list;
+      (** introduction order; lets tests extend an interpretation of the
+          original formula to the fresh constants *)
+}
+
+val eliminate : Ast.ctx -> Ast.formula -> result
+
+val ackermannize : Ast.ctx -> Ast.formula -> result
+(** [p_consts] is empty: Ackermann expansion does not exploit positive
+    equality. *)

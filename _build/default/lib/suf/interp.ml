@@ -1,0 +1,64 @@
+type t = {
+  func : string -> int list -> int;
+  pred : string -> int list -> bool;
+}
+
+(* One memoized evaluator pair per call; terms and formulas are mutually
+   recursive through ITE guards. *)
+let evaluators interp =
+  let tmemo = Hashtbl.create 64 in
+  let fmemo = Hashtbl.create 64 in
+  let rec go_t (t : Ast.term) =
+    match Hashtbl.find_opt tmemo t.tid with
+    | Some v -> v
+    | None ->
+      let v =
+        match t.tnode with
+        | Ast.Const c -> interp.func c []
+        | Ast.Succ t' -> go_t t' + 1
+        | Ast.Pred t' -> go_t t' - 1
+        | Ast.Tite (c, a, b) -> if go_f c then go_t a else go_t b
+        | Ast.App (f, args) -> interp.func f (List.map go_t args)
+      in
+      Hashtbl.add tmemo t.tid v;
+      v
+  and go_f (f : Ast.formula) =
+    match Hashtbl.find_opt fmemo f.fid with
+    | Some b -> b
+    | None ->
+      let b =
+        match f.fnode with
+        | Ast.Ftrue -> true
+        | Ast.Ffalse -> false
+        | Ast.Not g -> not (go_f g)
+        | Ast.And (a, b) -> go_f a && go_f b
+        | Ast.Or (a, b) -> go_f a || go_f b
+        | Ast.Eq (t1, t2) -> go_t t1 = go_t t2
+        | Ast.Lt (t1, t2) -> go_t t1 < go_t t2
+        | Ast.Papp (p, args) -> interp.pred p (List.map go_t args)
+        | Ast.Bconst b -> interp.pred b []
+      in
+      Hashtbl.add fmemo f.fid b;
+      b
+  in
+  (go_t, go_f)
+
+let eval_term interp t = fst (evaluators interp) t
+
+let eval interp f = snd (evaluators interp) f
+
+let random ~seed ~range =
+  let range = max 1 range in
+  let hash parts = Hashtbl.hash (seed, parts) in
+  {
+    func = (fun name args -> hash (`F, name, args) mod range);
+    pred = (fun name args -> hash (`P, name, args) land 1 = 0);
+  }
+
+let override_const interp name v =
+  {
+    interp with
+    func =
+      (fun name' args ->
+        if String.equal name name' && args = [] then v else interp.func name' args);
+  }

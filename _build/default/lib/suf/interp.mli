@@ -1,0 +1,26 @@
+(** Evaluation of SUF expressions under a first-order interpretation.
+
+    An interpretation fixes a total meaning for every uninterpreted function
+    and predicate symbol over the integers; [succ]/[pred] are the standard
+    +1/-1. Evaluation is the reference semantics the test suite checks every
+    transformation against. *)
+
+type t = {
+  func : string -> int list -> int;
+      (** includes symbolic constants as 0-ary functions *)
+  pred : string -> int list -> bool;
+      (** includes symbolic Boolean constants as 0-ary predicates *)
+}
+
+val eval_term : t -> Ast.term -> int
+
+val eval : t -> Ast.formula -> bool
+
+val random : seed:int -> range:int -> t
+(** A deterministic pseudo-random interpretation: every application result is
+    a hash of (symbol, arguments, seed) folded into [0, range). Distinct
+    seeds give (almost surely) distinct interpretations, which is how the
+    tests approximate quantification over all interpretations. *)
+
+val override_const : t -> string -> int -> t
+(** Interpretation equal to the first one except on one symbolic constant. *)

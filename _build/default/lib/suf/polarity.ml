@@ -1,0 +1,63 @@
+module Sset = Sepsat_util.Sset
+
+type classification = { p_funcs : Sset.t; g_funcs : Sset.t }
+
+(* Formula polarities: 1 = positive, -1 = negative, 0 = both. *)
+
+type term_context = Pos_eq | General
+
+let classify root =
+  let all = Hashtbl.create 64 in
+  let general = Hashtbl.create 64 in
+  let fmemo = Hashtbl.create 256 in
+  (* (fid, polarity) pairs already expanded *)
+  let tmemo = Hashtbl.create 256 in
+  (* (tid, context) pairs already expanded *)
+  let record name cx =
+    Hashtbl.replace all name ();
+    match cx with General -> Hashtbl.replace general name () | Pos_eq -> ()
+  in
+  let rec go_f (f : Ast.formula) pol =
+    if not (Hashtbl.mem fmemo (f.fid, pol)) then begin
+      Hashtbl.add fmemo (f.fid, pol) ();
+      match f.fnode with
+      | Ast.Ftrue | Ast.Ffalse | Ast.Bconst _ -> ()
+      | Ast.Not g -> go_f g (-pol)
+      | Ast.And (a, b) | Ast.Or (a, b) ->
+        go_f a pol;
+        go_f b pol
+      | Ast.Eq (t1, t2) ->
+        let cx = if pol = 1 then Pos_eq else General in
+        go_t t1 cx;
+        go_t t2 cx
+      | Ast.Lt (t1, t2) ->
+        go_t t1 General;
+        go_t t2 General
+      | Ast.Papp (_, args) -> List.iter (fun a -> go_t a General) args
+    end
+  and go_t (t : Ast.term) cx =
+    if not (Hashtbl.mem tmemo (t.tid, cx)) then begin
+      Hashtbl.add tmemo (t.tid, cx) ();
+      match t.tnode with
+      | Ast.Const c -> record c cx
+      | Ast.Succ t' | Ast.Pred t' -> go_t t' cx
+      | Ast.Tite (g, a, b) ->
+        (* Guard equalities acquire both polarities through the ITE. *)
+        go_f g 0;
+        go_t a cx;
+        go_t b cx
+      | Ast.App (f, args) ->
+        record f cx;
+        (* Function elimination compares argument lists inside ITE guards,
+           which have mixed polarity, so arguments are general. *)
+        List.iter (fun a -> go_t a General) args
+    end
+  in
+  go_f root 1;
+  let p = ref Sset.empty and g = ref Sset.empty in
+  Hashtbl.iter
+    (fun name () ->
+      if Hashtbl.mem general name then g := Sset.add name !g
+      else p := Sset.add name !p)
+    all;
+  { p_funcs = !p; g_funcs = !g }

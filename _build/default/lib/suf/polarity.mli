@@ -1,0 +1,25 @@
+(** Positive-equality analysis (paper §2.1.1).
+
+    Determines, for a formula whose *validity* is being decided, which
+    function symbols are **p-function symbols**: every application of such a
+    symbol flows only into equalities of positive polarity. By the
+    Bryant-German-Velev positive-equality theorem, p-applications may be
+    interpreted maximally diversely (pairwise distinct and distinct from
+    everything else), which lets the encoders give them fixed values instead
+    of variables.
+
+    The analysis is conservative: any occurrence in an inequality, in a
+    negative- or mixed-polarity equality, inside an ITE guard, or as an
+    argument of another uninterpreted application makes the symbol a
+    g-function symbol (argument positions become mixed-polarity guard
+    equalities after function elimination). *)
+
+type classification = {
+  p_funcs : Sepsat_util.Sset.t;
+      (** function symbols (incl. 0-ary constants) usable diversely *)
+  g_funcs : Sepsat_util.Sset.t;  (** everything else *)
+}
+
+val classify : Ast.formula -> classification
+(** Classifies all function symbols of the formula, read as a validity
+    query. *)

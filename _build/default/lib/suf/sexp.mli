@@ -1,0 +1,13 @@
+(** Minimal s-expression reader shared by the concrete-syntax front ends
+    ({!Parse} and {!Smtlib}). *)
+
+type t = Atom of string | List of t list
+
+exception Error of string
+
+val parse_all : string -> t list
+(** All top-level s-expressions of the text. Comments run from [;] to end of
+    line. @raise Error on unbalanced parentheses. *)
+
+val parse_one : string -> t
+(** Exactly one top-level s-expression. @raise Error otherwise. *)

@@ -1,0 +1,1 @@
+lib/theory/diff_solver.ml: Array Hashtbl List Queue Sepsat_util

@@ -1,0 +1,1 @@
+lib/theory/diff_solver.mli:

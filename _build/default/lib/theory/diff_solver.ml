@@ -1,0 +1,180 @@
+(* Constraint x − y <= c becomes edge y --c--> x; with a virtual source at
+   distance 0 to every node, Bellman-Ford either stabilizes (the distances
+   are a model) or keeps relaxing after |V| rounds (a negative cycle).
+
+   Two usage modes coexist:
+   - batch: [assert_le] + [infeasibility]/[model], which run Bellman-Ford
+     from scratch (used by the lazy refinement loop, once per candidate
+     model);
+   - incremental: [assert_and_check], which maintains a satisfying potential
+     function and repairs it per assertion, Cotton-Maler style (used by the
+     SVC tableau, once per literal). The potentials are kept consistent only
+     through this entry point. *)
+
+module Vec = Sepsat_util.Vec
+
+type 'a edge = { src : int; dst : int; weight : int; tag : 'a }
+
+type undo =
+  | Set_pi of int * int  (* node, previous potential *)
+  | Drop_adj of int  (* node: remove the head of its adjacency list *)
+
+type 'a t = {
+  names : string Vec.t;
+  index : (string, int) Hashtbl.t;
+  mutable edges : 'a edge list;
+  mutable marks : ('a edge list * int * int) list;
+      (* saved (edges, n_edges, undo-trail length) *)
+  mutable n_edges : int;
+  out_adj : 'a edge list Vec.t;  (* node -> edges with src = node *)
+  pi : int Vec.t;  (* potential satisfying pi(dst) <= pi(src) + w *)
+  undo_trail : undo Vec.t;
+}
+
+let create () =
+  {
+    names = Vec.create ~dummy:"";
+    index = Hashtbl.create 64;
+    edges = [];
+    marks = [];
+    n_edges = 0;
+    out_adj = Vec.create ~dummy:[];
+    pi = Vec.create ~dummy:0;
+    undo_trail = Vec.create ~dummy:(Set_pi (0, 0));
+  }
+
+let node t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None ->
+    let i = Vec.size t.names in
+    Vec.push t.names name;
+    Vec.push t.out_adj [];
+    Vec.push t.pi 0;
+    Hashtbl.add t.index name i;
+    i
+
+let name t i = Vec.get t.names i
+
+let num_nodes t = Vec.size t.names
+
+let install_edge t e =
+  t.edges <- e :: t.edges;
+  t.n_edges <- t.n_edges + 1;
+  Vec.set t.out_adj e.src (e :: Vec.get t.out_adj e.src);
+  Vec.push t.undo_trail (Drop_adj e.src)
+
+let assert_le t ~x ~y ~c ~tag = install_edge t { src = y; dst = x; weight = c; tag }
+
+let push t = t.marks <- (t.edges, t.n_edges, Vec.size t.undo_trail) :: t.marks
+
+let pop t =
+  match t.marks with
+  | [] -> invalid_arg "Diff_solver.pop: empty stack"
+  | (edges, n, trail_len) :: rest ->
+    t.edges <- edges;
+    t.n_edges <- n;
+    t.marks <- rest;
+    while Vec.size t.undo_trail > trail_len do
+      match Vec.pop t.undo_trail with
+      | Set_pi (v, old) -> Vec.set t.pi v old
+      | Drop_adj v -> (
+        match Vec.get t.out_adj v with
+        | _ :: rest -> Vec.set t.out_adj v rest
+        | [] -> assert false)
+    done
+
+let set_pi t v value =
+  Vec.push t.undo_trail (Set_pi (v, Vec.get t.pi v));
+  Vec.set t.pi v value
+
+(* Incremental repair after adding y --c--> x: decrease potentials along the
+   cone of influence; a decrease reaching y closes a negative cycle. *)
+let assert_and_check t ~x ~y ~c ~tag =
+  install_edge t { src = y; dst = x; weight = c; tag };
+  if Vec.get t.pi x <= Vec.get t.pi y + c then true
+  else begin
+    set_pi t x (Vec.get t.pi y + c);
+    let queue = Queue.create () in
+    Queue.add x queue;
+    let consistent = ref true in
+    while !consistent && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let rec scan = function
+        | [] -> ()
+        | e :: rest ->
+          if !consistent && Vec.get t.pi e.dst > Vec.get t.pi u + e.weight
+          then begin
+            if e.dst = y then consistent := false
+            else begin
+              set_pi t e.dst (Vec.get t.pi u + e.weight);
+              Queue.add e.dst queue
+            end
+          end;
+          if !consistent then scan rest
+      in
+      scan (Vec.get t.out_adj u)
+    done;
+    !consistent
+  end
+
+(* Runs Bellman-Ford; returns either the distance array or a negative
+   cycle. *)
+let bellman_ford t =
+  let n = num_nodes t in
+  let dist = Array.make n 0 in
+  let pred = Array.make n None in
+  let edges = Array.of_list t.edges in
+  let changed = ref true in
+  let rounds = ref 0 in
+  let last_relaxed = ref (-1) in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    Array.iter
+      (fun e ->
+        if dist.(e.src) + e.weight < dist.(e.dst) then begin
+          dist.(e.dst) <- dist.(e.src) + e.weight;
+          pred.(e.dst) <- Some e;
+          changed := true;
+          last_relaxed := e.dst
+        end)
+      edges
+  done;
+  if not !changed then Ok dist
+  else begin
+    (* A vertex relaxed in round n+1 has a predecessor chain of length more
+       than n, which must therefore contain a cycle: walk predecessors n
+       times to land on it, then collect it. *)
+    let start = !last_relaxed in
+    assert (start >= 0);
+    let v = ref start in
+    for _ = 1 to n do
+      match pred.(!v) with Some e -> v := e.src | None -> assert false
+    done;
+    (* [!v] is on the cycle. *)
+    let cycle = ref [] in
+    let u = ref !v in
+    let continue = ref true in
+    while !continue do
+      match pred.(!u) with
+      | Some e ->
+        cycle := e :: !cycle;
+        u := e.src;
+        if !u = !v then continue := false
+      | None -> assert false
+    done;
+    Error !cycle
+  end
+
+let infeasibility t =
+  match bellman_ford t with
+  | Ok _ -> None
+  | Error cycle -> Some (List.map (fun e -> e.tag) cycle)
+
+let model t =
+  match bellman_ford t with
+  | Error _ -> invalid_arg "Diff_solver.model: infeasible"
+  | Ok dist ->
+    let shift = Array.fold_left (fun acc d -> max acc (-d)) 0 dist in
+    List.init (num_nodes t) (fun i -> (name t i, dist.(i) + shift))

@@ -1,0 +1,47 @@
+(** Integer difference-constraint solver.
+
+    Decides conjunctions of bounds [x − y ≤ c] over the integers: the
+    conjunction is satisfiable iff the constraint graph (one weighted edge per
+    bound) has no negative-weight cycle, checked with Bellman-Ford. On
+    inconsistency the solver reports the cycle's client tags — the minimal
+    explanation the lazy (CVC-style) loop turns into a conflict clause. On
+    consistency, shortest-path potentials yield a concrete integer model.
+
+    Constraints are tagged with an arbitrary client value ['a] and managed on
+    an assertion stack ([push]/[pop]), as the SVC-style case-splitting search
+    requires. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val node : 'a t -> string -> int
+(** Interns a name as a graph node. *)
+
+val name : 'a t -> int -> string
+
+val num_nodes : 'a t -> int
+
+val assert_le : 'a t -> x:int -> y:int -> c:int -> tag:'a -> unit
+(** Asserts [x − y <= c]. *)
+
+val push : 'a t -> unit
+(** Marks a backtracking point (constraints only; interned nodes persist). *)
+
+val pop : 'a t -> unit
+(** Discards constraints asserted since the matching [push]. *)
+
+val assert_and_check : 'a t -> x:int -> y:int -> c:int -> tag:'a -> bool
+(** Asserts [x − y <= c] and incrementally repairs the solution potentials
+    (Cotton-Maler style): returns [false] iff the constraint closes a
+    negative cycle, in which case the state is inconsistent until the
+    enclosing [pop]. Much cheaper than a fresh {!infeasibility} run when
+    constraints arrive one at a time, as in tableau search. *)
+
+val infeasibility : 'a t -> 'a list option
+(** [Some tags] — the asserted bounds are unsatisfiable and [tags] label a
+    negative cycle witnessing it; [None] — satisfiable. *)
+
+val model : 'a t -> (string * int) list
+(** An integer assignment (shifted to be non-negative) satisfying every
+    asserted bound. @raise Invalid_argument if the state is infeasible. *)

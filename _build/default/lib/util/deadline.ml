@@ -1,0 +1,16 @@
+type t = { until : float option }
+
+exception Timeout
+
+let none = { until = None }
+
+let now () = Sys.time ()
+
+let after s = { until = Some (now () +. s) }
+
+let exceeded t =
+  match t.until with
+  | None -> false
+  | Some u -> now () > u
+
+let check t = if exceeded t then raise Timeout

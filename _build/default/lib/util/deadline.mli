@@ -1,0 +1,24 @@
+(** Cooperative CPU-time budgets.
+
+    Long-running phases (SAT search, transitivity-constraint generation, the
+    lazy refinement loop) poll a deadline and abort with {!Timeout} when the
+    budget is exhausted, standing in for the paper's 30-minute wall-clock
+    timeout at laptop-friendly scales. *)
+
+type t
+
+exception Timeout
+
+val none : t
+(** A deadline that never fires. *)
+
+val after : float -> t
+(** [after s] fires [s] seconds of processor time from now. *)
+
+val exceeded : t -> bool
+
+val check : t -> unit
+(** @raise Timeout if the deadline has passed. *)
+
+val now : unit -> float
+(** Processor time in seconds, the clock deadlines are measured against. *)

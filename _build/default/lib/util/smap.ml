@@ -1,0 +1,3 @@
+(** Maps keyed by symbol names. *)
+
+include Map.Make (String)

@@ -1,0 +1,3 @@
+(** Sets of symbol names. *)
+
+include Set.Make (String)

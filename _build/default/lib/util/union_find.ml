@@ -1,0 +1,35 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri <> rj then
+    if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+    else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+    else begin
+      t.parent.(rj) <- ri;
+      t.rank.(ri) <- t.rank.(ri) + 1
+    end
+
+let same t i j = find t i = find t j
+
+let classes t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: members)
+  done;
+  let all = Hashtbl.fold (fun _ members acc -> members :: acc) tbl [] in
+  List.sort (fun a b -> compare (List.hd a) (List.hd b)) all

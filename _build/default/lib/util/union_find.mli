@@ -1,0 +1,20 @@
+(** Imperative union-find over dense integer keys.
+
+    Used to build the equivalence classes of symbolic constants in the hybrid
+    encoding (paper §4 step 1). Path compression plus union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0 .. n-1], each in its own class. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val classes : t -> int list list
+(** All equivalence classes, each as a sorted list of members; classes appear
+    in order of their smallest member. *)

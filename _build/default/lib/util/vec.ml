@@ -1,0 +1,109 @@
+type 'a t = { mutable data : 'a array; mutable sz : int; dummy : 'a }
+
+let create ~dummy = { data = Array.make 16 dummy; sz = 0; dummy }
+
+let make n x =
+  let n' = max n 1 in
+  { data = Array.make n' x; sz = n; dummy = x }
+
+let size v = v.sz
+
+let is_empty v = v.sz = 0
+
+let ensure v n =
+  if n > Array.length v.data then begin
+    let cap = max n (2 * Array.length v.data) in
+    let data = Array.make cap v.dummy in
+    Array.blit v.data 0 data 0 v.sz;
+    v.data <- data
+  end
+
+let push v x =
+  ensure v (v.sz + 1);
+  v.data.(v.sz) <- x;
+  v.sz <- v.sz + 1
+
+let pop v =
+  if v.sz = 0 then invalid_arg "Vec.pop: empty";
+  v.sz <- v.sz - 1;
+  let x = v.data.(v.sz) in
+  v.data.(v.sz) <- v.dummy;
+  x
+
+let last v =
+  if v.sz = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.sz - 1)
+
+let get v i =
+  if i < 0 || i >= v.sz then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.sz then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let shrink v n =
+  if n < 0 || n > v.sz then invalid_arg "Vec.shrink";
+  for i = n to v.sz - 1 do
+    v.data.(i) <- v.dummy
+  done;
+  v.sz <- n
+
+let clear v = shrink v 0
+
+let grow_to v n x =
+  ensure v n;
+  while v.sz < n do
+    v.data.(v.sz) <- x;
+    v.sz <- v.sz + 1
+  done
+
+let iter f v =
+  for i = 0 to v.sz - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.sz - 1 do
+    f i v.data.(i)
+  done
+
+let exists p v =
+  let rec loop i = i < v.sz && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.sz - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.sz - 1) []
+
+let of_list ~dummy xs =
+  let v = create ~dummy in
+  List.iter (push v) xs;
+  v
+
+let swap v i j =
+  let x = get v i in
+  set v i (get v j);
+  set v j x
+
+let remove_if p v =
+  let j = ref 0 in
+  for i = 0 to v.sz - 1 do
+    if not (p v.data.(i)) then begin
+      v.data.(!j) <- v.data.(i);
+      incr j
+    end
+  done;
+  shrink v !j
+
+let sort cmp v =
+  let a = Array.sub v.data 0 v.sz in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.sz

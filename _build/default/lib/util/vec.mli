@@ -1,0 +1,59 @@
+(** Growable arrays.
+
+    A thin imperative vector used by the SAT solver and the encoders, where
+    amortized O(1) push and in-place mutation matter. The [dummy] element
+    given at creation fills unused slots; it is never observable through the
+    public API. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** Fresh empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of [n] copies of [x] (also used as dummy). *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element. @raise Invalid_argument if empty. *)
+
+val last : 'a t -> 'a
+(** @raise Invalid_argument if empty. *)
+
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+val shrink : 'a t -> int -> unit
+(** [shrink v n] keeps only the first [n] elements. *)
+
+val clear : 'a t -> unit
+
+val grow_to : 'a t -> int -> 'a -> unit
+(** [grow_to v n x] extends [v] with copies of [x] until its size is at least
+    [n]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+
+val of_list : dummy:'a -> 'a list -> 'a t
+
+val swap : 'a t -> int -> int -> unit
+
+val remove_if : ('a -> bool) -> 'a t -> unit
+(** Removes all elements satisfying the predicate, preserving order of the
+    survivors. *)
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/cache.ml: Array Format List Sepsat_suf

@@ -1,0 +1,1 @@
+lib/workloads/cache.mli: Sepsat_suf

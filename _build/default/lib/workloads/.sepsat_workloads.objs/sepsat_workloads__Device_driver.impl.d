@@ -1,0 +1,1 @@
+lib/workloads/device_driver.ml: Format List Printf Random Sepsat_suf

@@ -1,0 +1,1 @@
+lib/workloads/device_driver.mli: Sepsat_suf

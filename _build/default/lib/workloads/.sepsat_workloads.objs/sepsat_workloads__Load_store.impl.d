@@ -1,0 +1,1 @@
+lib/workloads/load_store.ml: Array Format List Sepsat_suf

@@ -1,0 +1,1 @@
+lib/workloads/load_store.mli: Sepsat_suf

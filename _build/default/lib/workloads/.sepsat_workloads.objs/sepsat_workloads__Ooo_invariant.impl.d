@@ -1,0 +1,1 @@
+lib/workloads/ooo_invariant.ml: Array Format List Random Sepsat_suf

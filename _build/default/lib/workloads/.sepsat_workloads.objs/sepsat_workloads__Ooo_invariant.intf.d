@@ -1,0 +1,1 @@
+lib/workloads/ooo_invariant.mli: Sepsat_suf

@@ -1,0 +1,1 @@
+lib/workloads/pipeline.ml: Array Format List Random Sepsat_suf

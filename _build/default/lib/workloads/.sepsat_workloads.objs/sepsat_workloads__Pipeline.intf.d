@@ -1,0 +1,1 @@
+lib/workloads/pipeline.mli: Sepsat_suf

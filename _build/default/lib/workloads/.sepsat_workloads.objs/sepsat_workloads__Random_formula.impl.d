@@ -1,0 +1,1 @@
+lib/workloads/random_formula.ml: List Printf Random Sepsat_suf

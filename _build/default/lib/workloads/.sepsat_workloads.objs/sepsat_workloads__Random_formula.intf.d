@@ -1,0 +1,1 @@
+lib/workloads/random_formula.mli: Sepsat_suf

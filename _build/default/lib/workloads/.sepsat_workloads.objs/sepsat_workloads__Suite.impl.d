@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Cache Device_driver List Load_store Ooo_invariant Pipeline Printf Sepsat_suf Trans_valid

@@ -1,0 +1,1 @@
+lib/workloads/trans_valid.ml: Format List Printf Random Sepsat_suf

@@ -1,0 +1,1 @@
+lib/workloads/trans_valid.mli: Sepsat_suf

@@ -1,0 +1,51 @@
+module Ast = Sepsat_suf.Ast
+
+let formula ?(bug = false) ctx ~n_caches =
+  let n = max 2 n_caches in
+  let cst fmt = Format.kasprintf (Ast.const ctx) fmt in
+  let modified = cst "M" and shared = cst "S" and invalid = cst "I" in
+  let state = Array.init n (fun i -> cst "st%d" i) in
+  let ident = Array.init n (fun i -> cst "id%d" i) in
+  let requester = cst "req" in
+  let neq a b = Ast.not_ ctx (Ast.eq ctx a b) in
+  let state_distinct =
+    [ neq modified shared; neq modified invalid; neq shared invalid ]
+  in
+  let id_distinct =
+    if bug then []
+    else
+      List.concat
+        (List.init n (fun i ->
+             List.init (n - i - 1) (fun k -> neq ident.(i) ident.(i + k + 1))))
+  in
+  let is_m i = Ast.eq ctx state.(i) modified in
+  let exclusive states =
+    Ast.and_list ctx
+      (List.concat
+         (List.init n (fun i ->
+              List.init (n - i - 1) (fun k ->
+                  Ast.not_ ctx
+                    (Ast.and_ ctx (states i) (states (i + k + 1)))))))
+  in
+  (* Write request by [req]: the matching cache takes Modified; any other
+     Modified holder is downgraded to Invalid; the rest keep their state. *)
+  let next =
+    Array.init n (fun i ->
+        Ast.tite ctx
+          (Ast.eq ctx ident.(i) requester)
+          modified
+          (Ast.tite ctx (is_m i) invalid state.(i)))
+  in
+  let is_m' i = Ast.eq ctx next.(i) modified in
+  (* Second protocol consequence: a cache Modified after the step is the
+     requester. *)
+  let owner_is_requester =
+    Ast.and_list ctx
+      (List.init n (fun i ->
+           Ast.implies ctx (is_m' i) (Ast.eq ctx ident.(i) requester)))
+  in
+  let hypotheses =
+    Ast.and_list ctx (state_distinct @ id_distinct @ [ exclusive is_m ])
+  in
+  let conclusion = Ast.and_ ctx (exclusive is_m') owner_is_requester in
+  Ast.implies ctx hypotheses conclusion

@@ -1,0 +1,16 @@
+(** Cache-coherence exclusivity (protocol-verification family).
+
+    Models the paper's parameterized cache-coherence benchmark [9],
+    instantiated at [n] caches: every cache holds a protocol state compared
+    against the distinguished constants [M]/[S]/[I]; a write request by cache
+    [r] grants it Modified and downgrades any other Modified holder. Given
+    distinct cache identifiers and the single-writer invariant before the
+    step, the invariant holds after — an equality/ITE formula in the style of
+    predicate-abstraction queries.
+
+    With [~bug:true] the identifier-distinctness hypothesis is dropped:
+    aliased caches can both end up Modified. *)
+
+module Ast = Sepsat_suf.Ast
+
+val formula : ?bug:bool -> Ast.ctx -> n_caches:int -> Ast.formula

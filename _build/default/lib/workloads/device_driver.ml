@@ -1,0 +1,59 @@
+module Ast = Sepsat_suf.Ast
+
+let formula ?(bug = false) ctx ~n_steps ~seed =
+  let n = max 1 n_steps in
+  let rng = Random.State.make [| seed; 0x3b19c2 |] in
+  let cst fmt = Format.kasprintf (Ast.const ctx) fmt in
+  let counter = cst "cnt" and limit = cst "lim" in
+  let locked = cst "LOCKED" and unlocked = cst "UNLOCKED" in
+  let lock0 = cst "lock0" in
+  (* Loop-entry condition, so the counter is bounded even on paths with no
+     guarded increment. *)
+  let guards =
+    ref
+      [ Ast.lt ctx counter limit; Ast.not_ ctx (Ast.eq ctx locked unlocked) ]
+  in
+  let lock = ref lock0 in
+  let offset = ref 0 in
+  let max_guarded = ref 0 in
+  let assertions = ref [] in
+  for i = 0 to n - 1 do
+    match Random.State.int rng 3 with
+    | 0 ->
+      (* Conditional acquire behind a fresh branch input. *)
+      let br = Ast.bconst ctx (Printf.sprintf "br%d" i) in
+      guards :=
+        Ast.implies ctx br (Ast.eq ctx !lock unlocked) :: !guards;
+      (* Safety: no acquire while already locked. *)
+      assertions :=
+        Ast.not_ ctx (Ast.and_ ctx br (Ast.eq ctx !lock locked)) :: !assertions;
+      lock := Ast.tite ctx br locked !lock
+    | 1 ->
+      (* Increment guarded by a bound test on the counter. *)
+      guards := Ast.lt ctx (Ast.plus ctx counter !offset) limit :: !guards;
+      max_guarded := max !max_guarded !offset;
+      incr offset
+    | _ ->
+      (* Unguarded decrement. *)
+      offset := !offset - 1
+  done;
+  (* The counter never strayed more than one past the last guarded bound. *)
+  let slack = if bug then -1 else 2 in
+  let counter_safe =
+    Ast.lt ctx
+      (Ast.plus ctx counter (!max_guarded + 1))
+      (Ast.plus ctx limit slack)
+  in
+  let released_consistent =
+    (* The final lock state is one of the two protocol constants or the
+       initial state. *)
+    Ast.or_list ctx
+      [
+        Ast.eq ctx !lock locked;
+        Ast.eq ctx !lock unlocked;
+        Ast.eq ctx !lock lock0;
+      ]
+  in
+  Ast.implies ctx
+    (Ast.and_list ctx (List.rev !guards))
+    (Ast.and_list ctx (counter_safe :: released_consistent :: List.rev !assertions))

@@ -1,0 +1,16 @@
+(** Device-driver lock/counter safety (software family).
+
+    Models the paper's Blast device-driver benchmarks [10]: a bounded program
+    path interleaves conditional lock acquisitions with counter updates. The
+    path condition collects branch guards — counter bounds against a symbolic
+    limit, and "acquire only when unlocked" lock tests over an ITE-chained
+    lock state — and the safety assertion (no double acquire, counter still
+    within a slack of the limit) follows from them. Small formulas with few
+    separation predicates: the region of paper Fig. 3 where EIJ shines.
+
+    With [~bug:true] the counter assertion is strengthened beyond what the
+    guards imply. *)
+
+module Ast = Sepsat_suf.Ast
+
+val formula : ?bug:bool -> Ast.ctx -> n_steps:int -> seed:int -> Ast.formula

@@ -1,0 +1,50 @@
+module Ast = Sepsat_suf.Ast
+
+(* A load-store queue with symbolic store addresses: stores land at
+   addresses addr_k hypothesized at or above the tail pointer, loads drain
+   from the head. Address disambiguation — every load address stays strictly
+   below the tail, hence below every store — makes all loads read the
+   original memory. Arithmetic-heavy separation reasoning with offsets up to
+   the queue length, over a class with many constants: small instances are
+   EIJ's sweet spot, large ones blow its translation up. *)
+
+let formula ?(bug = false) ctx ~n_ops =
+  let n = max 1 n_ops in
+  let cst fmt = Format.kasprintf (Ast.const ctx) fmt in
+  let head = cst "h" and tail = cst "t" in
+  let addr = Array.init n (fun k -> cst "sa%d" k) in
+  let stored = Array.init n (fun k -> cst "w%d" k) in
+  let mem0 idx = Ast.app ctx "mem0" [ idx ] in
+  (* Memory after the stores: w_k sits at address addr_k. *)
+  let read a =
+    let rec overlay k =
+      if k < 0 then mem0 a
+      else Ast.tite ctx (Ast.eq ctx a addr.(k)) stored.(k) (overlay (k - 1))
+    in
+    overlay (n - 1)
+  in
+  (* Store address k sits in the allocation window [t+k, t+n]. *)
+  let window =
+    List.concat
+      (List.init n (fun k ->
+           [
+             Ast.le ctx (Ast.plus ctx tail k) addr.(k);
+             Ast.le ctx addr.(k) (Ast.plus ctx tail n);
+           ]))
+  in
+  (* Occupancy: every load address h .. h+n-1 stays below the tail. *)
+  let slack = if bug then (n - 1) / 2 else n - 1 in
+  let occupancy = Ast.lt ctx (Ast.plus ctx head slack) tail in
+  let loads_clean =
+    List.init n (fun d ->
+        let a = Ast.plus ctx head d in
+        Ast.eq ctx (read a) (mem0 a))
+  in
+  (* Pointer sanity: loads stay below every store slot. *)
+  let sanity =
+    List.init n (fun k ->
+        Ast.lt ctx (Ast.plus ctx head (n - 1)) (Ast.plus ctx addr.(k) 1))
+  in
+  Ast.implies ctx
+    (Ast.and_list ctx (occupancy :: window))
+    (Ast.and_list ctx (loads_clean @ sanity))

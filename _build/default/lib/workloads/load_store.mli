@@ -1,0 +1,18 @@
+(** Load-store queue address disambiguation (load-store-unit family).
+
+    Models the paper's industrial load-store-unit benchmarks: [n] stores land
+    at symbolic addresses hypothesized within the allocation window above the
+    tail pointer, while [n] loads drain from the head; the memory is an
+    uninterpreted [mem0] overlaid with the store values. Under the occupancy
+    hypothesis [h + n − 1 < t] no load aliases any store, so every load
+    returns the original memory value — succ/pred-heavy separation reasoning
+    over a class with many constants and offsets up to the queue length.
+    Small instances are the EIJ sweet spot of paper Fig. 3; large ones blow
+    its translation up.
+
+    With [~bug:true] the occupancy hypothesis covers only half the loads, so
+    later loads may alias stores. *)
+
+module Ast = Sepsat_suf.Ast
+
+val formula : ?bug:bool -> Ast.ctx -> n_ops:int -> Ast.formula

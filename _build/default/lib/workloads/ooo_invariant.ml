@@ -1,0 +1,66 @@
+module Ast = Sepsat_suf.Ast
+
+(* The invariant relates the timestamps of in-flight instructions through a
+   sparse window of ordering constraints (issue/execute/commit precedences
+   with small bounded skews), and binds every entry's value through the
+   uninterpreted [data]. The interesting structural properties, per the
+   paper's §5 discussion of these benchmarks:
+   - one large constant class with relatively few separation predicates,
+     whose elimination graph nonetheless densifies (the [data] chains compare
+     all tags pairwise inside ITE guards), so EIJ's transitivity constraints
+     explode;
+   - every uninterpreted application sits under a negative equality, so
+     almost nothing is a p-function application. *)
+
+let formula ?(bug = false) ctx ~n_entries =
+  let n = max 4 n_entries in
+  let rng = Random.State.make [| n; 0x0005e4 |] in
+  let cst fmt = Format.kasprintf (Ast.const ctx) fmt in
+  let tag = Array.init n (fun i -> cst "a%d" i) in
+  let value = Array.init n (fun i -> cst "v%d" i) in
+  let data a = Ast.app ctx "data" [ a ] in
+  let window = max 2 (n / 3) in
+  (* Sparse precedence edges i -> j (i < j) with small skews. *)
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    let degree = 1 + Random.State.int rng 2 in
+    for _ = 1 to degree do
+      let j = i + 1 + Random.State.int rng (min window (n - 1 - i)) in
+      let off = Random.State.int rng 4 - 1 in
+      edges := (i, j, off) :: !edges
+    done
+  done;
+  let edges = Array.of_list (List.rev !edges) in
+  let edge_atom (i, j, off) = Ast.lt ctx tag.(i) (Ast.plus ctx tag.(j) off) in
+  let hypotheses =
+    Array.to_list (Array.map edge_atom edges)
+    @ List.init n (fun i -> Ast.eq ctx value.(i) (data tag.(i)))
+  in
+  (* Conclusions: weakenings of single edges and of two-edge paths — valid
+     consequences needing genuine difference reasoning. *)
+  let weakenings =
+    Array.to_list
+      (Array.map (fun (i, j, off) -> edge_atom (i, j, off + 1)) edges)
+  in
+  let paths = ref [] in
+  Array.iter
+    (fun (i, j, o1) ->
+      Array.iter
+        (fun (j', k, o2) ->
+          if j = j' && List.length !paths < 2 * n then
+            let slack = Random.State.int rng 2 in
+            paths :=
+              Ast.lt ctx tag.(i) (Ast.plus ctx tag.(k) (o1 + o2 - 1 + slack))
+              :: !paths)
+        edges)
+    edges;
+  let rebindings = List.init n (fun i -> Ast.eq ctx value.(i) (data tag.(i))) in
+  let unjustified =
+    (* No precedence path leads from a later entry back to an earlier one,
+       so this atom does not follow from the hypotheses. *)
+    if bug then [ Ast.lt ctx tag.(n - 1) tag.(0) ] else []
+  in
+  let conclusion =
+    Ast.and_list ctx (weakenings @ !paths @ rebindings @ unjustified)
+  in
+  Ast.implies ctx (Ast.and_list ctx hypotheses) conclusion

@@ -1,0 +1,24 @@
+(** Out-of-order core timestamp invariant (invariant-checking family).
+
+    Models the paper's out-of-order microprocessor invariant-checking
+    benchmarks [11], the family where SD beats EIJ and HYBRID (paper Fig. 5):
+    a window of in-flight instructions carries timestamp tags related by a
+    sparse set of precedence constraints with small skews, and every entry's
+    value is bound through the uninterpreted [data]. The invariant's valid
+    consequences (skew weakenings, two-edge path bounds) need genuine
+    difference reasoning.
+
+    Structurally this reproduces the paper's description of why eager
+    per-constraint encoding loses here: one large constant class whose
+    per-class separation-predicate count stays moderate, while the [data]
+    elimination chains compare all tags pairwise inside ITE guards — so the
+    transitivity-constraint generation densifies and blows up; and every
+    uninterpreted application sits under a negative equality, so almost
+    nothing is a p-function application.
+
+    With [~bug:true] the conclusion gains an ordering atom with no supporting
+    precedence path, making the formula invalid. *)
+
+module Ast = Sepsat_suf.Ast
+
+val formula : ?bug:bool -> Ast.ctx -> n_entries:int -> Ast.formula

@@ -1,0 +1,64 @@
+module Ast = Sepsat_suf.Ast
+
+let shuffle rng a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let formula ?(bug = false) ctx ~n_instructions ~seed =
+  let n = max 2 n_instructions in
+  let rng = Random.State.make [| seed; 0x9d7e11 |] in
+  let cst fmt = Format.kasprintf (Ast.const ctx) fmt in
+  let init idx = Ast.app ctx "rf0" [ idx ] in
+  let dst = Array.init n (fun i -> cst "d%d" i) in
+  let src1 = Array.init n (fun i -> cst "s1_%d" i) in
+  let src2 = Array.init n (fun i -> cst "s2_%d" i) in
+  let opc = Array.init n (fun i -> cst "op%d" i) in
+  (* All operands come from the initial state: an independent issue bundle. *)
+  let res =
+    Array.init n (fun i ->
+        Ast.app ctx "alu" [ opc.(i); init src1.(i); init src2.(i) ])
+  in
+  (* The buggy implementation swaps the last instruction's ALU operands —
+     invalid, since alu is uninterpreted. *)
+  let impl_res =
+    Array.init n (fun i ->
+        if bug && i = n - 1 then
+          Ast.app ctx "alu" [ opc.(i); init src2.(i); init src1.(i) ]
+        else res.(i))
+  in
+  (* Reading a register after committing the results in the given order:
+     the latest write wins. *)
+  let read_after results order idx =
+    Array.fold_left
+      (fun acc i -> Ast.tite ctx (Ast.eq ctx idx dst.(i)) results.(i) acc)
+      (init idx) order
+  in
+  let program_order = Array.init n (fun i -> i) in
+  let buffer_order =
+    let o = shuffle rng program_order in
+    if o = program_order then Array.init n (fun i -> (i + 1) mod n) else o
+  in
+  let probes = [ cst "probe0"; cst "probe1" ] in
+  let distinct_pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      distinct_pairs :=
+        Ast.not_ ctx (Ast.eq ctx dst.(i) dst.(j)) :: !distinct_pairs
+    done
+  done;
+  let agree idx =
+    Ast.eq ctx
+      (read_after res program_order idx)
+      (read_after impl_res buffer_order idx)
+  in
+  let conclusion =
+    Ast.and_list ctx
+      (List.map agree probes @ Array.to_list (Array.map (fun d -> agree d) dst))
+  in
+  Ast.implies ctx (Ast.and_list ctx !distinct_pairs) conclusion

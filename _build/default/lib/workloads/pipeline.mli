@@ -1,0 +1,19 @@
+(** Superscalar commit-reordering correctness (processor-verification
+    family).
+
+    Models the paper's pipelined-processor benchmarks [4, 8]: a bundle of
+    instructions reads operands from the architectural register file through
+    an uninterpreted [rf0], computes results with an uninterpreted [alu], and
+    commits them — the specification in program order, the implementation in
+    a (seeded) permuted order, as a write-buffer would. Under pairwise
+    distinct destination registers the two final states agree at every probe
+    register: an equality-and-ITE-heavy valid formula whose proof needs case
+    splitting over register aliasing plus functional consistency.
+
+    With [~bug:true] one distinctness hypothesis is dropped, making the
+    formula invalid (the classic write-after-write hazard). *)
+
+module Ast = Sepsat_suf.Ast
+
+val formula :
+  ?bug:bool -> Ast.ctx -> n_instructions:int -> seed:int -> Ast.formula

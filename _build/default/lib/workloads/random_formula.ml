@@ -1,0 +1,86 @@
+module Ast = Sepsat_suf.Ast
+
+type config = {
+  n_consts : int;
+  n_bconsts : int;
+  n_funcs : int;
+  n_preds : int;
+  max_depth : int;
+  max_offset : int;
+  allow_arith : bool;
+  allow_apps : bool;
+}
+
+let default =
+  {
+    n_consts = 4;
+    n_bconsts = 2;
+    n_funcs = 2;
+    n_preds = 1;
+    max_depth = 4;
+    max_offset = 2;
+    allow_arith = true;
+    allow_apps = true;
+  }
+
+let small =
+  {
+    n_consts = 3;
+    n_bconsts = 1;
+    n_funcs = 1;
+    n_preds = 1;
+    max_depth = 3;
+    max_offset = 1;
+    allow_arith = true;
+    allow_apps = true;
+  }
+
+let equality_only = { default with allow_arith = false }
+
+let generate cfg ctx ~seed =
+  let rng = Random.State.make [| seed; 0x5ef5a7 |] in
+  let pick n = Random.State.int rng (max n 1) in
+  let const () = Ast.const ctx (Printf.sprintf "x%d" (pick cfg.n_consts)) in
+  let bconst () = Ast.bconst ctx (Printf.sprintf "b%d" (pick cfg.n_bconsts)) in
+  let rec term depth =
+    let choices =
+      if depth <= 0 then [ `Const ]
+      else
+        [ `Const; `Const ]
+        @ (if cfg.allow_arith then [ `Offset ] else [])
+        @ (if cfg.allow_apps && cfg.n_funcs > 0 then [ `App; `App ] else [])
+        @ [ `Ite ]
+    in
+    match List.nth choices (pick (List.length choices)) with
+    | `Const -> const ()
+    | `Offset ->
+      let k = pick ((2 * cfg.max_offset) + 1) - cfg.max_offset in
+      Ast.plus ctx (term (depth - 1)) k
+    | `App ->
+      let f = Printf.sprintf "f%d" (pick cfg.n_funcs) in
+      let arity = 1 + pick 2 in
+      Ast.app ctx
+        (Printf.sprintf "%s_%d" f arity)
+        (List.init arity (fun _ -> term (depth - 1)))
+    | `Ite -> Ast.tite ctx (formula (depth - 1)) (term (depth - 1)) (term (depth - 1))
+  and formula depth =
+    let choices =
+      if depth <= 0 then [ `Atom; `Bconst ]
+      else
+        [ `Atom; `Atom; `Not; `And; `Or; `Implies; `Bconst ]
+        @ if cfg.allow_apps && cfg.n_preds > 0 then [ `Papp ] else []
+    in
+    match List.nth choices (pick (List.length choices)) with
+    | `Atom ->
+      let t1 = term (depth - 1) and t2 = term (depth - 1) in
+      if cfg.allow_arith && pick 2 = 0 then Ast.lt ctx t1 t2 else Ast.eq ctx t1 t2
+    | `Bconst -> bconst ()
+    | `Not -> Ast.not_ ctx (formula (depth - 1))
+    | `And -> Ast.and_ ctx (formula (depth - 1)) (formula (depth - 1))
+    | `Or -> Ast.or_ ctx (formula (depth - 1)) (formula (depth - 1))
+    | `Implies -> Ast.implies ctx (formula (depth - 1)) (formula (depth - 1))
+    | `Papp ->
+      let p = Printf.sprintf "p%d" (pick cfg.n_preds) in
+      Ast.papp ctx p [ term (depth - 1) ]
+  in
+  formula cfg.max_depth

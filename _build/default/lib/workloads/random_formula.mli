@@ -1,0 +1,29 @@
+(** Deterministic random SUF formulas.
+
+    Small random formulas over a handful of constants, functions and
+    predicates, used by the property-based tests to cross-check the decision
+    procedures against the brute-force oracle. Validity of a generated
+    formula is not known a priori — that is the point. *)
+
+module Ast = Sepsat_suf.Ast
+
+type config = {
+  n_consts : int;  (** symbolic constants drawn from *)
+  n_bconsts : int;
+  n_funcs : int;  (** unary/binary uninterpreted functions *)
+  n_preds : int;
+  max_depth : int;
+  max_offset : int;  (** succ/pred chain length *)
+  allow_arith : bool;  (** succ/pred and [<] atoms *)
+  allow_apps : bool;  (** uninterpreted applications *)
+}
+
+val default : config
+
+val small : config
+(** Few constants and shallow depth — cheap enough for the brute oracle. *)
+
+val equality_only : config
+(** No arithmetic: the EUF fragment. *)
+
+val generate : config -> Ast.ctx -> seed:int -> Ast.formula

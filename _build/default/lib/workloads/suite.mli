@@ -1,0 +1,43 @@
+(** The benchmark suite standing in for the paper's 49 SUF formulas (§3).
+
+    49 valid formulas drawn from the same six problem domains the paper
+    lists: 39 non-invariant-checking benchmarks (processor pipelines,
+    load-store units, cache coherence, translation validation, device
+    drivers) and 10 out-of-order invariant-checking benchmarks. DAG sizes
+    span roughly the paper's 100–7500 node range. Every benchmark also has an
+    invalid mutation used by the soundness tests. *)
+
+module Ast = Sepsat_suf.Ast
+
+type family =
+  | Pipeline
+  | Load_store
+  | Ooo_invariant
+  | Cache
+  | Trans_valid
+  | Device_driver
+
+val family_name : family -> string
+
+type benchmark = {
+  name : string;
+  family : family;
+  invariant_checking : bool;
+      (** the 10 benchmarks of the paper's Fig. 5 discussion *)
+  build : ?bug:bool -> Ast.ctx -> Ast.formula;
+}
+
+val benchmarks : benchmark list
+(** All 49, non-invariant first. *)
+
+val non_invariant : benchmark list
+(** The 39 benchmarks of Figs. 4 and 6. *)
+
+val invariant_checking : benchmark list
+(** The 10 benchmarks of Fig. 5. *)
+
+val sample16 : benchmark list
+(** A 16-benchmark sample with at least one per domain — the paper's §3
+    sample used for Fig. 3 and the SEP_THOLD selection. *)
+
+val find : string -> benchmark option

@@ -1,0 +1,36 @@
+module Ast = Sepsat_suf.Ast
+
+let formula ?(bug = false) ctx ~n_blocks ~seed =
+  let n = max 1 n_blocks in
+  let rng = Random.State.make [| seed; 0x7c3a55 |] in
+  let cst fmt = Format.kasprintf (Ast.const ctx) fmt in
+  let equalities = ref [] in
+  let prev_x = ref None in
+  for b = 0 to n - 1 do
+    let x = cst "x%d" b and y = cst "y%d" b in
+    let f t = Ast.app ctx (Printf.sprintf "op%d" b) [ t ] in
+    (* Blocks share live-in variables with their predecessor, so the whole
+       run lands in one constant class without compounding term sizes. *)
+    let u =
+      match !prev_x with
+      | Some px when Random.State.bool rng -> px
+      | Some _ | None ->
+        Ast.plus ctx x (if Random.State.int rng 4 = 0 then 1 else 0)
+    in
+    let w = Ast.app ctx "sel" [ y ] in
+    let guard =
+      match Random.State.int rng 4 with
+      | 0 -> Ast.eq ctx x y
+      | 1 -> Ast.lt ctx x y
+      | 2 -> Ast.lt ctx y x
+      | _ -> Ast.lt ctx x (Ast.plus ctx y 1)
+    in
+    let source = Ast.tite ctx guard (f u) (f w) in
+    let target =
+      if bug && b = n - 1 then f (Ast.tite ctx guard w u)
+      else f (Ast.tite ctx guard u w)
+    in
+    equalities := Ast.eq ctx source target :: !equalities;
+    prev_x := Some x
+  done;
+  Ast.and_list ctx (List.rev !equalities)

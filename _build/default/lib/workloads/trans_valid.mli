@@ -1,0 +1,16 @@
+(** Translation validation of if-conversion (software family).
+
+    Models the paper's Code Validation tool benchmarks [13]: a source program
+    block computes [ITE(g, f(u), f(w))] — a branch with the operation in both
+    arms — while the scheduled target hoists the operation past the branch
+    and computes [f(ITE(g, u, w))]. The blocks' outputs must agree; the proof
+    needs case splits on the (equality or arithmetic) guards plus functional
+    consistency of the uninterpreted operations. Blocks are chained so later
+    guards mention earlier outputs.
+
+    With [~bug:true] the last block's target branch arms are swapped — the
+    classic selection-inversion miscompilation. *)
+
+module Ast = Sepsat_suf.Ast
+
+val formula : ?bug:bool -> Ast.ctx -> n_blocks:int -> seed:int -> Ast.formula

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Sepsat_baselines Sepsat_sep Sepsat_suf Sepsat_util Sepsat_workloads

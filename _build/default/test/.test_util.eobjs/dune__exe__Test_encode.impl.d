@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Hashtbl List Printf QCheck2 QCheck_alcotest Sepsat_encode Sepsat_prop Sepsat_sat Sepsat_sep Sepsat_suf Sepsat_theory Sepsat_util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Format List QCheck2 QCheck_alcotest Sepsat Sepsat_harness Sepsat_sep Sepsat_workloads String

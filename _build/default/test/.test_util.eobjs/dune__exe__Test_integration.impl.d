@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Format List QCheck2 QCheck_alcotest Sepsat Sepsat_sep Sepsat_suf Sepsat_util Sepsat_workloads String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest List Sepsat Sepsat_model Sepsat_suf

@@ -1,0 +1,1 @@
+test/test_prop.ml: Alcotest Array List QCheck2 QCheck_alcotest Sepsat_prop Sepsat_sat

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Format List Printf QCheck2 QCheck_alcotest Sepsat_sat Sepsat_util String

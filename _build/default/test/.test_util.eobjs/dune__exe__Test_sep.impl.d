@@ -1,0 +1,1 @@
+test/test_sep.ml: Alcotest Array Format List QCheck2 QCheck_alcotest Sepsat_sep Sepsat_suf Sepsat_util Sepsat_workloads

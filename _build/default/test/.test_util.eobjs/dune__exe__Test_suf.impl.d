@@ -1,0 +1,1 @@
+test/test_suf.ml: Alcotest List Printf QCheck2 QCheck_alcotest Sepsat Sepsat_sep Sepsat_suf Sepsat_util Sepsat_workloads String

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest List QCheck2 QCheck_alcotest Sepsat_theory

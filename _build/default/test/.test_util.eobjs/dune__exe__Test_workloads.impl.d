@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Sepsat_suf Sepsat_util Sepsat_workloads

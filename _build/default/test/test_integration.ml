@@ -1,0 +1,288 @@
+(* End-to-end cross-validation: the same validity question answered through
+   six independent paths — SD, EIJ, HYBRID, SVC-style tableau, CVC-style
+   lazy refinement, and a brute-force small-model oracle — plus countermodel
+   replay at both the separation-logic and the first-order level. *)
+
+module Ast = Sepsat_suf.Ast
+module Parse = Sepsat_suf.Parse
+module Interp = Sepsat_suf.Interp
+module Elim = Sepsat_suf.Elim
+module Decide = Sepsat.Decide
+module Countermodel = Sepsat.Countermodel
+module Verdict = Sepsat_sep.Verdict
+module Brute = Sepsat_sep.Brute
+module Deadline = Sepsat_util.Deadline
+module Random_formula = Sepsat_workloads.Random_formula
+module Suite = Sepsat_workloads.Suite
+
+let all_methods =
+  [
+    Decide.Sd;
+    Decide.Eij;
+    Decide.Hybrid_default;
+    Decide.Hybrid_at 0;
+    Decide.Svc_baseline;
+    Decide.Lazy_baseline;
+  ]
+
+let method_name m = Format.asprintf "%a" Decide.pp_method m
+
+(* Interpretation with defaults: constants simplified out of the normalized
+   formula may be missing from the assignment; they cannot influence its
+   value. *)
+let interp_with_defaults (a : Brute.assignment) =
+  {
+    Interp.func =
+      (fun n args ->
+        match (args, List.assoc_opt n a.Brute.ints) with
+        | [], Some v -> v
+        | [], None -> 0
+        | _ -> invalid_arg "application in sep formula");
+    Interp.pred =
+      (fun n args ->
+        match (args, List.assoc_opt n a.Brute.bools) with
+        | [], Some b -> b
+        | [], None -> false
+        | _ -> invalid_arg "application in sep formula");
+  }
+
+(* Decide [f] with [m]; check countermodels falsify both F_sep and the
+   original formula; return the verdict as a bool. *)
+let decide_checked m ctx f =
+  let r = Decide.decide ~method_:m ~deadline:(Deadline.after 30.) ctx f in
+  match r.Decide.verdict with
+  | Verdict.Valid -> true
+  | Verdict.Invalid assignment ->
+    let sep_value =
+      Interp.eval (interp_with_defaults assignment) r.Decide.elim.Elim.formula
+    in
+    if sep_value then
+      Alcotest.failf "%s: countermodel does not falsify F_sep of %s"
+        (method_name m) (Ast.to_string f);
+    let lifted = Countermodel.lift r.Decide.elim assignment in
+    if Interp.eval lifted f then
+      Alcotest.failf "%s: lifted countermodel does not falsify %s"
+        (method_name m) (Ast.to_string f);
+    false
+  | Verdict.Unknown why ->
+    Alcotest.failf "%s: unknown (%s) on %s" (method_name m) why
+      (Ast.to_string f)
+
+(* (a) application-free random formulas against the brute oracle *)
+let oracle_config =
+  {
+    Random_formula.small with
+    Random_formula.allow_apps = false;
+    n_consts = 3;
+    max_depth = 4;
+  }
+
+let prop_against_oracle =
+  QCheck2.Test.make ~name:"six procedures vs brute-force oracle" ~count:150
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let ctx = Ast.create_ctx () in
+      let f = Random_formula.generate oracle_config ctx ~seed in
+      let expected = Brute.valid f in
+      List.for_all (fun m -> decide_checked m ctx f = expected) all_methods)
+
+(* (b) with uninterpreted applications: mutual agreement of the six paths *)
+let prop_mutual_agreement =
+  QCheck2.Test.make ~name:"six procedures agree (with applications)" ~count:120
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let ctx = Ast.create_ctx () in
+      let f = Random_formula.generate Random_formula.small ctx ~seed in
+      let verdicts = List.map (fun m -> decide_checked m ctx f) all_methods in
+      match verdicts with
+      | [] -> false
+      | v :: rest -> List.for_all (( = ) v) rest)
+
+(* (c) equality-only fragment (the EUF sublogic) *)
+let prop_euf_fragment =
+  QCheck2.Test.make ~name:"EUF fragment agreement" ~count:100
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let ctx = Ast.create_ctx () in
+      let f =
+        Random_formula.generate
+          { Random_formula.equality_only with n_consts = 3; max_depth = 3 }
+          ctx ~seed
+      in
+      let verdicts = List.map (fun m -> decide_checked m ctx f) all_methods in
+      match verdicts with
+      | [] -> false
+      | v :: rest -> List.for_all (( = ) v) rest)
+
+(* (d) hybrid verdicts are threshold-invariant *)
+let prop_threshold_invariance =
+  QCheck2.Test.make ~name:"hybrid verdict is threshold-invariant" ~count:100
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let ctx = Ast.create_ctx () in
+      let f = Random_formula.generate Random_formula.small ctx ~seed in
+      let verdicts =
+        List.map
+          (fun t -> decide_checked (Decide.Hybrid_at t) ctx f)
+          [ 0; 3; 50; max_int ]
+      in
+      match verdicts with
+      | [] -> false
+      | v :: rest -> List.for_all (( = ) v) rest)
+
+(* (e) small suite representatives: valid as generated, invalid when bugged,
+   under every method *)
+let suite_cases =
+  [ "pipe.1"; "lsu.1"; "cache.1"; "tv.1"; "drv.2"; "ooo.0" ]
+
+let test_suite_validity () =
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> Alcotest.failf "missing benchmark %s" name
+      | Some b ->
+        List.iter
+          (fun m ->
+            (* SVC cannot finish the hardware benchmarks: skip it there *)
+            let skip =
+              m = Decide.Svc_baseline
+              && not (String.length name >= 3 && String.sub name 0 3 = "drv")
+            in
+            if not skip then begin
+              let ctx = Ast.create_ctx () in
+              let f = b.Suite.build ctx in
+              if not (decide_checked m ctx f) then
+                Alcotest.failf "%s should be valid under %s" name
+                  (method_name m);
+              let ctx2 = Ast.create_ctx () in
+              let fb = b.Suite.build ~bug:true ctx2 in
+              if decide_checked m ctx2 fb then
+                Alcotest.failf "%s bug variant should be invalid under %s" name
+                  (method_name m)
+            end)
+          [ Decide.Hybrid_default; Decide.Sd; Decide.Eij; Decide.Lazy_baseline;
+            Decide.Svc_baseline ])
+    suite_cases
+
+(* certified Valid verdicts: the DRUP trace of the whole pipeline replays
+   through the independent checker *)
+let prop_certified_validity =
+  QCheck2.Test.make ~name:"valid verdicts certify via DRUP" ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let ctx = Ast.create_ctx () in
+      let f = Random_formula.generate Random_formula.small ctx ~seed in
+      let r =
+        Decide.decide ~method_:Decide.Hybrid_default ~certify:true
+          ~deadline:(Deadline.after 30.) ctx f
+      in
+      match (r.Decide.verdict, r.Decide.certified) with
+      | Verdict.Valid, Some true -> true
+      | Verdict.Valid, (Some false | None) -> false
+      | Verdict.Invalid _, None -> true
+      | Verdict.Invalid _, Some _ -> false
+      | Verdict.Unknown _, _ -> false)
+
+let test_certified_suite () =
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> Alcotest.failf "missing %s" name
+      | Some b ->
+        let ctx = Ast.create_ctx () in
+        let f = b.Suite.build ctx in
+        let r =
+          Decide.decide ~certify:true ~deadline:(Deadline.after 30.) ctx f
+        in
+        (match (r.Decide.verdict, r.Decide.certified) with
+        | Verdict.Valid, Some true -> ()
+        | _ -> Alcotest.failf "%s should be valid and certified" name))
+    [ "pipe.1"; "lsu.1"; "cache.2"; "tv.1"; "drv.2" ]
+
+(* (f) the textual pipeline: parse, decide, verify a known countermodel *)
+let test_parse_decide () =
+  let ctx = Ast.create_ctx () in
+  let f =
+    Parse.formula ctx
+      "(=> (and (<= h t) (< (succ h) t)) (not (= (+ h 1) t)))"
+  in
+  let r = Decide.decide ctx f in
+  (match r.Decide.verdict with
+  | Verdict.Valid -> ()
+  | Verdict.Invalid _ | Verdict.Unknown _ ->
+    Alcotest.fail "queue-pointer fact should be valid");
+  let g = Parse.formula ctx "(=> (<= h t) (not (= (+ h 1) t)))" in
+  match (Decide.decide ctx g).Decide.verdict with
+  | Verdict.Invalid _ -> ()
+  | Verdict.Valid | Verdict.Unknown _ ->
+    Alcotest.fail "weakened hypothesis should be falsifiable"
+
+(* (g) hand-picked regressions across the full pipeline *)
+let regression_cases =
+  [
+    (* validity, formula *)
+    (true, "(= x x)");
+    (false, "(= x y)");
+    (true, "(=> (= a b) (= (f (g a)) (f (g b))))");
+    (false, "(=> (= (f a) (f b)) (= a b))");
+    (true, "(= (ite (< x y) x y) (ite (< y x) y x))");
+    (true, "(=> (and (< x y) (< y z)) (< x (+ z 1)))");
+    (false, "(=> (< x (+ y 5)) (< x y))");
+    (true, "(=> (< (+ x 2) (+ y 2)) (< x y))");
+    (true, "(iff (P x) (P x))");
+    (false, "(iff (P x) (P y))");
+    (true, "(=> (and (= x y) (P (f x))) (P (f y)))");
+    (true, "(or (= x y) (or (< x y) (< y x)))");
+    (false, "(or (= x y) (< x y))");
+    (true, "(not (< x x))");
+    (true, "(not (= (succ x) x))");
+    (true, "(=> (= (succ x) y) (< x y))");
+    (* positive-equality corner cases: p-terms under diverse interpretation *)
+    (false, "(= (f a) (g a))");
+    (true, "(not (= (f a) (+ (f a) 1)))");
+    (false, "(< (f a) (g a))");
+    (true, "(or (< (f a) (g a)) (or (= (f a) (g a)) (< (g a) (f a))))");
+    (* predicate arguments normalize through succ/plus sugar *)
+    (true, "(=> (P (+ x 1)) (P (succ x)))");
+    (false, "(=> (P x) (P (+ x 1)))");
+    (* purely propositional formulas take the degenerate path *)
+    (true, "(iff (and b c) (and c b))");
+    (false, "(=> (or b c) (and b c))");
+  ]
+
+let test_regressions () =
+  List.iter
+    (fun (expected, text) ->
+      List.iter
+        (fun m ->
+          let ctx = Ast.create_ctx () in
+          let f = Parse.formula ctx text in
+          if decide_checked m ctx f <> expected then
+            Alcotest.failf "%s: expected %b for %s" (method_name m) expected
+              text)
+        all_methods)
+    regression_cases
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "agreement",
+        [
+          QCheck_alcotest.to_alcotest prop_against_oracle;
+          QCheck_alcotest.to_alcotest prop_mutual_agreement;
+          QCheck_alcotest.to_alcotest prop_euf_fragment;
+          QCheck_alcotest.to_alcotest prop_threshold_invariance;
+        ] );
+      ( "suite",
+        [ Alcotest.test_case "validity and bugs" `Slow test_suite_validity ] );
+      ( "certification",
+        [
+          QCheck_alcotest.to_alcotest prop_certified_validity;
+          Alcotest.test_case "suite certifies" `Quick test_certified_suite;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "parse and decide" `Quick test_parse_decide;
+          Alcotest.test_case "regressions" `Quick test_regressions;
+        ] );
+    ]

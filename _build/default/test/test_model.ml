@@ -1,0 +1,150 @@
+(* Tests for the term-level transition-system checker (BMC + k-induction). *)
+
+module Ast = Sepsat_suf.Ast
+module Ts = Sepsat_model.Transition_system
+module Decide = Sepsat.Decide
+
+(* A FIFO pointer pair: enqueue advances the tail, a guarded dequeue
+   advances the head; head <= tail is inductive. *)
+let fifo ctx ~guarded =
+  Ts.define ~ctx ~name:"fifo" ~int_vars:[ "head"; "tail" ] ~bool_vars:[]
+    ~init:(fun s -> Ast.eq ctx (Ts.int_var s "head") (Ts.int_var s "tail"))
+    ~next:(fun s ->
+      let h = Ts.int_var s "head" and t = Ts.int_var s "tail" in
+      let do_deq =
+        if guarded then
+          Ast.and_ ctx (Ts.bool_input s "deq") (Ast.lt ctx h t)
+        else Ts.bool_input s "deq"
+      in
+      [
+        ("tail",
+         `I (Ast.tite ctx (Ts.bool_input s "enq") (Ast.plus ctx t 1) t));
+        ("head", `I (Ast.tite ctx do_deq (Ast.plus ctx h 1) h));
+      ])
+    ()
+
+let ordered ctx s = Ast.le ctx (Ts.int_var s "head") (Ts.int_var s "tail")
+
+let test_fifo_bmc () =
+  let ctx = Ast.create_ctx () in
+  let sys = fifo ctx ~guarded:true in
+  match Ts.bmc sys ~property:(ordered ctx) ~depth:6 with
+  | Ts.Proved -> ()
+  | Ts.Counterexample _ | Ts.Inconclusive _ ->
+    Alcotest.fail "guarded fifo should pass bounded checking"
+
+let test_fifo_induction () =
+  let ctx = Ast.create_ctx () in
+  let sys = fifo ctx ~guarded:true in
+  match Ts.induction sys ~property:(ordered ctx) with
+  | Ts.Proved -> ()
+  | Ts.Counterexample _ | Ts.Inconclusive _ ->
+    Alcotest.fail "head <= tail should be inductive"
+
+let test_fifo_bug_trace () =
+  let ctx = Ast.create_ctx () in
+  let sys = fifo ctx ~guarded:false in
+  match Ts.bmc sys ~property:(ordered ctx) ~depth:4 with
+  | Ts.Counterexample trace ->
+    Alcotest.(check int) "fails at the first step" 1 trace.Ts.depth;
+    Alcotest.(check int) "trace covers both steps" 2
+      (List.length trace.Ts.states);
+    (* the decoded trace must actually violate the property at the end *)
+    let last = List.assoc trace.Ts.depth trace.Ts.states in
+    let head = int_of_string (List.assoc "head" last) in
+    let tail = int_of_string (List.assoc "tail" last) in
+    Alcotest.(check bool) "violation is real" true (head > tail)
+  | Ts.Proved | Ts.Inconclusive _ ->
+    Alcotest.fail "the unguarded dequeue bug must be found"
+
+(* A mutual-exclusion token: the token sits with exactly one of two agents;
+   a swap exchanges it. Needs k = 1 induction with a Boolean state. *)
+let test_token_protocol () =
+  let ctx = Ast.create_ctx () in
+  let sys =
+    Ts.define ~ctx ~name:"token" ~int_vars:[] ~bool_vars:[ "t0"; "t1" ]
+      ~init:(fun s ->
+        Ast.and_ ctx (Ts.bool_var s "t0") (Ast.not_ ctx (Ts.bool_var s "t1")))
+      ~next:(fun s ->
+        let swap = Ts.bool_input s "swap" in
+        [
+          ("t0", `B (Ast.fite ctx swap (Ts.bool_var s "t1") (Ts.bool_var s "t0")));
+          ("t1", `B (Ast.fite ctx swap (Ts.bool_var s "t0") (Ts.bool_var s "t1")));
+        ])
+      ()
+  in
+  let exclusive s =
+    Ast.not_ ctx (Ast.iff ctx (Ts.bool_var s "t0") (Ts.bool_var s "t1"))
+  in
+  (match Ts.induction sys ~property:exclusive with
+  | Ts.Proved -> ()
+  | Ts.Counterexample _ | Ts.Inconclusive _ ->
+    Alcotest.fail "token exclusivity should be inductive");
+  (* and a too-strong property is refuted at depth 1 *)
+  let always_t0 s = Ts.bool_var s "t0" in
+  match Ts.bmc sys ~property:always_t0 ~depth:3 with
+  | Ts.Counterexample trace ->
+    Alcotest.(check bool) "found after a swap" true (trace.Ts.depth >= 1)
+  | Ts.Proved | Ts.Inconclusive _ -> Alcotest.fail "t0 is not invariant"
+
+(* A counter that skips: +2 each step from 0; "counter != 1" is true but not
+   1-inductive — k-induction with k = 2 also fails here (the step case can
+   start anywhere), exercising the Inconclusive path. *)
+let test_induction_incompleteness () =
+  let ctx = Ast.create_ctx () in
+  let zero = Ast.const ctx "zero" in
+  let sys =
+    Ts.define ~ctx ~name:"skip" ~int_vars:[ "c" ] ~bool_vars:[]
+      ~init:(fun s -> Ast.eq ctx (Ts.int_var s "c") zero)
+      ~next:(fun s -> [ ("c", `I (Ast.plus ctx (Ts.int_var s "c") 2)) ])
+      ()
+  in
+  let not_one s =
+    Ast.not_ ctx (Ast.eq ctx (Ts.int_var s "c") (Ast.plus ctx zero 1))
+  in
+  (match Ts.induction sys ~property:not_one with
+  | Ts.Inconclusive _ -> ()
+  | Ts.Proved -> Alcotest.fail "c != zero+1 is not 1-inductive"
+  | Ts.Counterexample _ -> Alcotest.fail "no real counterexample exists");
+  (* bounded checking confirms it up to depth 5 *)
+  match Ts.bmc sys ~property:not_one ~depth:5 with
+  | Ts.Proved -> ()
+  | Ts.Counterexample _ | Ts.Inconclusive _ ->
+    Alcotest.fail "bmc should not find a counterexample"
+
+let test_validation_errors () =
+  let ctx = Ast.create_ctx () in
+  Alcotest.(check bool) "duplicate sorts rejected" true
+    (match
+       Ts.define ~ctx ~int_vars:[ "x" ] ~bool_vars:[ "x" ]
+         ~init:(fun _ -> Ast.tru ctx)
+         ~next:(fun _ -> [])
+         ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let sys =
+    Ts.define ~ctx ~int_vars:[ "x" ] ~bool_vars:[]
+      ~init:(fun _ -> Ast.tru ctx)
+      ~next:(fun s -> [ ("y", `I (Ts.int_var s "x")) ])
+      ()
+  in
+  Alcotest.(check bool) "undeclared assignment rejected" true
+    (match Ts.bmc sys ~property:(fun _ -> Ast.tru ctx) ~depth:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "transition_system",
+        [
+          Alcotest.test_case "fifo bmc" `Quick test_fifo_bmc;
+          Alcotest.test_case "fifo induction" `Quick test_fifo_induction;
+          Alcotest.test_case "fifo bug trace" `Quick test_fifo_bug_trace;
+          Alcotest.test_case "token protocol" `Quick test_token_protocol;
+          Alcotest.test_case "induction incompleteness" `Quick
+            test_induction_incompleteness;
+          Alcotest.test_case "validation errors" `Quick test_validation_errors;
+        ] );
+    ]

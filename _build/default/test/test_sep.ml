@@ -1,0 +1,262 @@
+(* Tests for the separation-logic layer: normalization, ground maps,
+   constant classes, bounds, and the brute-force oracle. *)
+
+module Ast = Sepsat_suf.Ast
+module Parse = Sepsat_suf.Parse
+module Interp = Sepsat_suf.Interp
+module Elim = Sepsat_suf.Elim
+module Normal = Sepsat_sep.Normal
+module Ground = Sepsat_sep.Ground
+module Ground_map = Sepsat_sep.Ground_map
+module Classes = Sepsat_sep.Classes
+module Bound = Sepsat_sep.Bound
+module Brute = Sepsat_sep.Brute
+module Sset = Sepsat_util.Sset
+module Random_formula = Sepsat_workloads.Random_formula
+
+(* Random application-free formulas: eliminate a random SUF formula. *)
+let random_sep_formula ctx ~seed =
+  let f = Random_formula.generate Random_formula.default ctx ~seed in
+  (Elim.eliminate ctx f).Elim.formula
+
+let test_ground () =
+  let ctx = Ast.create_ctx () in
+  let g = Ground.make "x" 3 in
+  Alcotest.(check string) "pp" "x+3" (Format.asprintf "%a" Ground.pp g);
+  Alcotest.(check string) "pp neg" "x-2"
+    (Format.asprintf "%a" Ground.pp (Ground.make "x" (-2)));
+  let t = Ground.to_term ctx g in
+  Alcotest.(check bool) "to_term/ground_of_term" true
+    (Ground.equal g (Normal.ground_of_term t));
+  Alcotest.(check bool) "compare" true (Ground.compare g (Ground.make "x" 4) < 0)
+
+let test_normalize_shapes () =
+  let ctx = Ast.create_ctx () in
+  let f = Parse.formula ctx "(= (succ (ite b x y)) (pred (succ z)))" in
+  Alcotest.(check bool) "not yet normal" false (Normal.is_normal f);
+  let g = Normal.normalize ctx f in
+  Alcotest.(check bool) "normal" true (Normal.is_normal g);
+  (* succ pushed into the ITE branches; pred(succ z) cancelled *)
+  let expected =
+    Parse.formula ctx "(= (ite b (succ x) (succ y)) z)"
+  in
+  (* the parser canonicalizes equality operand order the same way *)
+  Alcotest.(check bool) "expected shape" true (expected == g)
+
+let prop_normalize_semantics =
+  QCheck2.Test.make ~name:"normalization preserves evaluation" ~count:200
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 1000))
+    (fun (seed, iseed) ->
+      let ctx = Ast.create_ctx () in
+      let f = random_sep_formula ctx ~seed in
+      let g = Normal.normalize ctx f in
+      Normal.is_normal g
+      && List.for_all
+           (fun k ->
+             let i = Interp.random ~seed:(iseed + k) ~range:5 in
+             Interp.eval i f = Interp.eval i g)
+           [ 0; 1; 2; 3; 4 ])
+
+let all_terms_of_atoms formula =
+  List.concat_map
+    (fun (a : Ast.formula) ->
+      match a.Ast.fnode with
+      | Ast.Eq (t1, t2) | Ast.Lt (t1, t2) -> [ t1; t2 ]
+      | _ -> [])
+    (Ast.atoms formula)
+
+(* Ground_map: the conditions for a term are exhaustive, mutually exclusive,
+   and select the ground the term actually evaluates to. *)
+let prop_ground_map =
+  QCheck2.Test.make ~name:"ground map selects the evaluated ground" ~count:200
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 1000))
+    (fun (seed, iseed) ->
+      let ctx = Ast.create_ctx () in
+      let f = Normal.normalize ctx (random_sep_formula ctx ~seed) in
+      let gm = Ground_map.create ctx in
+      let interp = Interp.random ~seed:iseed ~range:5 in
+      List.for_all
+        (fun t ->
+          let entries = Ground_map.of_term gm t in
+          let active =
+            List.filter (fun (_, c) -> Interp.eval interp c) entries
+          in
+          match active with
+          | [ (g, _) ] ->
+            Interp.eval_term interp (Ground.to_term ctx g)
+            = Interp.eval_term interp t
+          | [] | _ :: _ :: _ -> false)
+        (all_terms_of_atoms f))
+
+let test_classes_basics () =
+  let ctx = Ast.create_ctx () in
+  let f =
+    Parse.formula ctx
+      "(and (< x (+ y 2)) (and (= z w) (= (ite b u (- v 1)) u)))"
+  in
+  let nf = Normal.normalize ctx f in
+  let classes = Classes.build ~p_consts:Sset.empty nf in
+  let infos = Classes.classes classes in
+  (* {x,y}, {z,w}, {u,v} *)
+  Alcotest.(check int) "three classes" 3 (Array.length infos);
+  let class_of name =
+    match Classes.const_class classes name with
+    | Some c -> c.Classes.id
+    | None -> -1
+  in
+  Alcotest.(check bool) "x~y" true (class_of "x" = class_of "y");
+  Alcotest.(check bool) "z~w" true (class_of "z" = class_of "w");
+  Alcotest.(check bool) "u~v" true (class_of "u" = class_of "v");
+  Alcotest.(check bool) "x!~z" true (class_of "x" <> class_of "z");
+  (* offsets: y occurs at +2 and 0? y occurs only at +2; x at 0 *)
+  Alcotest.(check (pair int int)) "offsets y" (2, 2) (Classes.offsets classes "y");
+  Alcotest.(check (pair int int)) "offsets v" (-1, -1) (Classes.offsets classes "v");
+  (* range of {x, y}: gap-compression bound (n-1)(W+1)+1 with W = 2 - 0 *)
+  (match Classes.const_class classes "x" with
+  | Some c ->
+    Alcotest.(check int) "range" 4 c.Classes.range;
+    Alcotest.(check int) "shift" 0 c.Classes.shift
+  | None -> Alcotest.fail "x should be classed");
+  (match Classes.const_class classes "v" with
+  | Some c -> Alcotest.(check int) "shift clears -1" 1 c.Classes.shift
+  | None -> Alcotest.fail "v should be classed")
+
+let test_classes_p_consts () =
+  let ctx = Ast.create_ctx () in
+  let f = Parse.formula ctx "(= p (ite b q x))" in
+  let nf = Normal.normalize ctx f in
+  let classes = Classes.build ~p_consts:(Sset.of_list [ "p"; "q" ]) nf in
+  Alcotest.(check int) "only x classed" 1 (Array.length (Classes.classes classes));
+  Alcotest.(check bool) "p excluded" true (Classes.const_class classes "p" = None);
+  Alcotest.(check bool) "is_p" true (Classes.is_p classes "p");
+  let atom = List.hd (Ast.atoms nf) in
+  (match Classes.atom_class classes atom with
+  | Some c -> Alcotest.(check (list string)) "members" [ "x" ] c.Classes.members
+  | None -> Alcotest.fail "atom should belong to x's class")
+
+let test_classes_atom_partition () =
+  (* every atom's constants live in a single class *)
+  let ctx = Ast.create_ctx () in
+  let f = Normal.normalize ctx (random_sep_formula ctx ~seed:17) in
+  let classes = Classes.build ~p_consts:Sset.empty f in
+  List.iter
+    (fun atom ->
+      match Classes.atom_class classes atom with
+      | None -> ()
+      | Some c ->
+        let members = Sset.of_list c.Classes.members in
+        List.iter
+          (fun t ->
+            List.iter
+              (fun (g : Ground.t) ->
+                Alcotest.(check bool) "leaf in class" true
+                  (Sset.mem g.Ground.base members))
+              (Normal.leaves t))
+          (match atom.Ast.fnode with
+          | Ast.Eq (t1, t2) | Ast.Lt (t1, t2) -> [ t1; t2 ]
+          | _ -> []))
+    (Ast.atoms f)
+
+let test_bound_views () =
+  let v = Bound.view ~x:"a" ~y:"b" ~c:3 in
+  Alcotest.(check bool) "kept" false v.Bound.negated;
+  Alcotest.(check int) "c" 3 v.Bound.bound.Bound.c;
+  let w = Bound.view ~x:"b" ~y:"a" ~c:3 in
+  (* b - a <= 3 becomes not (a - b <= -4) *)
+  Alcotest.(check bool) "negated" true w.Bound.negated;
+  Alcotest.(check int) "flipped c" (-4) w.Bound.bound.Bound.c;
+  Alcotest.(check string) "x" "a" w.Bound.bound.Bound.x;
+  let wn = Bound.negate w in
+  Alcotest.(check bool) "negate" false wn.Bound.negated;
+  Alcotest.(check bool) "same constant" true (Bound.equal w.Bound.bound wn.Bound.bound);
+  Alcotest.(check bool) "identical rejected" true
+    (match Bound.view ~x:"a" ~y:"a" ~c:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bound_grounds () =
+  let no_p _ = false in
+  let is_p n = n = "p" in
+  let g name off = Ground.make name off in
+  (match Bound.eq_grounds ~is_p:no_p (g "x" 2) (g "x" 2) with
+  | `Static true -> ()
+  | _ -> Alcotest.fail "same ground");
+  (match Bound.eq_grounds ~is_p:no_p (g "x" 2) (g "x" 5) with
+  | `Static false -> ()
+  | _ -> Alcotest.fail "same base, different offsets");
+  (match Bound.eq_grounds ~is_p (g "p" 0) (g "x" 0) with
+  | `Static false -> ()
+  | _ -> Alcotest.fail "diverse p");
+  (match Bound.eq_grounds ~is_p:no_p (g "x" 1) (g "y" 3) with
+  | `Conj (v1, v2) ->
+    (* x - y <= 2 and y - x <= -2 *)
+    Alcotest.(check bool) "v1" true
+      (Bound.equal v1.Bound.bound { Bound.x = "x"; y = "y"; c = 2 }
+      && not v1.Bound.negated);
+    Alcotest.(check bool) "v2" true
+      (Bound.equal v2.Bound.bound { Bound.x = "x"; y = "y"; c = 1 }
+      && v2.Bound.negated)
+  | `Static _ -> Alcotest.fail "expected bounds");
+  (match Bound.lt_grounds ~is_p:no_p (g "x" 0) (g "x" 1) with
+  | `Static true -> ()
+  | _ -> Alcotest.fail "x < x+1");
+  (match Bound.lt_grounds ~is_p (g "p" 0) (g "x" 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p under inequality must be rejected")
+
+let test_brute () =
+  let valid text =
+    let ctx = Ast.create_ctx () in
+    Brute.valid (Parse.formula ctx text)
+  in
+  Alcotest.(check bool) "refl" true (valid "(= x x)");
+  Alcotest.(check bool) "x=y invalid" false (valid "(= x y)");
+  Alcotest.(check bool) "succ mono" true (valid "(< x (succ x))");
+  Alcotest.(check bool) "total order" true (valid "(or (< x y) (>= x y))");
+  Alcotest.(check bool) "transitivity" true
+    (valid "(=> (and (< x y) (< y z)) (< x z))");
+  Alcotest.(check bool) "offsets" true
+    (valid "(=> (< (+ x 3) y) (< x y))");
+  Alcotest.(check bool) "offset too weak" false
+    (valid "(=> (< x y) (< (+ x 3) y))");
+  Alcotest.(check bool) "bool atoms" true (valid "(or b (not b))");
+  (* the paper's own example *)
+  Alcotest.(check bool) "paper example" true
+    (valid "(not (and (>= x y) (and (>= y z) (>= z (succ x)))))")
+
+let test_brute_countermodel () =
+  let ctx = Ast.create_ctx () in
+  let f = Parse.formula ctx "(=> (< x y) (< y x))" in
+  match Brute.countermodel f with
+  | None -> Alcotest.fail "expected a countermodel"
+  | Some a ->
+    let i = Brute.interp_of_assignment a in
+    Alcotest.(check bool) "falsifies" false (Interp.eval i f)
+
+let () =
+  Alcotest.run "sep"
+    [
+      ("ground", [ Alcotest.test_case "basics" `Quick test_ground ]);
+      ( "normal",
+        [
+          Alcotest.test_case "shapes" `Quick test_normalize_shapes;
+          QCheck_alcotest.to_alcotest prop_normalize_semantics;
+        ] );
+      ("ground_map", [ QCheck_alcotest.to_alcotest prop_ground_map ]);
+      ( "classes",
+        [
+          Alcotest.test_case "basics" `Quick test_classes_basics;
+          Alcotest.test_case "p constants" `Quick test_classes_p_consts;
+          Alcotest.test_case "atom partition" `Quick test_classes_atom_partition;
+        ] );
+      ( "bound",
+        [
+          Alcotest.test_case "views" `Quick test_bound_views;
+          Alcotest.test_case "ground comparisons" `Quick test_bound_grounds;
+        ] );
+      ( "brute",
+        [
+          Alcotest.test_case "validity" `Quick test_brute;
+          Alcotest.test_case "countermodel" `Quick test_brute_countermodel;
+        ] );
+    ]

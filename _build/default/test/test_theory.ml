@@ -1,0 +1,170 @@
+(* Tests for the difference-constraint solver: batch Bellman-Ford checks,
+   explanations, models, and the incremental Cotton-Maler path. *)
+
+module Diff_solver = Sepsat_theory.Diff_solver
+
+let test_feasible () =
+  let ds : int Diff_solver.t = Diff_solver.create () in
+  let x = Diff_solver.node ds "x"
+  and y = Diff_solver.node ds "y"
+  and z = Diff_solver.node ds "z" in
+  (* x - y <= -1, y - z <= -1 : x < y < z *)
+  Diff_solver.assert_le ds ~x ~y ~c:(-1) ~tag:1;
+  Diff_solver.assert_le ds ~x:y ~y:z ~c:(-1) ~tag:2;
+  Alcotest.(check bool) "feasible" true (Diff_solver.infeasibility ds = None);
+  let model = Diff_solver.model ds in
+  let v n = List.assoc n model in
+  Alcotest.(check bool) "x<y" true (v "x" < v "y");
+  Alcotest.(check bool) "y<z" true (v "y" < v "z");
+  Alcotest.(check bool) "non-negative" true (List.for_all (fun (_, v) -> v >= 0) model)
+
+let test_infeasible_cycle () =
+  let ds : int Diff_solver.t = Diff_solver.create () in
+  let x = Diff_solver.node ds "x" and y = Diff_solver.node ds "y" in
+  Diff_solver.assert_le ds ~x ~y ~c:(-1) ~tag:1;
+  Diff_solver.assert_le ds ~x:y ~y:x ~c:0 ~tag:2;
+  match Diff_solver.infeasibility ds with
+  | None -> Alcotest.fail "should be infeasible"
+  | Some tags ->
+    Alcotest.(check (list int)) "explanation is the cycle" [ 1; 2 ]
+      (List.sort compare tags)
+
+let test_push_pop () =
+  let ds : int Diff_solver.t = Diff_solver.create () in
+  let x = Diff_solver.node ds "x" and y = Diff_solver.node ds "y" in
+  Diff_solver.assert_le ds ~x ~y ~c:(-1) ~tag:1;
+  Diff_solver.push ds;
+  Diff_solver.assert_le ds ~x:y ~y:x ~c:0 ~tag:2;
+  Alcotest.(check bool) "inconsistent inside" true
+    (Diff_solver.infeasibility ds <> None);
+  Diff_solver.pop ds;
+  Alcotest.(check bool) "consistent after pop" true
+    (Diff_solver.infeasibility ds = None)
+
+let test_incremental () =
+  let ds : int Diff_solver.t = Diff_solver.create () in
+  let x = Diff_solver.node ds "x"
+  and y = Diff_solver.node ds "y"
+  and z = Diff_solver.node ds "z" in
+  Alcotest.(check bool) "ok 1" true
+    (Diff_solver.assert_and_check ds ~x ~y ~c:(-2) ~tag:1);
+  Alcotest.(check bool) "ok 2" true
+    (Diff_solver.assert_and_check ds ~x:y ~y:z ~c:(-3) ~tag:2);
+  Diff_solver.push ds;
+  Alcotest.(check bool) "closing cycle rejected" false
+    (Diff_solver.assert_and_check ds ~x:z ~y:x ~c:4 ~tag:3);
+  Diff_solver.pop ds;
+  Alcotest.(check bool) "loose completion accepted" true
+    (Diff_solver.assert_and_check ds ~x:z ~y:x ~c:6 ~tag:4);
+  Alcotest.(check bool) "batch agrees" true (Diff_solver.infeasibility ds = None)
+
+(* Property: the incremental interface agrees with the batch Bellman-Ford
+   check under a random constraint sequence with pushes and pops. *)
+let prop_incremental_vs_batch =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_bound 40)
+        (oneof
+           [
+             map3
+               (fun a b c -> `Assert (a mod 6, b mod 6, c - 4))
+               small_int small_int (int_bound 8);
+             pure `Push;
+             pure `Pop;
+           ]))
+  in
+  QCheck2.Test.make ~name:"incremental vs batch" ~count:300 gen (fun ops ->
+      let ds : int Diff_solver.t = Diff_solver.create () in
+      let batch : (int * int * int) list ref = ref [] in
+      let stack = ref [] in
+      let depth = ref 0 in
+      let consistent = ref true in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if !consistent then
+            match op with
+            | `Push ->
+              Diff_solver.push ds;
+              stack := !batch :: !stack;
+              incr depth
+            | `Pop ->
+              if !depth > 0 then begin
+                Diff_solver.pop ds;
+                (match !stack with
+                | s :: rest ->
+                  batch := s;
+                  stack := rest
+                | [] -> assert false);
+                decr depth
+              end
+            | `Assert (a, b, c) ->
+              if a <> b then begin
+                let x = Diff_solver.node ds (string_of_int a) in
+                let y = Diff_solver.node ds (string_of_int b) in
+                let inc = Diff_solver.assert_and_check ds ~x ~y ~c ~tag:0 in
+                batch := (a, b, c) :: !batch;
+                (* reference check with a fresh batch solver *)
+                let ref_ds : int Diff_solver.t = Diff_solver.create () in
+                List.iter
+                  (fun (a, b, c) ->
+                    let x = Diff_solver.node ref_ds (string_of_int a) in
+                    let y = Diff_solver.node ref_ds (string_of_int b) in
+                    Diff_solver.assert_le ref_ds ~x ~y ~c ~tag:0)
+                  !batch;
+                let batch_ok = Diff_solver.infeasibility ref_ds = None in
+                if inc <> batch_ok then ok := false;
+                if not inc then consistent := false
+              end)
+        ops;
+      !ok)
+
+(* Property: on feasible systems the model satisfies every constraint; on
+   infeasible ones the explanation is a genuine negative cycle. *)
+let prop_model_and_explanation =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_bound 25)
+        (map3 (fun a b c -> (a mod 5, b mod 5, c - 3)) small_int small_int
+           (int_bound 6)))
+  in
+  QCheck2.Test.make ~name:"model / explanation soundness" ~count:300 gen
+    (fun constraints ->
+      let constraints = List.filter (fun (a, b, _) -> a <> b) constraints in
+      let ds : (int * int * int) Diff_solver.t = Diff_solver.create () in
+      List.iter
+        (fun (a, b, c) ->
+          let x = Diff_solver.node ds (string_of_int a) in
+          let y = Diff_solver.node ds (string_of_int b) in
+          Diff_solver.assert_le ds ~x ~y ~c ~tag:(a, b, c))
+        constraints;
+      match Diff_solver.infeasibility ds with
+      | None ->
+        let model = Diff_solver.model ds in
+        let v n = List.assoc (string_of_int n) model in
+        List.for_all (fun (a, b, c) -> v a - v b <= c) constraints
+      | Some cycle ->
+        (* the tagged constraints must form a cycle of negative weight *)
+        let weight = List.fold_left (fun acc (_, _, c) -> acc + c) 0 cycle in
+        let followable =
+          (* each constraint x - y <= c is an edge y -> x; a cycle means the
+             multiset of sources equals the multiset of destinations *)
+          let srcs = List.sort compare (List.map (fun (_, b, _) -> b) cycle) in
+          let dsts = List.sort compare (List.map (fun (a, _, _) -> a) cycle) in
+          srcs = dsts
+        in
+        weight < 0 && followable)
+
+let () =
+  Alcotest.run "theory"
+    [
+      ( "diff_solver",
+        [
+          Alcotest.test_case "feasible" `Quick test_feasible;
+          Alcotest.test_case "infeasible cycle" `Quick test_infeasible_cycle;
+          Alcotest.test_case "push/pop" `Quick test_push_pop;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          QCheck_alcotest.to_alcotest prop_incremental_vs_batch;
+          QCheck_alcotest.to_alcotest prop_model_and_explanation;
+        ] );
+    ]

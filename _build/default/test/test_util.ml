@@ -1,0 +1,147 @@
+(* Unit and property tests for the utility substrate: vectors, union-find,
+   deadlines. *)
+
+module Vec = Sepsat_util.Vec
+module Union_find = Sepsat_util.Union_find
+module Deadline = Sepsat_util.Deadline
+
+let test_vec_basics () =
+  let v = Vec.create ~dummy:0 in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Vec.size v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "size after pop" 99 (Vec.size v);
+  Vec.shrink v 10;
+  Alcotest.(check int) "shrink" 10 (Vec.size v);
+  Vec.clear v;
+  Alcotest.(check bool) "clear" true (Vec.is_empty v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get")
+    (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "set out of bounds" (Invalid_argument "Vec.set")
+    (fun () -> Vec.set v (-1) 0);
+  let empty = Vec.create ~dummy:0 in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Vec.pop empty))
+
+let test_vec_remove_if () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5; 6 ] in
+  Vec.remove_if (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "odds kept in order" [ 1; 3; 5 ] (Vec.to_list v)
+
+let test_vec_grow_to () =
+  let v = Vec.of_list ~dummy:0 [ 1 ] in
+  Vec.grow_to v 4 9;
+  Alcotest.(check (list int)) "grown" [ 1; 9; 9; 9 ] (Vec.to_list v);
+  Vec.grow_to v 2 7;
+  Alcotest.(check int) "no shrink" 4 (Vec.size v)
+
+let test_vec_sort () =
+  let v = Vec.of_list ~dummy:0 [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+(* Model-based property: a vector behaves like a list under a random
+   sequence of pushes and pops. *)
+let prop_vec_model =
+  QCheck2.Test.make ~name:"vec model" ~count:200
+    QCheck2.Gen.(list (oneof [ map (fun n -> `Push n) small_int; pure `Pop ]))
+    (fun ops ->
+      let v = Vec.create ~dummy:0 in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push n ->
+            Vec.push v n;
+            model := n :: !model
+          | `Pop -> (
+            match !model with
+            | [] -> ()
+            | x :: rest ->
+              model := rest;
+              if Vec.pop v <> x then failwith "pop mismatch"))
+        ops;
+      Vec.to_list v = List.rev !model)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Union_find.union uf 1 2;
+  Alcotest.(check bool) "same 0 3" true (Union_find.same uf 0 3);
+  Alcotest.(check bool) "not same 0 4" false (Union_find.same uf 0 4);
+  Alcotest.(check int) "classes" 3 (List.length (Union_find.classes uf));
+  Alcotest.(check (list (list int))) "class contents"
+    [ [ 0; 1; 2; 3 ]; [ 4 ]; [ 5 ] ]
+    (Union_find.classes uf)
+
+(* Property: union-find agrees with a naive equivalence closure. *)
+let prop_union_find =
+  QCheck2.Test.make ~name:"union-find vs naive closure" ~count:200
+    QCheck2.Gen.(list (pair (int_bound 9) (int_bound 9)))
+    (fun pairs ->
+      let n = 10 in
+      let uf = Union_find.create n in
+      List.iter (fun (a, b) -> Union_find.union uf a b) pairs;
+      (* naive: repeated relabeling *)
+      let label = Array.init n (fun i -> i) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (a, b) ->
+            let la = label.(a) and lb = label.(b) in
+            if la <> lb then begin
+              let lo = min la lb and hi = max la lb in
+              Array.iteri (fun i l -> if l = hi then label.(i) <- lo) label;
+              changed := true
+            end)
+          pairs
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Union_find.same uf i j <> (label.(i) = label.(j)) then ok := false
+        done
+      done;
+      !ok)
+
+let test_deadline () =
+  Alcotest.(check bool) "none never fires" false (Deadline.exceeded Deadline.none);
+  let d = Deadline.after 3600. in
+  Alcotest.(check bool) "distant not exceeded" false (Deadline.exceeded d);
+  Deadline.check d;
+  let past = Deadline.after (-1.) in
+  Alcotest.(check bool) "past exceeded" true (Deadline.exceeded past);
+  Alcotest.check_raises "check raises" Deadline.Timeout (fun () ->
+      Deadline.check past)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "remove_if" `Quick test_vec_remove_if;
+          Alcotest.test_case "grow_to" `Quick test_vec_grow_to;
+          Alcotest.test_case "sort" `Quick test_vec_sort;
+          QCheck_alcotest.to_alcotest prop_vec_model;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basics" `Quick test_union_find;
+          QCheck_alcotest.to_alcotest prop_union_find;
+        ] );
+      ("deadline", [ Alcotest.test_case "basics" `Quick test_deadline ]);
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the benchmark generators: determinism, structural signatures,
+   and the suite's shape. *)
+
+module Ast = Sepsat_suf.Ast
+module Elim = Sepsat_suf.Elim
+module Sset = Sepsat_util.Sset
+module Suite = Sepsat_workloads.Suite
+module Pipeline = Sepsat_workloads.Pipeline
+module Load_store = Sepsat_workloads.Load_store
+module Ooo = Sepsat_workloads.Ooo_invariant
+module Cache = Sepsat_workloads.Cache
+module Trans_valid = Sepsat_workloads.Trans_valid
+module Device_driver = Sepsat_workloads.Device_driver
+module Random_formula = Sepsat_workloads.Random_formula
+
+let test_determinism () =
+  (* generators are deterministic: rebuilt in the same context, the formula
+     hash-conses to the identical node (different families need different
+     contexts, since symbol names may clash across families) *)
+  let ctx = Ast.create_ctx () in
+  let f1 = Pipeline.formula ctx ~n_instructions:5 ~seed:3 in
+  let f2 = Pipeline.formula ctx ~n_instructions:5 ~seed:3 in
+  Alcotest.(check bool) "hash-consed equal" true (f1 == f2);
+  let ctx = Ast.create_ctx () in
+  let g1 = Trans_valid.formula ctx ~n_blocks:5 ~seed:3 in
+  let g2 = Trans_valid.formula ctx ~n_blocks:5 ~seed:3 in
+  Alcotest.(check bool) "tv deterministic" true (g1 == g2);
+  let ctx = Ast.create_ctx () in
+  let r1 = Random_formula.generate Random_formula.default ctx ~seed:9 in
+  let r2 = Random_formula.generate Random_formula.default ctx ~seed:9 in
+  Alcotest.(check bool) "random deterministic" true (r1 == r2)
+
+let test_bug_differs () =
+  List.iter
+    (fun (name, build) ->
+      let ctx = Ast.create_ctx () in
+      let good : Ast.formula = build ?bug:(Some false) ctx in
+      let bad : Ast.formula = build ?bug:(Some true) ctx in
+      Alcotest.(check bool) (name ^ " differs") false (good == bad))
+    [
+      ("pipeline", fun ?bug ctx -> Pipeline.formula ?bug ctx ~n_instructions:4 ~seed:1);
+      ("load-store", fun ?bug ctx -> Load_store.formula ?bug ctx ~n_ops:4);
+      ("ooo", fun ?bug ctx -> Ooo.formula ?bug ctx ~n_entries:6);
+      ("cache", fun ?bug ctx -> Cache.formula ?bug ctx ~n_caches:3);
+      ("tv", fun ?bug ctx -> Trans_valid.formula ?bug ctx ~n_blocks:4 ~seed:1);
+      ("drv", fun ?bug ctx -> Device_driver.formula ?bug ctx ~n_steps:6 ~seed:1);
+    ]
+
+let test_sizes_grow () =
+  let size build n =
+    let ctx = Ast.create_ctx () in
+    Ast.size (build ctx n)
+  in
+  let grows build =
+    size build 4 < size build 8 && size build 8 < size build 16
+  in
+  Alcotest.(check bool) "pipeline grows" true
+    (grows (fun ctx n -> Pipeline.formula ctx ~n_instructions:n ~seed:1));
+  Alcotest.(check bool) "lsu grows" true
+    (grows (fun ctx n -> Load_store.formula ctx ~n_ops:n));
+  Alcotest.(check bool) "ooo grows" true
+    (grows (fun ctx n -> Ooo.formula ctx ~n_entries:n));
+  Alcotest.(check bool) "cache grows" true
+    (grows (fun ctx n -> Cache.formula ctx ~n_caches:n))
+
+let p_fraction formula ctx =
+  let elim = Elim.eliminate ctx formula in
+  let total =
+    List.length (Ast.functions elim.Elim.formula)
+  in
+  if total = 0 then 0.
+  else float_of_int (Sset.cardinal elim.Elim.p_consts) /. float_of_int total
+
+let test_signatures () =
+  (* invariant-checking formulas: almost no p-function applications *)
+  let ctx = Ast.create_ctx () in
+  let ooo = Ooo.formula ctx ~n_entries:10 in
+  Alcotest.(check bool) "ooo p-fraction ~ 0" true (p_fraction ooo ctx < 0.05);
+  (* pipeline formulas: a healthy share of p applications *)
+  let ctx = Ast.create_ctx () in
+  let pipe = Pipeline.formula ctx ~n_instructions:6 ~seed:0 in
+  Alcotest.(check bool) "pipeline has p consts" true (p_fraction pipe ctx > 0.1);
+  (* load-store formulas use succ/pred arithmetic *)
+  let ctx = Ast.create_ctx () in
+  let lsu = Load_store.formula ctx ~n_ops:6 in
+  let has_arith = ref false in
+  List.iter
+    (fun (a : Ast.formula) ->
+      match a.Ast.fnode with Ast.Lt _ -> has_arith := true | _ -> ())
+    (Ast.atoms lsu);
+  Alcotest.(check bool) "lsu has inequalities" true !has_arith
+
+let test_suite_shape () =
+  Alcotest.(check int) "49 benchmarks" 49 (List.length Suite.benchmarks);
+  Alcotest.(check int) "39 non-invariant" 39 (List.length Suite.non_invariant);
+  Alcotest.(check int) "10 invariant" 10 (List.length Suite.invariant_checking);
+  Alcotest.(check int) "16 sample" 16 (List.length Suite.sample16);
+  (* the sample covers every family *)
+  let families =
+    List.sort_uniq compare
+      (List.map (fun (b : Suite.benchmark) -> b.Suite.family) Suite.sample16)
+  in
+  Alcotest.(check int) "sample covers all families" 6 (List.length families);
+  (* sizes roughly span the paper's range *)
+  let sizes =
+    List.map
+      (fun (b : Suite.benchmark) ->
+        let ctx = Ast.create_ctx () in
+        Ast.size (b.Suite.build ctx))
+      Suite.benchmarks
+  in
+  Alcotest.(check bool) "min size small" true (List.fold_left min max_int sizes < 150);
+  Alcotest.(check bool) "max size large" true (List.fold_left max 0 sizes > 2000);
+  (* names resolve *)
+  Alcotest.(check bool) "find" true (Suite.find "pipe.3" <> None);
+  Alcotest.(check bool) "find missing" true (Suite.find "nope" = None)
+
+let test_family_names () =
+  List.iter
+    (fun (f, n) -> Alcotest.(check string) n n (Suite.family_name f))
+    [
+      (Suite.Pipeline, "pipeline");
+      (Suite.Load_store, "load-store");
+      (Suite.Ooo_invariant, "ooo-invariant");
+      (Suite.Cache, "cache");
+      (Suite.Trans_valid, "trans-valid");
+      (Suite.Device_driver, "device-driver");
+    ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "bug variants differ" `Quick test_bug_differs;
+          Alcotest.test_case "sizes grow" `Quick test_sizes_grow;
+          Alcotest.test_case "structural signatures" `Quick test_signatures;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "shape" `Quick test_suite_shape;
+          Alcotest.test_case "family names" `Quick test_family_names;
+        ] );
+    ]
