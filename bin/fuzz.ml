@@ -1,0 +1,97 @@
+(* fuzz — differential fuzzer over the decision procedures.
+
+   Generates random SUF formulas, decides each with SD, EIJ, HYBRID at
+   several thresholds, SVC and LAZY, demands unanimous verdicts,
+   witness-checks every SAT answer and DRUP-checks every UNSAT answer of a
+   proof-producing method. Discrepancies are delta-debugged to a minimal
+   reproducer and printed in the SMT-LIB dialect. Exit status: 0 when clean,
+   1 when any failure was found. *)
+
+module Differential = Sepsat_check.Differential
+module Random_formula = Sepsat_workloads.Random_formula
+open Cmdliner
+
+let profiles =
+  [
+    ("small", Random_formula.small);
+    ("default", Random_formula.default);
+    ("equality", Random_formula.equality_only);
+    ("no-apps", { Random_formula.small with Random_formula.allow_apps = false });
+  ]
+
+let profile_conv =
+  let parse s =
+    match List.assoc_opt s profiles with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown profile %S (expected %s)" s
+             (String.concat ", " (List.map fst profiles))))
+  in
+  let print ppf c =
+    let name =
+      match List.find_opt (fun (_, c') -> c' = c) profiles with
+      | Some (n, _) -> n
+      | None -> "<custom>"
+    in
+    Format.pp_print_string ppf name
+  in
+  Arg.conv (parse, print)
+
+let iters_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "iters" ] ~docv:"N" ~doc:"Number of random formulas to check.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"K" ~doc:"Base seed of the deterministic run.")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Random_formula.small
+    & info [ "profile" ] ~docv:"P"
+        ~doc:"Formula shape: small, default, equality or no-apps.")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"CPU-time budget of each individual decide call.")
+
+let no_shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:"Report failing formulas as generated, without delta debugging.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress output.")
+
+let run iters seed gen timeout no_shrink quiet =
+  let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
+  let summary =
+    Differential.fuzz
+      ~procedures:(Differential.default_procedures ~timeout ())
+      ~gen ~shrink_failures:(not no_shrink) ~log ~iters ~seed ()
+  in
+  Format.printf "%a" Differential.pp_summary summary;
+  exit (if summary.Differential.failures = [] then 0 else 1)
+
+let () =
+  let info =
+    Cmd.info "fuzz" ~version:"1.0.0"
+      ~doc:
+        "Differential fuzzer certifying the sepsat decision procedures \
+         against each other, with witness checking of SAT answers and DRUP \
+         checking of UNSAT answers."
+  in
+  let term =
+    Term.(
+      const run $ iters_arg $ seed_arg $ profile_arg $ timeout_arg
+      $ no_shrink_arg $ quiet_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

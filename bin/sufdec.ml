@@ -111,7 +111,13 @@ let solve_cmd =
         Format.printf "result:     invalid@.";
         if countermodel then begin
           Format.printf "countermodel (separation-logic constants):@.";
-          pp_assignment Format.std_formatter assignment
+          pp_assignment Format.std_formatter assignment;
+          match r.Decide.witness with
+          | Some w ->
+            Format.printf
+              "first-order witness (falsifies the original formula):@.%a"
+              Sepsat.Witness.pp w
+          | None -> ()
         end;
         exit 1
       | Verdict.Unknown why ->

@@ -1,0 +1,75 @@
+module Ast = Sepsat_suf.Ast
+module Interp = Sepsat_suf.Interp
+module Elim = Sepsat_suf.Elim
+module Brute = Sepsat_sep.Brute
+module Verdict = Sepsat_sep.Verdict
+module Decide = Sepsat.Decide
+module Witness = Sepsat.Witness
+
+type outcome =
+  | Valid_certified
+  | Valid_uncertified
+  | Invalid_witnessed of Witness.t
+  | Gave_up of string
+
+type error = Witness_error of string | Proof_error of string
+
+(* The eliminated formula is application-free: constants simplified away
+   during encoding may be missing from the assignment and default to
+   0/false — they cannot influence its value. *)
+let sep_interp (a : Brute.assignment) =
+  {
+    Interp.func =
+      (fun n args ->
+        match (args, List.assoc_opt n a.Brute.ints) with
+        | [], Some v -> v
+        | [], None -> 0
+        | _ :: _, _ ->
+          invalid_arg "Certify: application in eliminated formula");
+    Interp.pred =
+      (fun n args ->
+        match (args, List.assoc_opt n a.Brute.bools) with
+        | [], Some b -> b
+        | [], None -> false
+        | _ :: _, _ ->
+          invalid_arg "Certify: application in eliminated formula");
+  }
+
+let check ?(expect_proof = false) formula (r : Decide.result) =
+  match r.Decide.verdict with
+  | Verdict.Unknown why -> Ok (Gave_up why)
+  | Verdict.Valid -> (
+    match r.Decide.certified with
+    | Some true -> Ok Valid_certified
+    | Some false -> Error (Proof_error "DRUP replay rejected the trace")
+    | None ->
+      if expect_proof then
+        Error (Proof_error "UNSAT answer carries no DRUP certificate")
+      else Ok Valid_uncertified)
+  | Verdict.Invalid assignment ->
+    if Interp.eval (sep_interp assignment) r.Decide.elim.Elim.formula then
+      Error
+        (Witness_error
+           "decoded assignment does not falsify the eliminated formula")
+    else
+      let witness =
+        match r.Decide.witness with
+        | Some w -> w
+        | None -> Witness.of_assignment r.Decide.elim assignment
+      in
+      if not (Witness.falsifies witness formula) then
+        Error
+          (Witness_error
+             "lifted first-order witness does not falsify the original \
+              formula")
+      else Ok (Invalid_witnessed witness)
+
+let pp_outcome ppf = function
+  | Valid_certified -> Format.pp_print_string ppf "valid (DRUP-certified)"
+  | Valid_uncertified -> Format.pp_print_string ppf "valid (uncertified)"
+  | Invalid_witnessed _ -> Format.pp_print_string ppf "invalid (witnessed)"
+  | Gave_up why -> Format.fprintf ppf "unknown (%s)" why
+
+let pp_error ppf = function
+  | Witness_error msg -> Format.fprintf ppf "witness error: %s" msg
+  | Proof_error msg -> Format.fprintf ppf "proof error: %s" msg

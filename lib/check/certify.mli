@@ -1,0 +1,52 @@
+(** End-to-end certification of single {!Sepsat.Decide} answers.
+
+    The paper's pipeline is a chain of satisfiability-preserving
+    transformations, and each direction of an answer admits an independent
+    check that does not trust the chain:
+
+    - a SAT answer (an [Invalid] verdict) carries a decoded assignment; we
+      re-evaluate the eliminated formula under it with the reference
+      {!Sepsat_suf.Interp} semantics, lift it to a concrete first-order
+      {!Sepsat.Witness} (finite function tables) and re-evaluate the
+      {e original} formula — both must come out false;
+    - an UNSAT answer (a [Valid] verdict) from an eager method must carry a
+      DRUP trace that replays through the independent
+      {!Sepsat_sat.Drup_check} unit-propagation engine.
+
+    A decision procedure answer passing {!check} is therefore correct no
+    matter how buggy the encoder or the CDCL solver is. *)
+
+module Ast = Sepsat_suf.Ast
+module Decide = Sepsat.Decide
+module Witness = Sepsat.Witness
+
+type outcome =
+  | Valid_certified  (** UNSAT answer whose DRUP trace replays *)
+  | Valid_uncertified
+      (** UNSAT answer from a procedure that produces no proof (baselines,
+          or certification not requested) *)
+  | Invalid_witnessed of Witness.t
+      (** SAT answer whose decoded witness falsifies both the eliminated and
+          the original formula *)
+  | Gave_up of string  (** [Unknown] verdict: nothing to certify *)
+
+type error =
+  | Witness_error of string
+      (** the decoded countermodel does not falsify the formula it claims
+          to falsify *)
+  | Proof_error of string
+      (** a proof was expected and is missing, or its DRUP replay failed *)
+
+val check :
+  ?expect_proof:bool ->
+  Ast.formula ->
+  Decide.result ->
+  (outcome, error) result
+(** Certify [result] as an answer to the validity query [formula] (the exact
+    formula passed to {!Decide.decide}). With [~expect_proof:true] (default
+    false) a [Valid] verdict without a passing DRUP certificate is an
+    error. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_error : Format.formatter -> error -> unit

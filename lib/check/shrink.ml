@@ -1,0 +1,145 @@
+module Ast = Sepsat_suf.Ast
+
+(* Distinct formula and term nodes reachable from [root]. *)
+let nodes root =
+  let fs = ref [] and ts = ref [] in
+  let seen_f = Hashtbl.create 64 and seen_t = Hashtbl.create 64 in
+  let rec go_f (f : Ast.formula) =
+    if not (Hashtbl.mem seen_f f.Ast.fid) then begin
+      Hashtbl.add seen_f f.Ast.fid ();
+      fs := f :: !fs;
+      match f.Ast.fnode with
+      | Ast.Ftrue | Ast.Ffalse | Ast.Bconst _ -> ()
+      | Ast.Not g -> go_f g
+      | Ast.And (a, b) | Ast.Or (a, b) ->
+        go_f a;
+        go_f b
+      | Ast.Eq (t1, t2) | Ast.Lt (t1, t2) ->
+        go_t t1;
+        go_t t2
+      | Ast.Papp (_, args) -> List.iter go_t args
+    end
+  and go_t (t : Ast.term) =
+    if not (Hashtbl.mem seen_t t.Ast.tid) then begin
+      Hashtbl.add seen_t t.Ast.tid ();
+      ts := t :: !ts;
+      match t.Ast.tnode with
+      | Ast.Const _ -> ()
+      | Ast.Succ a | Ast.Pred a -> go_t a
+      | Ast.Tite (c, a, b) ->
+        go_f c;
+        go_t a;
+        go_t b
+      | Ast.App (_, args) -> List.iter go_t args
+    end
+  in
+  go_f root;
+  (!fs, !ts)
+
+(* Rebuild [root] replacing one node (identified by id) everywhere; smart
+   constructors re-simplify around the substitution. *)
+let rebuild ctx ~target_f ~target_t root =
+  let fmemo = Hashtbl.create 64 and tmemo = Hashtbl.create 64 in
+  let rec go_f (f : Ast.formula) =
+    match target_f with
+    | Some (fid, repl) when f.Ast.fid = fid -> repl
+    | _ -> (
+      match Hashtbl.find_opt fmemo f.Ast.fid with
+      | Some f' -> f'
+      | None ->
+        let f' =
+          match f.Ast.fnode with
+          | Ast.Ftrue -> Ast.tru ctx
+          | Ast.Ffalse -> Ast.fls ctx
+          | Ast.Bconst b -> Ast.bconst ctx b
+          | Ast.Not g -> Ast.not_ ctx (go_f g)
+          | Ast.And (a, b) -> Ast.and_ ctx (go_f a) (go_f b)
+          | Ast.Or (a, b) -> Ast.or_ ctx (go_f a) (go_f b)
+          | Ast.Eq (t1, t2) -> Ast.eq ctx (go_t t1) (go_t t2)
+          | Ast.Lt (t1, t2) -> Ast.lt ctx (go_t t1) (go_t t2)
+          | Ast.Papp (p, args) -> Ast.papp ctx p (List.map go_t args)
+        in
+        Hashtbl.add fmemo f.Ast.fid f';
+        f')
+  and go_t (t : Ast.term) =
+    match target_t with
+    | Some (tid, repl) when t.Ast.tid = tid -> repl
+    | _ -> (
+      match Hashtbl.find_opt tmemo t.Ast.tid with
+      | Some t' -> t'
+      | None ->
+        let t' =
+          match t.Ast.tnode with
+          | Ast.Const c -> Ast.const ctx c
+          | Ast.Succ a -> Ast.succ ctx (go_t a)
+          | Ast.Pred a -> Ast.pred ctx (go_t a)
+          | Ast.Tite (c, a, b) -> Ast.tite ctx (go_f c) (go_t a) (go_t b)
+          | Ast.App (g, args) -> Ast.app ctx g (List.map go_t args)
+        in
+        Hashtbl.add tmemo t.Ast.tid t';
+        t')
+  in
+  go_f root
+
+let replace_formula ctx root g repl =
+  rebuild ctx ~target_f:(Some (g.Ast.fid, repl)) ~target_t:None root
+
+let replace_term ctx root t repl =
+  rebuild ctx ~target_f:None ~target_t:(Some (t.Ast.tid, repl)) root
+
+(* All one-step simplification candidates, biggest replaced nodes first so
+   large chunks disappear early. *)
+let candidates ctx ~fresh root =
+  let fs, ts = nodes root in
+  let fs =
+    List.filter
+      (fun (f : Ast.formula) ->
+        match f.Ast.fnode with Ast.Ftrue | Ast.Ffalse -> false | _ -> true)
+      fs
+    |> List.map (fun f -> (Ast.size f, f))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
+  let ts = List.sort (fun a b -> compare b.Ast.tid a.Ast.tid) ts in
+  let of_formula (g : Ast.formula) =
+    let hoisted =
+      match g.Ast.fnode with
+      | Ast.Not a -> [ a ]
+      | Ast.And (a, b) | Ast.Or (a, b) -> [ a; b ]
+      | _ -> []
+    in
+    List.map
+      (fun repl -> replace_formula ctx root g repl)
+      (Ast.tru ctx :: Ast.fls ctx :: hoisted)
+  in
+  let of_term (t : Ast.term) =
+    let hoisted =
+      match t.Ast.tnode with
+      | Ast.Const _ -> []
+      | Ast.Succ a | Ast.Pred a -> [ a ]
+      | Ast.Tite (_, a, b) -> [ a; b ]
+      | Ast.App (_, args) -> args
+    in
+    List.map
+      (fun repl -> replace_term ctx root t repl)
+      (hoisted @ [ fresh ])
+  in
+  List.concat_map of_formula fs @ List.concat_map of_term ts
+
+let shrink ?(max_checks = 10_000) ctx ~still_failing f0 =
+  let fresh = Ast.const ctx (Ast.fresh_name ctx "shrink") in
+  let checks = ref 0 in
+  let rec improve f =
+    let n = Ast.size f in
+    let keep c =
+      if c == f || Ast.size c >= n || !checks >= max_checks then false
+      else begin
+        incr checks;
+        still_failing c
+      end
+    in
+    match List.find_opt keep (candidates ctx ~fresh f) with
+    | Some c -> improve c
+    | None -> f
+  in
+  improve f0

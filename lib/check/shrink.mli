@@ -1,0 +1,23 @@
+(** Greedy delta debugging of SUF formulas.
+
+    Given a formula exhibiting some failure (a cross-procedure disagreement,
+    a bad witness, ...) and a predicate recognizing the failure, repeatedly
+    replace subexpressions with simpler ones — subformulas by [true]/[false]
+    or by their own children, subterms by their children or by a (shared)
+    fresh symbolic constant — keeping any strictly smaller candidate on which
+    the failure persists, until no replacement helps. The result is a local
+    minimum: every single further replacement loses the failure. *)
+
+module Ast = Sepsat_suf.Ast
+
+val shrink :
+  ?max_checks:int ->
+  Ast.ctx ->
+  still_failing:(Ast.formula -> bool) ->
+  Ast.formula ->
+  Ast.formula
+(** [shrink ctx ~still_failing f] with [still_failing f = true]. Every
+    candidate passed to [still_failing] is strictly smaller (in
+    {!Ast.size}) than the current formula, so the procedure terminates;
+    [max_checks] (default 10_000) additionally bounds the number of
+    predicate evaluations. *)

@@ -2,57 +2,4 @@ module Elim = Sepsat_suf.Elim
 module Interp = Sepsat_suf.Interp
 module Brute = Sepsat_sep.Brute
 
-let lift (elim : Elim.result) (a : Brute.assignment) =
-  let int_of name =
-    match List.assoc_opt name a.Brute.ints with Some v -> v | None -> 0
-  in
-  let bool_of name =
-    match List.assoc_opt name a.Brute.bools with Some b -> b | None -> false
-  in
-  (* Definition arguments are application-free, so this interpretation is
-     enough to evaluate them. *)
-  let const_interp =
-    {
-      Interp.func =
-        (fun name args ->
-          match args with
-          | [] -> int_of name
-          | _ :: _ -> invalid_arg "Countermodel.lift: nested application");
-      Interp.pred =
-        (fun name args ->
-          match args with
-          | [] -> bool_of name
-          | _ :: _ -> invalid_arg "Countermodel.lift: nested application");
-    }
-  in
-  let ftables : (string, (int list * int) list) Hashtbl.t = Hashtbl.create 16 in
-  let ptables : (string, (int list * bool) list) Hashtbl.t = Hashtbl.create 16 in
-  let append tbl key entry =
-    let prev = try Hashtbl.find tbl key with Not_found -> [] in
-    Hashtbl.replace tbl key (prev @ [ entry ])
-  in
-  List.iter
-    (fun (d : Elim.def) ->
-      let vals = List.map (Interp.eval_term const_interp) d.Elim.args in
-      if d.Elim.is_predicate then append ptables d.symbol (vals, bool_of d.fresh)
-      else append ftables d.symbol (vals, int_of d.fresh))
-    elim.Elim.defs;
-  let lookup tbl default name vals =
-    match Hashtbl.find_opt tbl name with
-    | None -> default
-    | Some entries -> (
-      (* First-match order mirrors the elimination's ITE chains. *)
-      match List.find_opt (fun (vs, _) -> vs = vals) entries with
-      | Some (_, v) -> v
-      | None -> default)
-  in
-  {
-    Interp.func =
-      (fun name args ->
-        match args with [] -> int_of name | _ :: _ -> lookup ftables 0 name args);
-    Interp.pred =
-      (fun name args ->
-        match args with
-        | [] -> bool_of name
-        | _ :: _ -> lookup ptables false name args);
-  }
+let lift elim a = Witness.to_interp (Witness.of_assignment elim a)

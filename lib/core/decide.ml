@@ -44,6 +44,7 @@ let method_of_string s =
 type result = {
   verdict : Verdict.t;
   certified : bool option;
+  witness : Witness.t option;
   elim : Elim.result;
   translate_time : float;
   sat_time : float;
@@ -54,6 +55,10 @@ type result = {
 }
 
 let eliminate = Elim.eliminate
+
+let witness_of elim = function
+  | Verdict.Invalid a -> Some (Witness.of_assignment elim a)
+  | Verdict.Valid | Verdict.Unknown _ -> None
 
 let eager_config = function
   | Sd -> Hybrid.sd_only
@@ -74,6 +79,7 @@ let decide_eager ~config ~deadline ~certify ctx formula =
     {
       verdict = Verdict.Unknown "translation blowup";
       certified = None;
+      witness = None;
       elim;
       translate_time = t1 -. t0;
       sat_time = 0.;
@@ -111,6 +117,7 @@ let decide_eager ~config ~deadline ~certify ctx formula =
     {
       verdict;
       certified;
+      witness = witness_of elim verdict;
       elim;
       translate_time = t1 -. t0;
       sat_time = t2 -. t1;
@@ -129,6 +136,7 @@ let decide_svc ~deadline ctx formula =
   {
     verdict;
     certified = None;
+    witness = witness_of elim verdict;
     elim;
     translate_time = t1 -. t0;
     sat_time = t2 -. t1;
@@ -147,6 +155,7 @@ let decide_lazy ~deadline ctx formula =
   {
     verdict;
     certified = None;
+    witness = witness_of elim verdict;
     elim;
     translate_time = t1 -. t0;
     sat_time = t2 -. t1;

@@ -35,6 +35,11 @@ type result = {
           [Valid] verdict's DRUP trace passed the independent
           {!Sepsat_sat.Drup_check} replay; [None] when certification was not
           requested or not applicable *)
+  witness : Witness.t option;
+      (** for an [Invalid] verdict, the falsifying assignment lifted to a
+          concrete first-order interpretation of the original formula
+          (integer constants plus finite function/predicate tables);
+          [None] otherwise *)
   elim : Sepsat_suf.Elim.result;
       (** the function-elimination actually used; pass it (not a fresh
           re-elimination, whose fresh names would differ) to

@@ -1,0 +1,109 @@
+module Elim = Sepsat_suf.Elim
+module Interp = Sepsat_suf.Interp
+module Brute = Sepsat_sep.Brute
+
+type t = {
+  ints : (string * int) list;
+  bools : (string * bool) list;
+  funcs : (string * (int list * int) list) list;
+  preds : (string * (int list * bool) list) list;
+}
+
+let of_assignment (elim : Elim.result) (a : Brute.assignment) =
+  let int_of name =
+    match List.assoc_opt name a.Brute.ints with Some v -> v | None -> 0
+  in
+  let bool_of name =
+    match List.assoc_opt name a.Brute.bools with Some b -> b | None -> false
+  in
+  (* Definition arguments are application-free, so a constants-only
+     interpretation is enough to evaluate them. *)
+  let const_interp =
+    {
+      Interp.func =
+        (fun name args ->
+          match args with
+          | [] -> int_of name
+          | _ :: _ -> invalid_arg "Witness.of_assignment: nested application");
+      Interp.pred =
+        (fun name args ->
+          match args with
+          | [] -> bool_of name
+          | _ :: _ -> invalid_arg "Witness.of_assignment: nested application");
+    }
+  in
+  let ftables : (string, (int list * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let ptables : (string, (int list * bool) list) Hashtbl.t = Hashtbl.create 16 in
+  let forder = ref [] and porder = ref [] in
+  let append tbl order key entry =
+    (match Hashtbl.find_opt tbl key with
+    | None ->
+      order := key :: !order;
+      Hashtbl.add tbl key [ entry ]
+    | Some prev -> Hashtbl.replace tbl key (prev @ [ entry ]))
+  in
+  List.iter
+    (fun (d : Elim.def) ->
+      let vals = List.map (Interp.eval_term const_interp) d.Elim.args in
+      if d.Elim.is_predicate then
+        append ptables porder d.symbol (vals, bool_of d.fresh)
+      else append ftables forder d.symbol (vals, int_of d.fresh))
+    elim.Elim.defs;
+  {
+    ints = a.Brute.ints;
+    bools = a.Brute.bools;
+    funcs = List.rev_map (fun s -> (s, Hashtbl.find ftables s)) !forder;
+    preds = List.rev_map (fun s -> (s, Hashtbl.find ptables s)) !porder;
+  }
+
+(* First-match order mirrors the elimination's ITE chains. *)
+let lookup table default name vals =
+  match List.assoc_opt name table with
+  | None -> default
+  | Some entries -> (
+    match List.find_opt (fun (vs, _) -> vs = vals) entries with
+    | Some (_, v) -> v
+    | None -> default)
+
+let to_interp w =
+  {
+    Interp.func =
+      (fun name args ->
+        match args with
+        | [] -> (
+          match List.assoc_opt name w.ints with Some v -> v | None -> 0)
+        | _ :: _ -> lookup w.funcs 0 name args);
+    Interp.pred =
+      (fun name args ->
+        match args with
+        | [] -> (
+          match List.assoc_opt name w.bools with Some b -> b | None -> false)
+        | _ :: _ -> lookup w.preds false name args);
+  }
+
+let eval w f = Interp.eval (to_interp w) f
+
+let falsifies w f = not (eval w f)
+
+let pp ppf w =
+  let pp_args ppf vals =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      Format.pp_print_int ppf vals
+  in
+  List.iter (fun (n, v) -> Format.fprintf ppf "%s = %d@." n v) w.ints;
+  List.iter (fun (n, b) -> Format.fprintf ppf "%s = %b@." n b) w.bools;
+  List.iter
+    (fun (f, entries) ->
+      List.iter
+        (fun (vals, v) -> Format.fprintf ppf "%s(%a) = %d@." f pp_args vals v)
+        entries;
+      Format.fprintf ppf "%s(_) = 0 otherwise@." f)
+    w.funcs;
+  List.iter
+    (fun (p, entries) ->
+      List.iter
+        (fun (vals, b) -> Format.fprintf ppf "%s(%a) = %b@." p pp_args vals b)
+        entries;
+      Format.fprintf ppf "%s(_) = false otherwise@." p)
+    w.preds

@@ -1,0 +1,44 @@
+(** Concrete first-order witnesses for [Invalid] verdicts.
+
+    A falsifying assignment of the eliminated formula [F_sep] (the payload of
+    {!Sepsat_sep.Verdict.Invalid}) determines a falsifying interpretation of
+    the *original* SUF formula. This module materializes that interpretation
+    as finite data — integer values for symbolic constants and finite
+    first-match tables for uninterpreted functions and predicates — so it can
+    be printed, compared and independently re-checked, unlike the opaque
+    closures of {!Sepsat_suf.Interp}.
+
+    Symbols absent from the tables take the defaults (0 / false): constants
+    simplified away during encoding cannot influence the formula's value, and
+    function entries are only pinned at the argument tuples the elimination
+    actually introduced. *)
+
+module Elim = Sepsat_suf.Elim
+module Interp = Sepsat_suf.Interp
+module Brute = Sepsat_sep.Brute
+
+type t = {
+  ints : (string * int) list;  (** symbolic constants *)
+  bools : (string * bool) list;  (** symbolic Boolean constants *)
+  funcs : (string * (int list * int) list) list;
+      (** per function symbol, a first-match table: the first entry whose
+          argument tuple matches wins (mirroring the elimination's ITE
+          chains); unlisted tuples evaluate to 0 *)
+  preds : (string * (int list * bool) list) list;
+      (** same, for uninterpreted predicates; unlisted tuples are false *)
+}
+
+val of_assignment : Elim.result -> Brute.assignment -> t
+(** Witness of the original formula from a falsifying assignment of the
+    eliminated one: each fresh constant's value becomes a table entry of its
+    defining application, at argument values computed under the assignment. *)
+
+val to_interp : t -> Interp.t
+(** The total interpretation the witness denotes (defaults applied). *)
+
+val eval : t -> Sepsat_suf.Ast.formula -> bool
+
+val falsifies : t -> Sepsat_suf.Ast.formula -> bool
+(** [eval] is false — what a countermodel of a validity query must do. *)
+
+val pp : Format.formatter -> t -> unit

@@ -258,3 +258,76 @@ let script_of_file ctx path =
   script ctx text
 
 let goal ctx s = Ast.not_ ctx (Ast.and_list ctx s.assertions)
+
+(* -- Printing --------------------------------------------------------------- *)
+
+(* Collapse a succ/pred chain (homogeneous by smart-constructor cancellation)
+   into an offset from its base term. *)
+let rec peel_offset k (t : Ast.term) =
+  match t.Ast.tnode with
+  | Ast.Succ t' -> peel_offset (k + 1) t'
+  | Ast.Pred t' -> peel_offset (k - 1) t'
+  | Ast.Const _ | Ast.Tite _ | Ast.App _ -> (k, t)
+
+let rec pp_term ppf (t : Ast.term) =
+  let k, base = peel_offset 0 t in
+  if k > 0 then Format.fprintf ppf "(+ %a %d)" pp_base base k
+  else if k < 0 then Format.fprintf ppf "(- %a %d)" pp_base base (-k)
+  else pp_base ppf base
+
+and pp_base ppf (t : Ast.term) =
+  match t.Ast.tnode with
+  | Ast.Const c -> Format.pp_print_string ppf c
+  | Ast.Tite (c, a, b) ->
+    Format.fprintf ppf "@[<hv 1>(ite %a@ %a@ %a)@]" pp_formula c pp_term a
+      pp_term b
+  | Ast.App (f, args) ->
+    Format.fprintf ppf "@[<hv 1>(%s" f;
+    List.iter (fun a -> Format.fprintf ppf "@ %a" pp_term a) args;
+    Format.fprintf ppf ")@]"
+  | Ast.Succ _ | Ast.Pred _ -> assert false (* peeled by the caller *)
+
+and pp_formula ppf (f : Ast.formula) =
+  match f.Ast.fnode with
+  | Ast.Ftrue -> Format.pp_print_string ppf "true"
+  | Ast.Ffalse -> Format.pp_print_string ppf "false"
+  | Ast.Not g -> Format.fprintf ppf "@[<hv 1>(not@ %a)@]" pp_formula g
+  | Ast.And (a, b) ->
+    Format.fprintf ppf "@[<hv 1>(and@ %a@ %a)@]" pp_formula a pp_formula b
+  | Ast.Or (a, b) ->
+    Format.fprintf ppf "@[<hv 1>(or@ %a@ %a)@]" pp_formula a pp_formula b
+  | Ast.Eq (t1, t2) ->
+    Format.fprintf ppf "@[<hv 1>(=@ %a@ %a)@]" pp_term t1 pp_term t2
+  | Ast.Lt (t1, t2) ->
+    Format.fprintf ppf "@[<hv 1>(<@ %a@ %a)@]" pp_term t1 pp_term t2
+  | Ast.Papp (p, args) ->
+    Format.fprintf ppf "@[<hv 1>(%s" p;
+    List.iter (fun a -> Format.fprintf ppf "@ %a" pp_term a) args;
+    Format.fprintf ppf ")@]"
+  | Ast.Bconst b -> Format.pp_print_string ppf b
+
+let print_script ppf assertions =
+  let funcs = Hashtbl.create 32 and preds = Hashtbl.create 32 in
+  List.iter
+    (fun f ->
+      List.iter (fun (n, a) -> Hashtbl.replace funcs n a) (Ast.functions f);
+      List.iter (fun (n, a) -> Hashtbl.replace preds n a) (Ast.predicates f))
+    assertions;
+  let sorted tbl =
+    Hashtbl.fold (fun n a acc -> (n, a) :: acc) tbl [] |> List.sort compare
+  in
+  let pp_decl ret (name, arity) =
+    Format.fprintf ppf "(declare-fun %s (%s) %s)@." name
+      (String.concat " " (List.init arity (fun _ -> "Int")))
+      ret
+  in
+  Format.fprintf ppf "(set-logic QF_UFIDL)@.";
+  List.iter (pp_decl "Int") (sorted funcs);
+  List.iter (pp_decl "Bool") (sorted preds);
+  List.iter
+    (fun f -> Format.fprintf ppf "@[<hv 1>(assert@ %a)@]@." pp_formula f)
+    assertions;
+  Format.fprintf ppf "(check-sat)@.(exit)@."
+
+let script_to_string assertions =
+  Format.asprintf "%a" print_script assertions

@@ -30,3 +30,17 @@ val script_of_file : Ast.ctx -> string -> script
 val goal : Ast.ctx -> script -> Ast.formula
 (** The validity query answering the script: the assertions are satisfiable
     iff this formula ([¬ (∧ assertions)]) is invalid. *)
+
+(** {1 Printing}
+
+    Inverse of {!script}, staying inside the dialect documented above:
+    [succ]/[pred] chains fold to [(+ t k)] / [(- t k)] offsets and every
+    symbol of the assertions is declared up front. Printing then re-parsing
+    into the same context yields the identical hash-consed formulas, and the
+    printed text is a fixpoint of [parse ∘ print]. *)
+
+val print_script : Format.formatter -> Ast.formula list -> unit
+(** A complete script: declarations, one [assert] per formula, [check-sat],
+    [exit]. *)
+
+val script_to_string : Ast.formula list -> string

@@ -346,6 +346,80 @@ let test_proof_deletion_honoured () =
   | Drup_check.Certified | Drup_check.Incomplete ->
     Alcotest.fail "deleted support should break the RUP check")
 
+let test_proof_phantom_deletion () =
+  (* deleting a clause that was never added is a no-op, not an error; the
+     rest of the trace must still replay *)
+  let a = Lit.of_dimacs 1 and b = Lit.of_dimacs 2 and c = Lit.of_dimacs 3 in
+  let trace =
+    [
+      Proof.Input [ a ];
+      Proof.Deleted [ b; c ] (* never added *);
+      Proof.Deleted [ a; b ] (* never added either *);
+      Proof.Input [ Lit.neg a ];
+      Proof.Learned [];
+    ]
+  in
+  Alcotest.check drup_result_t "phantom deletion ignored" Drup_check.Certified
+    (Drup_check.check trace)
+
+let test_proof_empty_learned () =
+  let a = Lit.of_dimacs 1 in
+  (* the empty clause is RUP exactly when propagation alone conflicts *)
+  Alcotest.check drup_result_t "empty clause from contradictory units"
+    Drup_check.Certified
+    (Drup_check.check [ Proof.Input [ a ]; Proof.Input [ Lit.neg a ];
+                        Proof.Learned [] ]);
+  (* ... and Bogus when the database is satisfiable *)
+  (match Drup_check.check [ Proof.Input [ a ]; Proof.Learned [] ] with
+  | Drup_check.Bogus _ -> ()
+  | Drup_check.Certified | Drup_check.Incomplete ->
+    Alcotest.fail "empty clause learned from a satisfiable database");
+  (* unit deletions are ignored (lenient DRUP), so the conclusion stands *)
+  Alcotest.check drup_result_t "unit deletion ignored" Drup_check.Certified
+    (Drup_check.check
+       [ Proof.Input [ a ]; Proof.Deleted [ a ]; Proof.Input [ Lit.neg a ];
+         Proof.Learned [] ])
+
+let test_proof_across_restarts () =
+  (* restarts inside one search: the pigeonhole trace below forces enough
+     conflicts that the Luby scheduler fires; the trace must still replay *)
+  let s = Solver.create () in
+  let proof = Solver.start_proof s in
+  let holes = 5 in
+  let v =
+    Array.init (holes + 1) (fun _ ->
+        Array.init holes (fun _ -> Solver.new_var s))
+  in
+  for p = 0 to holes do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos v.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to holes do
+      for p2 = p1 + 1 to holes do
+        Solver.add_clause s [ Lit.neg_of v.(p1).(h); Lit.neg_of v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.check result_t "unsat" Solver.Unsat (Solver.solve s);
+  Alcotest.(check bool) "search restarted" true
+    ((Solver.stats s).Solver.restarts > 0);
+  Alcotest.(check bool) "certified across restarts" true
+    (Drup_check.certified proof);
+  (* restarts across solve calls: a proof spanning a Sat answer, later
+     clause additions and a final Unsat must also replay *)
+  let s2 = Solver.create () in
+  let proof2 = Solver.start_proof s2 in
+  let x = Solver.new_var s2 and y = Solver.new_var s2 in
+  Solver.add_clause s2 [ Lit.pos x; Lit.pos y ];
+  Alcotest.check result_t "first solve sat" Solver.Sat (Solver.solve s2);
+  Alcotest.check drup_result_t "sat stage incomplete" Drup_check.Incomplete
+    (Drup_check.check (Proof.steps proof2));
+  Solver.add_clause s2 [ Lit.neg_of x ];
+  Solver.add_clause s2 [ Lit.neg_of y ];
+  Alcotest.check result_t "second solve unsat" Solver.Unsat (Solver.solve s2);
+  Alcotest.(check bool) "certified across solves" true
+    (Drup_check.certified proof2)
+
 (* Property: every UNSAT answer on random CNF comes with a certifiable
    proof. *)
 let prop_random_unsat_certifies =
@@ -412,6 +486,12 @@ let () =
           Alcotest.test_case "dimacs output" `Quick test_proof_dimacs_output;
           Alcotest.test_case "deletion honoured" `Quick
             test_proof_deletion_honoured;
+          Alcotest.test_case "phantom deletion" `Quick
+            test_proof_phantom_deletion;
+          Alcotest.test_case "empty learned clause" `Quick
+            test_proof_empty_learned;
+          Alcotest.test_case "replay across restarts" `Slow
+            test_proof_across_restarts;
           QCheck_alcotest.to_alcotest prop_random_unsat_certifies;
         ] );
       ( "properties",

@@ -318,6 +318,43 @@ let test_smtlib_structure () =
   Alcotest.(check int) "assertions" 2 (List.length s.Smtlib.assertions);
   Alcotest.(check bool) "check requested" true s.Smtlib.requested_check
 
+(* print ∘ parse round trips: re-parsing a printed script into the same
+   context yields the identical hash-consed formula, and printing again is a
+   textual fixpoint. *)
+let roundtrip_check name ctx f =
+  let text = Smtlib.script_to_string [ f ] in
+  match Smtlib.script ctx text with
+  | exception Smtlib.Error msg ->
+    Alcotest.failf "%s: printed script does not re-parse: %s" name msg
+  | s -> (
+    match s.Smtlib.assertions with
+    | [ f' ] ->
+      if not (f' == f) then
+        Alcotest.failf "%s: reparse is not the identical formula" name;
+      Alcotest.(check string)
+        (name ^ " print fixpoint") text
+        (Smtlib.script_to_string s.Smtlib.assertions)
+    | other ->
+      Alcotest.failf "%s: expected 1 assertion, got %d" name
+        (List.length other))
+
+let test_smtlib_roundtrip_suite () =
+  List.iter
+    (fun (b : Sepsat_workloads.Suite.benchmark) ->
+      let ctx = Ast.create_ctx () in
+      roundtrip_check b.Sepsat_workloads.Suite.name ctx
+        (b.Sepsat_workloads.Suite.build ctx))
+    Sepsat_workloads.Suite.benchmarks
+
+let prop_smtlib_roundtrip_random =
+  QCheck2.Test.make ~name:"smtlib roundtrip on random formulas" ~count:200
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let ctx = Ast.create_ctx () in
+      let f = Random_formula.generate Random_formula.default ctx ~seed in
+      roundtrip_check "random" ctx f;
+      true)
+
 let () =
   Alcotest.run "suf"
     [
@@ -343,6 +380,9 @@ let () =
         [
           Alcotest.test_case "scripts" `Quick test_smtlib_scripts;
           Alcotest.test_case "structure" `Quick test_smtlib_structure;
+          Alcotest.test_case "suite round trip" `Quick
+            test_smtlib_roundtrip_suite;
+          QCheck_alcotest.to_alcotest prop_smtlib_roundtrip_random;
         ] );
       ( "elim",
         [
