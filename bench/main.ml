@@ -6,11 +6,15 @@
      main.exe                 all figures (default 30s/run deadline) + micro
      main.exe --figure 4      one artifact
      main.exe --deadline 30   per-run CPU budget in seconds
-     main.exe --no-micro      skip the Bechamel pass                      *)
+     main.exe --no-micro      skip the Bechamel pass
+     main.exe --json OUT.json write every recorded run as JSON
+     main.exe --strict        exit 1 if any run ended Unknown             *)
 
 module Experiments = Sepsat_harness.Experiments
+module Runner = Sepsat_harness.Runner
 module Suite = Sepsat_workloads.Suite
 module Decide = Sepsat.Decide
+module Verdict = Sepsat_sep.Verdict
 module Ast = Sepsat_suf.Ast
 module Deadline = Sepsat_util.Deadline
 
@@ -20,14 +24,25 @@ let figure = ref "all"
 
 let micro_enabled = ref true
 
+let json_path = ref ""
+
+let strict = ref false
+
 let usage =
-  "main.exe [--figure 2|3|threshold|4|5|6|all] [--deadline S] [--no-micro]"
+  "main.exe [--figure 2|3|threshold|4|5|6|portfolio|all] [--deadline S] \
+   [--no-micro] [--json PATH] [--strict]"
 
 let spec =
   [
     ("--figure", Arg.Set_string figure, " which artifact to regenerate");
     ("--deadline", Arg.Set_float deadline_s, " per-run CPU budget (s)");
     ("--no-micro", Arg.Clear micro_enabled, " skip Bechamel micro-benchmarks");
+    ( "--json",
+      Arg.Set_string json_path,
+      " write every recorded run to PATH as a JSON array" );
+    ( "--strict",
+      Arg.Set strict,
+      " exit 1 if any recorded run ended with an Unknown verdict" );
   ]
 
 (* -- Bechamel micro-benchmarks: one per paper artifact ------------------- *)
@@ -90,6 +105,7 @@ let () =
   Arg.parse (Arg.align spec) (fun a -> raise (Arg.Bad a)) usage;
   let ppf = Format.std_formatter in
   let d = !deadline_s in
+  Runner.reset_recorded ();
   (match !figure with
   | "2" -> Experiments.figure2 ~deadline_s:d ppf
   | "3" -> Experiments.figure3 ~deadline_s:d ppf
@@ -97,6 +113,30 @@ let () =
   | "4" -> Experiments.figure4 ~deadline_s:d ppf
   | "5" -> Experiments.figure5 ~deadline_s:d ppf
   | "6" -> Experiments.figure6 ~deadline_s:d ppf
+  | "portfolio" -> Experiments.figure_portfolio ~deadline_s:d ppf
   | "all" -> Experiments.all ~deadline_s:d ppf
   | other -> raise (Arg.Bad ("unknown figure: " ^ other)));
-  if !micro_enabled && !figure = "all" then micro ppf
+  let rows = Runner.recorded_rows () in
+  if !json_path <> "" then begin
+    Runner.write_json !json_path rows;
+    Format.fprintf ppf "wrote %d rows to %s@." (List.length rows) !json_path
+  end;
+  if !micro_enabled && !figure = "all" then micro ppf;
+  if !strict then begin
+    let unknowns =
+      List.filter
+        (fun (r : Runner.row) ->
+          match r.Runner.verdict with
+          | Verdict.Unknown _ -> true
+          | Verdict.Valid | Verdict.Invalid _ -> false)
+        rows
+    in
+    if unknowns <> [] then begin
+      List.iter
+        (fun (r : Runner.row) ->
+          Format.fprintf ppf "strict: %s/%a ended Unknown@." r.Runner.bench
+            Decide.pp_method r.Runner.method_)
+        unknowns;
+      exit 1
+    end
+  end

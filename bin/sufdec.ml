@@ -1,11 +1,12 @@
 (* sufdec — command-line front end of the sepsat decision procedure.
 
-   sufdec solve FILE [--method M] [--timeout S] [--countermodel] [--certify]
+   sufdec solve FILE [--method M | --portfolio] [--timeout S] [--countermodel]
+                     [--certify]
    sufdec smt FILE [--method M] [--timeout S]      SMT-LIB 2 (QF_UFIDL subset)
    sufdec stats FILE
    sufdec cnf FILE [--method M]                    DIMACS export
    sufdec gen --family F --size N [--bug] [--seed K]
-   sufdec bench [--figure 2|3|threshold|4|5|6|all] [--timeout S]
+   sufdec bench [--figure 2|3|threshold|4|5|6|portfolio|all] [--timeout S]
    sufdec list *)
 
 module Ast = Sepsat_suf.Ast
@@ -38,7 +39,7 @@ let method_conv =
         (`Msg
           (Printf.sprintf
              "unknown method %S (expected sd, eij, hybrid, hybrid:<n>, svc, \
-              lazy)"
+              lazy, portfolio)"
              s))
   in
   let print ppf m = Decide.pp_method ppf m in
@@ -55,7 +56,17 @@ let method_arg =
     value
     & opt method_conv Decide.Hybrid_default
     & info [ "m"; "method" ] ~docv:"METHOD"
-        ~doc:"Decision method: sd, eij, hybrid, hybrid:N, svc or lazy.")
+        ~doc:
+          "Decision method: sd, eij, hybrid, hybrid:N, svc, lazy or \
+           portfolio.")
+
+let portfolio_arg =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Race SD, EIJ and HYBRID on separate cores; the first decisive \
+           verdict wins and cancels the others. Overrides $(b,--method).")
 
 let timeout_arg =
   Arg.(
@@ -83,7 +94,8 @@ let pp_assignment ppf (a : Brute.assignment) =
   List.iter (fun (n, b) -> Format.fprintf ppf "  %s = %b@." n b) a.Brute.bools
 
 let solve_cmd =
-  let run file method_ timeout countermodel certify =
+  let run file method_ portfolio timeout countermodel certify =
+    let method_ = if portfolio then Decide.Portfolio else method_ in
     let ctx = Ast.create_ctx () in
     match read_formula ctx file with
     | exception Parse.Error msg ->
@@ -93,6 +105,9 @@ let solve_cmd =
       let deadline = Deadline.after timeout in
       let r = Decide.decide ~method_ ~deadline ~certify ctx formula in
       Format.printf "method:     %a@." Decide.pp_method method_;
+      (match r.Decide.winner with
+      | Some w -> Format.printf "winner:     %a@." Decide.pp_method w
+      | None -> ());
       Format.printf "size:       %d DAG nodes@." (Ast.size formula);
       Format.printf "translate:  %.3fs@." r.Decide.translate_time;
       Format.printf "search:     %.3fs@." r.Decide.sat_time;
@@ -126,8 +141,8 @@ let solve_cmd =
   in
   let term =
     Term.(
-      const run $ file_arg $ method_arg $ timeout_arg $ countermodel_arg
-      $ certify_arg)
+      const run $ file_arg $ method_arg $ portfolio_arg $ timeout_arg
+      $ countermodel_arg $ certify_arg)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide the validity of a SUF formula.")
@@ -244,6 +259,8 @@ let bench_cmd =
     | "4" -> Sepsat_harness.Experiments.figure4 ~deadline_s:timeout ppf
     | "5" -> Sepsat_harness.Experiments.figure5 ~deadline_s:timeout ppf
     | "6" -> Sepsat_harness.Experiments.figure6 ~deadline_s:timeout ppf
+    | "portfolio" ->
+      Sepsat_harness.Experiments.figure_portfolio ~deadline_s:timeout ppf
     | "all" -> Sepsat_harness.Experiments.all ~deadline_s:timeout ppf
     | other ->
       Format.eprintf "unknown figure %S@." other;
@@ -252,7 +269,8 @@ let bench_cmd =
   let figure_arg =
     Arg.(
       value & opt string "all"
-      & info [ "figure" ] ~docv:"ID" ~doc:"2, 3, threshold, 4, 5, 6 or all.")
+      & info [ "figure" ] ~docv:"ID"
+          ~doc:"2, 3, threshold, 4, 5, 6, portfolio or all.")
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
@@ -272,8 +290,8 @@ let cnf_cmd =
         | Decide.Eij -> Sepsat_encode.Hybrid.eij_only
         | Decide.Hybrid_default -> Sepsat_encode.Hybrid.default
         | Decide.Hybrid_at t -> Sepsat_encode.Hybrid.hybrid ~threshold:t ()
-        | Decide.Svc_baseline | Decide.Lazy_baseline ->
-          Format.eprintf "cnf export requires an eager method@.";
+        | Decide.Svc_baseline | Decide.Lazy_baseline | Decide.Portfolio ->
+          Format.eprintf "cnf export requires a single eager method@.";
           exit 2
       in
       let elim = Decide.eliminate ctx formula in

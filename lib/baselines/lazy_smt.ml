@@ -71,6 +71,11 @@ let decide ?(deadline = Deadline.none) ctx formula =
   let solver = Solver.create () in
   let tseitin = Tseitin.create solver in
   Tseitin.assert_root tseitin (F.not_ pctx f_bvar);
+  (* Activation literal guarding the theory lemmas — the incremental-SMT
+     idiom: each lemma is added as [act ∨ cycle] and switched on per call by
+     assuming [¬act], so the refinement state rides the solver's retained
+     learnt clauses, activities and saved phases instead of re-encoding. *)
+  let act = Lit.pos (Solver.new_var solver) in
   let bounds = Eij.bounds eij in
   let iterations = ref 0 in
   let conflict_clauses = ref 0 in
@@ -78,7 +83,7 @@ let decide ?(deadline = Deadline.none) ctx formula =
   let rec refine () =
     Deadline.check deadline;
     incr iterations;
-    match Solver.solve ~deadline solver with
+    match Solver.solve ~deadline ~assumptions:[ Lit.neg act ] solver with
     | Solver.Unsat -> Verdict.Valid
     | Solver.Unknown -> Verdict.Unknown "timeout"
     | Solver.Sat -> (
@@ -120,7 +125,7 @@ let decide ?(deadline = Deadline.none) ctx formula =
         (* The negative cycle's negation, as in CVC's incremental
            translation. *)
         incr conflict_clauses;
-        Solver.add_clause solver cycle_lits;
+        Solver.add_clause solver (act :: cycle_lits);
         refine ())
   in
   let verdict = try refine () with Deadline.Timeout -> Verdict.Unknown "timeout" in

@@ -1,10 +1,12 @@
 module Ast = Sepsat_suf.Ast
+module Parse = Sepsat_suf.Parse
 module Elim = Sepsat_suf.Elim
 module Verdict = Sepsat_sep.Verdict
 module Hybrid = Sepsat_encode.Hybrid
 module F = Sepsat_prop.Formula
 module Tseitin = Sepsat_prop.Tseitin
 module Solver = Sepsat_sat.Solver
+module Lit = Sepsat_sat.Lit
 module Deadline = Sepsat_util.Deadline
 module Svc = Sepsat_baselines.Svc
 module Lazy_smt = Sepsat_baselines.Lazy_smt
@@ -16,6 +18,7 @@ type method_ =
   | Hybrid_at of int
   | Svc_baseline
   | Lazy_baseline
+  | Portfolio
 
 let pp_method ppf = function
   | Sd -> Format.pp_print_string ppf "SD"
@@ -25,6 +28,7 @@ let pp_method ppf = function
   | Hybrid_at t -> Format.fprintf ppf "HYBRID(%d)" t
   | Svc_baseline -> Format.pp_print_string ppf "SVC"
   | Lazy_baseline -> Format.pp_print_string ppf "LAZY"
+  | Portfolio -> Format.pp_print_string ppf "PORTFOLIO"
 
 let method_of_string s =
   match String.lowercase_ascii s with
@@ -33,6 +37,7 @@ let method_of_string s =
   | "hybrid" -> Some Hybrid_default
   | "svc" -> Some Svc_baseline
   | "lazy" -> Some Lazy_baseline
+  | "portfolio" -> Some Portfolio
   | s -> (
     match String.index_opt s ':' with
     | Some i when String.sub s 0 i = "hybrid" -> (
@@ -52,6 +57,7 @@ type result = {
   cnf_clauses : int;
   sat_stats : Solver.stats option;
   encode_stats : Hybrid.stats option;
+  winner : method_ option;
 }
 
 let eliminate = Elim.eliminate
@@ -65,19 +71,21 @@ let eager_config = function
   | Eij -> Hybrid.eij_only
   | Hybrid_default -> Hybrid.default
   | Hybrid_at t -> Hybrid.hybrid ~threshold:t ()
-  | Svc_baseline | Lazy_baseline ->
+  | Svc_baseline | Lazy_baseline | Portfolio ->
     invalid_arg "Decide.eager_config: not an eager method"
 
-let decide_eager ~config ~deadline ~certify ctx formula =
+let decide_eager ?stop ~config ~deadline ~certify ctx formula =
+  let deadline =
+    match stop with
+    | Some flag -> Deadline.with_stop deadline flag
+    | None -> deadline
+  in
   let t0 = Deadline.now () in
   let elim = Elim.eliminate ctx formula in
-  match
-    Hybrid.encode ~config ctx ~p_consts:elim.Elim.p_consts elim.Elim.formula
-  with
-  | exception Hybrid.Translation_blowup ->
+  let unknown why =
     let t1 = Deadline.now () in
     {
-      verdict = Verdict.Unknown "translation blowup";
+      verdict = Verdict.Unknown why;
       certified = None;
       witness = None;
       elim;
@@ -87,11 +95,24 @@ let decide_eager ~config ~deadline ~certify ctx formula =
       cnf_clauses = 0;
       sat_stats = None;
       encode_stats = None;
+      winner = None;
     }
+  in
+  match
+    Hybrid.encode ~config ~deadline ctx ~p_consts:elim.Elim.p_consts
+      elim.Elim.formula
+  with
+  | exception Hybrid.Translation_blowup -> unknown "translation blowup"
+  | exception Deadline.Timeout ->
+    unknown (if Deadline.interrupted deadline then "cancelled" else "timeout")
   | encoded ->
     let solver = Solver.create () in
+    (match stop with Some flag -> Solver.set_stop solver flag | None -> ());
     let proof = if certify then Some (Solver.start_proof solver) else None in
-    let tseitin = Tseitin.create solver in
+    (* DRUP certification replays against the exact clause stream, so it
+       keeps the reference full-Tseitin conversion. *)
+    let mode = if certify then Tseitin.Full else Tseitin.Polarity in
+    let tseitin = Tseitin.create ~mode solver in
     Tseitin.assert_root tseitin
       (F.not_ encoded.Hybrid.prop_ctx encoded.Hybrid.f_bool);
     let t1 = Deadline.now () in
@@ -125,6 +146,7 @@ let decide_eager ~config ~deadline ~certify ctx formula =
       cnf_clauses = Tseitin.clauses_added tseitin;
       sat_stats = Some (Solver.stats solver);
       encode_stats = Some encoded.Hybrid.stats;
+      winner = None;
     }
 
 let decide_svc ~deadline ctx formula =
@@ -144,6 +166,7 @@ let decide_svc ~deadline ctx formula =
     cnf_clauses = 0;
     sat_stats = None;
     encode_stats = None;
+    winner = None;
   }
 
 let decide_lazy ~deadline ctx formula =
@@ -163,7 +186,60 @@ let decide_lazy ~deadline ctx formula =
     cnf_clauses = 0;
     sat_stats = None;
     encode_stats = None;
+    winner = None;
   }
+
+(* -- Multicore portfolio -------------------------------------------------- *)
+
+let portfolio_members = [ Sd; Eij; Hybrid_default ]
+
+(* Races the eager methods on separate domains; the first decisive verdict
+   raises a shared stop flag that every competing solver polls from its
+   propagation loop — and, via [Deadline.with_stop] inside [decide_eager],
+   from the translation loops, where a losing EIJ encoding can otherwise
+   spend seconds after the race is already decided. The AST context and the
+   encoders mutate shared state, so each domain re-parses the formula
+   (print/parse round-trips are stable) into a context of its own instead of
+   sharing nodes across domains. *)
+let decide_portfolio ~deadline ~certify ctx formula =
+  ignore ctx;
+  let t0 = Deadline.wall_now () in
+  let printed = Format.asprintf "%a" Ast.pp formula in
+  (* [Sys.time] accumulates CPU across every domain, so the race must run on
+     a wall-clock budget or N competitors would burn the deadline N times
+     faster. *)
+  let deadline =
+    match Deadline.remaining deadline with
+    | None -> Deadline.none
+    | Some r -> Deadline.after_wall r
+  in
+  let stop = Atomic.make false in
+  let winner_slot : (method_ * result) option Atomic.t = Atomic.make None in
+  let run m =
+    let ctx' = Ast.create_ctx () in
+    let formula' = Parse.formula ctx' printed in
+    let r =
+      decide_eager ~stop ~config:(eager_config m) ~deadline ~certify ctx'
+        formula'
+    in
+    (match r.verdict with
+    | Verdict.Valid | Verdict.Invalid _ ->
+      if Atomic.compare_and_set winner_slot None (Some (m, r)) then
+        Atomic.set stop true
+    | Verdict.Unknown _ -> ());
+    r
+  in
+  let domains = List.map (fun m -> Domain.spawn (fun () -> run m)) portfolio_members in
+  let results = List.map Domain.join domains in
+  let t1 = Deadline.wall_now () in
+  let m, r =
+    match Atomic.get winner_slot with
+    | Some (m, r) -> (m, r)
+    | None ->
+      (* Nobody finished decisively: surface the first member's outcome. *)
+      (List.hd portfolio_members, List.hd results)
+  in
+  { r with total_time = t1 -. t0; winner = Some m }
 
 let decide ?(method_ = Hybrid_default) ?(deadline = Deadline.none)
     ?(certify = false) ctx formula =
@@ -172,6 +248,117 @@ let decide ?(method_ = Hybrid_default) ?(deadline = Deadline.none)
     decide_eager ~config:(eager_config method_) ~deadline ~certify ctx formula
   | Svc_baseline -> decide_svc ~deadline ctx formula
   | Lazy_baseline -> decide_lazy ~deadline ctx formula
+  | Portfolio -> decide_portfolio ~deadline ~certify ctx formula
+
+(* -- Incremental SEP_THOLD sweep ------------------------------------------ *)
+
+type sweep_point = {
+  sw_threshold : int;
+  sw_verdict : Verdict.t;
+  sw_conflicts : int;
+  sw_time : float;
+}
+
+type sweep = {
+  points : sweep_point list;
+  solver_creates : int;
+  sweep_cnf_clauses : int;
+  sweep_translate_time : float;
+  sweep_stats : Solver.stats option;
+}
+
+let default_sweep_thresholds = [ 0; 50; 200; 400; 700; 2000; max_int ]
+
+let decide_sweep ?(thresholds = default_sweep_thresholds)
+    ?(deadline = Deadline.none) ctx formula =
+  let t0 = Deadline.now () in
+  let elim = Elim.eliminate ctx formula in
+  match
+    Hybrid.encode_selective ctx ~p_consts:elim.Elim.p_consts elim.Elim.formula
+  with
+  | exception Hybrid.Translation_blowup ->
+    (* Selector mode routes every class through EIJ too, so its translation
+       can blow up where high fixed thresholds would not; sweep the slow way,
+       one encoding and solver per threshold. *)
+    let points =
+      List.map
+        (fun th ->
+          let r =
+            decide_eager ~config:(Hybrid.hybrid ~threshold:th ()) ~deadline
+              ~certify:false ctx formula
+          in
+          {
+            sw_threshold = th;
+            sw_verdict = r.verdict;
+            sw_conflicts =
+              (match r.sat_stats with
+              | Some st -> st.Solver.conflicts
+              | None -> 0);
+            sw_time = r.total_time;
+          })
+        thresholds
+    in
+    {
+      points;
+      solver_creates = List.length thresholds;
+      sweep_cnf_clauses = 0;
+      sweep_translate_time = Deadline.now () -. t0;
+      sweep_stats = None;
+    }
+  | enc ->
+    let solver = Solver.create () in
+    let tseitin = Tseitin.create solver in
+    Tseitin.assert_root tseitin
+      (F.not_ enc.Hybrid.sel_prop_ctx enc.Hybrid.sel_f_bool);
+    let t1 = Deadline.now () in
+    let sel_lits =
+      Array.map
+        (fun sel -> Tseitin.lit_of_var tseitin (F.var_index sel))
+        enc.Hybrid.selectors
+    in
+    let points =
+      List.map
+        (fun th ->
+          (* SEP_THOLD = th as an assumption vector over the selectors: class
+             i goes through SD exactly when its SepCnt exceeds th. *)
+          let assumptions =
+            Array.to_list
+              (Array.mapi
+                 (fun i l ->
+                   if enc.Hybrid.sep_cnts.(i) > th then l else Lit.neg l)
+                 sel_lits)
+          in
+          let c0 = (Solver.stats solver).Solver.conflicts in
+          let ta = Deadline.now () in
+          let outcome = Solver.solve ~deadline ~assumptions solver in
+          let tb = Deadline.now () in
+          let verdict =
+            match outcome with
+            | Solver.Unsat -> Verdict.Valid
+            | Solver.Unknown -> Verdict.Unknown "timeout"
+            | Solver.Sat ->
+              let assign i =
+                match Tseitin.find_var tseitin i with
+                | Some lit -> Solver.value solver lit
+                | None -> false
+              in
+              Verdict.Invalid (enc.Hybrid.sel_decode assign)
+          in
+          {
+            sw_threshold = th;
+            sw_verdict = verdict;
+            sw_conflicts = (Solver.stats solver).Solver.conflicts - c0;
+            sw_time = tb -. ta;
+          })
+        thresholds
+    in
+    {
+      points;
+      solver_creates = 1;
+      sweep_cnf_clauses = Tseitin.clauses_added tseitin;
+      sweep_translate_time = t1 -. t0;
+      sweep_stats = Some (Solver.stats solver);
+    }
 
 let valid ?method_ ctx formula =
   match (decide ?method_ ctx formula).verdict with

@@ -21,12 +21,15 @@ type method_ =
   | Hybrid_at of int  (** HYBRID at an explicit SEP_THOLD *)
   | Svc_baseline
   | Lazy_baseline
+  | Portfolio
+      (** races SD, EIJ and HYBRID on separate domains; first decisive
+          verdict wins and cancels the rest *)
 
 val pp_method : Format.formatter -> method_ -> unit
 
 val method_of_string : string -> method_ option
 (** Accepts ["sd"], ["eij"], ["hybrid"], ["hybrid:<n>"], ["svc"],
-    ["lazy"]. *)
+    ["lazy"], ["portfolio"]. *)
 
 type result = {
   verdict : Verdict.t;
@@ -50,6 +53,12 @@ type result = {
   cnf_clauses : int;  (** CNF clauses handed to the solver (0 for SVC) *)
   sat_stats : Solver.stats option;
   encode_stats : Hybrid.stats option;  (** eager methods only *)
+  winner : method_ option;
+      (** for {!Portfolio}: the member whose verdict (and per-method fields —
+          times, stats, witness) this result carries; [total_time] is the
+          wall-clock time of the whole race. [None] for every other method.
+          Note that a portfolio [elim] comes from the winning domain's
+          internal re-parse of the formula, not the caller's context. *)
 }
 
 val decide :
@@ -71,3 +80,44 @@ val eliminate : Ast.ctx -> Ast.formula -> Sepsat_suf.Elim.result
 
 val valid : ?method_:method_ -> Ast.ctx -> Ast.formula -> bool
 (** Convenience wrapper. @raise Failure on an [Unknown] verdict. *)
+
+val portfolio_members : method_ list
+(** The methods {!Portfolio} races: SD, EIJ, HYBRID(default). *)
+
+(** {2 Incremental SEP_THOLD sweep}
+
+    Decides the same formula at several [SEP_THOLD] values on one incremental
+    SAT solver: the selector-literal encoding
+    ({!Sepsat_encode.Hybrid.encode_selective}) defers each class's SD/EIJ
+    routing to a selector variable, and each threshold becomes a vector of
+    assumptions over the selectors. Learnt clauses, activities and saved
+    phases carry across the whole sweep. *)
+
+type sweep_point = {
+  sw_threshold : int;
+  sw_verdict : Verdict.t;
+  sw_conflicts : int;  (** conflicts spent on this threshold alone *)
+  sw_time : float;  (** seconds inside this threshold's [solve] call *)
+}
+
+type sweep = {
+  points : sweep_point list;
+  solver_creates : int;
+      (** SAT solver instances built: 1 on the incremental path, one per
+          threshold on the {!Sepsat_encode.Hybrid.Translation_blowup}
+          fallback *)
+  sweep_cnf_clauses : int;  (** 0 on the fallback path *)
+  sweep_translate_time : float;
+  sweep_stats : Solver.stats option;  (** final solver stats; incremental path only *)
+}
+
+val default_sweep_thresholds : int list
+(** [0; 50; 200; 400; 700; 2000; max_int] — pure SD through pure EIJ. *)
+
+val decide_sweep :
+  ?thresholds:int list ->
+  ?deadline:Sepsat_util.Deadline.t ->
+  Ast.ctx ->
+  Ast.formula ->
+  sweep
+(** Verdicts agree point-for-point with [decide ~method_:(Hybrid_at t)]. *)

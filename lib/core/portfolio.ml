@@ -1,0 +1,15 @@
+type member = Decide.method_ =
+  | Sd
+  | Eij
+  | Hybrid_default
+  | Hybrid_at of int
+  | Svc_baseline
+  | Lazy_baseline
+  | Portfolio
+
+let members = Decide.portfolio_members
+
+let decide ?deadline ?certify ctx formula =
+  Decide.decide ~method_:Decide.Portfolio ?deadline ?certify ctx formula
+
+let winner (r : Decide.result) = r.Decide.winner

@@ -1,0 +1,39 @@
+(** Multicore method portfolio.
+
+    Races the eager methods (SD, EIJ, HYBRID at the default [SEP_THOLD]) on
+    separate OCaml domains over the same formula. The first member to reach a
+    decisive verdict wins: it flips a shared atomic stop flag that every
+    competing CDCL solver polls from its propagation loop, so the losers
+    abandon their searches within a few hundred propagations. Because the
+    methods' strengths are complementary (the motivation for HYBRID in the
+    first place), the portfolio tracks the best single method per benchmark
+    at the cost of cores instead of tuning.
+
+    This is a thin facade over {!Decide.Portfolio}; use [Decide.decide
+    ~method_:Portfolio] for the full option surface. *)
+
+type member = Decide.method_ =
+  | Sd
+  | Eij
+  | Hybrid_default
+  | Hybrid_at of int
+  | Svc_baseline
+  | Lazy_baseline
+  | Portfolio
+
+val members : member list
+(** The raced methods: SD, EIJ, HYBRID(default). *)
+
+val decide :
+  ?deadline:Sepsat_util.Deadline.t ->
+  ?certify:bool ->
+  Sepsat_suf.Ast.ctx ->
+  Sepsat_suf.Ast.formula ->
+  Decide.result
+(** [decide] with [~method_:Portfolio]. The result's [winner] field names the
+    member whose verdict is reported; [total_time] is the wall-clock time of
+    the race (deadlines are enforced on the wall clock, since CPU time
+    accumulates across domains). *)
+
+val winner : Decide.result -> member option
+(** The [winner] field. *)

@@ -53,7 +53,7 @@ let num_trans_constraints t = t.n_trans
 type edge = { src : string; dst : string; weight : int; lit : F.t }
 (* src − dst <= weight *)
 
-let trans_constraints t =
+let trans_constraints ?(deadline = Sepsat_util.Deadline.none) t =
   let pctx = t.pctx in
   (* Weight window, per connected component. Every edge arising during
      elimination stands for a simple path of original edges, so its weight is
@@ -148,7 +148,11 @@ let trans_constraints t =
   let emit c =
     constraints := c :: !constraints;
     t.n_trans <- t.n_trans + 1;
-    if t.n_trans > t.budget then raise Translation_blowup
+    if t.n_trans > t.budget then raise Translation_blowup;
+    (* Vertex elimination is the expensive translation phase, so it is the
+       one that must poll the budget — and, in a portfolio race, the shared
+       stop flag a winning competitor raises. *)
+    if t.n_trans land 1023 = 0 then Sepsat_util.Deadline.check deadline
   in
   let lit_for_derived src dst weight =
     match Hashtbl.find_opt derived (src, dst, weight) with

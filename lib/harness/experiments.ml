@@ -157,8 +157,39 @@ let figure4 ?(deadline_s = default_deadline) ppf =
        SEP_THOLD)"
     ~benchmarks:Suite.non_invariant ~base_method:Decide.Hybrid_default
     ~base_name:"HYBRID"
-    ~others:[ ("SD", Decide.Sd); ("EIJ", Decide.Eij) ]
+    ~others:
+      [ ("SD", Decide.Sd); ("EIJ", Decide.Eij); ("PORTFOLIO", Decide.Portfolio) ]
     ~deadline_s ppf
+
+let portfolio_benchmarks =
+  [ "pipe.3"; "pipe.5"; "lsu.3"; "cache.5"; "tv.2"; "ooo.1" ]
+
+let figure_portfolio ?(deadline_s = default_deadline) ppf =
+  let already = List.length (Runner.recorded_rows ()) in
+  comparison
+    ~title:
+      "Portfolio: first-verdict-wins race vs its members (wall-clock; the \
+       portfolio should track the best column)"
+    ~benchmarks:
+      (List.filter_map Suite.find portfolio_benchmarks)
+    ~base_method:Decide.Portfolio ~base_name:"PORTFOLIO"
+    ~others:
+      [
+        ("SD", Decide.Sd);
+        ("EIJ", Decide.Eij);
+        ("HYBRID", Decide.Hybrid_default);
+      ]
+    ~deadline_s ppf;
+  (* The race reports which member crossed the line first. *)
+  List.iteri
+    (fun i (r : Runner.row) ->
+      match (r.Runner.method_, r.Runner.winner) with
+      | Decide.Portfolio, Some w when i >= already ->
+        Format.fprintf ppf "%-10s winner: %a (%.2fs wall)@." r.Runner.bench
+          Decide.pp_method w r.Runner.wall_time
+      | _ -> ())
+    (Runner.recorded_rows ());
+  Format.fprintf ppf "@."
 
 let figure5 ?(deadline_s = default_deadline) ppf =
   comparison
@@ -182,28 +213,41 @@ let figure6 ?(deadline_s = default_deadline) ppf =
 
 let ablation_threshold ?(deadline_s = default_deadline) ppf =
   Format.fprintf ppf
-    "== Ablation: HYBRID total time across the SEP_THOLD sweep ==@.";
-  let thresholds = [ 0; 50; 200; 400; 700; 2000; max_int ] in
+    "== Ablation: HYBRID search time across the SEP_THOLD sweep ==@.";
+  Format.fprintf ppf
+    "(one incremental SAT solver per benchmark; thresholds are assumption@.\
+    \ vectors over the selector-literal encoding)@.";
+  let thresholds = Decide.default_sweep_thresholds in
   let thold_label t = if t = max_int then "inf" else string_of_int t in
   Format.fprintf ppf "%-10s" "Benchmark";
   List.iter (fun t -> Format.fprintf ppf " %8s" (thold_label t)) thresholds;
-  Format.fprintf ppf "@.";
+  Format.fprintf ppf " %8s@." "solvers";
   List.iter
     (fun name ->
       match Suite.find name with
       | None -> ()
       | Some bench ->
+        let ctx = Sepsat_suf.Ast.create_ctx () in
+        let formula = bench.Sepsat_workloads.Suite.build ctx in
+        let sweep =
+          Decide.decide_sweep ~thresholds
+            ~deadline:(Sepsat_util.Deadline.after deadline_s)
+            ctx formula
+        in
         Format.fprintf ppf "%-10s" name;
         List.iter
-          (fun t ->
-            let row = Runner.run ~deadline_s (Decide.Hybrid_at t) bench in
-            Format.fprintf ppf " %a" pp_time row)
-          thresholds;
-        Format.fprintf ppf "@.")
+          (fun (p : Decide.sweep_point) ->
+            match p.Decide.sw_verdict with
+            | Verdict.Unknown _ -> Format.fprintf ppf " %8s" "t/o"
+            | Verdict.Valid | Verdict.Invalid _ ->
+              Format.fprintf ppf " %8.2f" p.Decide.sw_time)
+          sweep.Decide.points;
+        Format.fprintf ppf " %8d@." sweep.Decide.solver_creates)
     [ "pipe.4"; "lsu.4"; "cache.5"; "tv.2"; "drv.4"; "ooo.1" ];
   Format.fprintf ppf
     "(SEP_THOLD = 0 is pure SD, SEP_THOLD = inf is pure EIJ; the default@.\
-    \ sits where neither extreme dominates)@.@."
+    \ sits where neither extreme dominates; solvers = SAT solver instances@.\
+    \ created for the whole sweep — 1 on the incremental path)@.@."
 
 let ablation_positive_equality ?(deadline_s = default_deadline) ppf =
   Format.fprintf ppf
@@ -267,5 +311,6 @@ let all ?(deadline_s = default_deadline) ppf =
   figure4 ~deadline_s ppf;
   figure5 ~deadline_s ppf;
   figure6 ~deadline_s ppf;
+  figure_portfolio ~deadline_s ppf;
   ablation_threshold ~deadline_s ppf;
   ablation_positive_equality ~deadline_s ppf

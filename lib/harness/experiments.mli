@@ -30,10 +30,16 @@ val figure6 : ?deadline_s:float -> Format.formatter -> unit
 (** HYBRID against the SVC-style and CVC-style (lazy) baselines on the 39
     non-invariant benchmarks. *)
 
+val figure_portfolio : ?deadline_s:float -> Format.formatter -> unit
+(** The multicore portfolio (SD ∥ EIJ ∥ HYBRID racing on separate domains)
+    against each member on a representative benchmark subset, with the
+    winning method and wall-clock time per benchmark. *)
+
 val ablation_threshold : ?deadline_s:float -> Format.formatter -> unit
-(** Design-choice ablation: HYBRID total time across a SEP_THOLD sweep on
-    representative benchmarks, showing the SD/EIJ crossover the default
-    threshold balances. *)
+(** Design-choice ablation: HYBRID search time across a SEP_THOLD sweep on
+    representative benchmarks, run as assumption vectors against a single
+    incremental SAT solver ({!Sepsat.Decide.decide_sweep}), showing the
+    SD/EIJ crossover the default threshold balances. *)
 
 val ablation_positive_equality : ?deadline_s:float -> Format.formatter -> unit
 (** Design-choice ablation: encoding cost with and without the

@@ -18,12 +18,25 @@ type row = {
   verdict : Verdict.t;
   outcome : outcome;
   total_time : float;
+  wall_time : float;
   translate_time : float;
   sat_time : float;
   cnf_clauses : int;
   conflicts : int;
+  decisions : int;
+  propagations : int;
   trans_constraints : int;
+  winner : Decide.method_ option;  (** portfolio runs only *)
 }
+
+(* Every [run] appends its row here (newest first), so experiments render
+   their tables as before while the bench driver exports the same
+   measurements as machine-readable JSON afterwards. *)
+let recorded : row list ref = ref []
+
+let reset_recorded () = recorded := []
+
+let recorded_rows () = List.rev !recorded
 
 (* The separation-predicate estimate is a property of the formula, not of
    the method, so compute it through the standard pipeline. *)
@@ -41,35 +54,51 @@ let run ?(deadline_s = 30.) method_ (bench : Suite.benchmark) =
   let size = Ast.size formula in
   let sep_cnt = sep_count ctx formula in
   let deadline = Deadline.after deadline_s in
+  let w0 = Deadline.wall_now () in
   let r = Decide.decide ~method_ ~deadline ctx formula in
+  let w1 = Deadline.wall_now () in
   let outcome =
     match r.Decide.verdict with
     | Verdict.Valid | Verdict.Invalid _ -> Completed
     | Verdict.Unknown "translation blowup" -> Blew_up
     | Verdict.Unknown _ -> Timed_out
   in
-  {
-    bench = bench.Suite.name;
-    family = Suite.family_name bench.Suite.family;
-    invariant_checking = bench.Suite.invariant_checking;
-    method_;
-    size;
-    sep_cnt;
-    verdict = r.Decide.verdict;
-    outcome;
-    total_time = r.Decide.total_time;
-    translate_time = r.Decide.translate_time;
-    sat_time = r.Decide.sat_time;
-    cnf_clauses = r.Decide.cnf_clauses;
-    conflicts =
-      (match r.Decide.sat_stats with
-      | Some st -> st.Solver.conflicts
-      | None -> 0);
-    trans_constraints =
-      (match r.Decide.encode_stats with
-      | Some es -> es.Hybrid.trans_constraints
-      | None -> 0);
-  }
+  let row =
+    {
+      bench = bench.Suite.name;
+      family = Suite.family_name bench.Suite.family;
+      invariant_checking = bench.Suite.invariant_checking;
+      method_;
+      size;
+      sep_cnt;
+      verdict = r.Decide.verdict;
+      outcome;
+      total_time = r.Decide.total_time;
+      wall_time = w1 -. w0;
+      translate_time = r.Decide.translate_time;
+      sat_time = r.Decide.sat_time;
+      cnf_clauses = r.Decide.cnf_clauses;
+      conflicts =
+        (match r.Decide.sat_stats with
+        | Some st -> st.Solver.conflicts
+        | None -> 0);
+      decisions =
+        (match r.Decide.sat_stats with
+        | Some st -> st.Solver.decisions
+        | None -> 0);
+      propagations =
+        (match r.Decide.sat_stats with
+        | Some st -> st.Solver.propagations
+        | None -> 0);
+      trans_constraints =
+        (match r.Decide.encode_stats with
+        | Some es -> es.Hybrid.trans_constraints
+        | None -> 0);
+      winner = r.Decide.winner;
+    }
+  in
+  recorded := row :: !recorded;
+  row
 
 let penalized_time ~deadline_s row =
   match row.outcome with
@@ -78,3 +107,59 @@ let penalized_time ~deadline_s row =
 
 let normalized_time ~deadline_s row =
   penalized_time ~deadline_s row /. (float_of_int (max row.size 1) /. 1000.)
+
+(* -- Machine-readable export (hand-rolled JSON, no dependency) ------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let verdict_label = function
+  | Verdict.Valid -> "valid"
+  | Verdict.Invalid _ -> "invalid"
+  | Verdict.Unknown _ -> "unknown"
+
+let outcome_label = function
+  | Completed -> "completed"
+  | Timed_out -> "timeout"
+  | Blew_up -> "blowup"
+
+let row_to_json row =
+  let method_str = Format.asprintf "%a" Decide.pp_method row.method_ in
+  let winner_str =
+    match row.winner with
+    | Some m -> Printf.sprintf "%S" (Format.asprintf "%a" Decide.pp_method m)
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"bench\": \"%s\", \"family\": \"%s\", \"method\": \"%s\", \"verdict\": \
+     \"%s\", \"outcome\": \"%s\", \"wall_time\": %.6f, \"cpu_time\": %.6f, \
+     \"translate_time\": %.6f, \"sat_time\": %.6f, \"size\": %d, \"sep_cnt\": \
+     %d, \"cnf_clauses\": %d, \"conflicts\": %d, \"decisions\": %d, \
+     \"propagations\": %d, \"winner\": %s}"
+    (json_escape row.bench) (json_escape row.family) (json_escape method_str)
+    (verdict_label row.verdict)
+    (outcome_label row.outcome)
+    row.wall_time row.total_time row.translate_time row.sat_time row.size
+    row.sep_cnt row.cnf_clauses row.conflicts row.decisions row.propagations
+    winner_str
+
+let rows_to_json rows =
+  String.concat ""
+    [ "[\n  "; String.concat ",\n  " (List.map row_to_json rows); "\n]\n" ]
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc (rows_to_json rows);
+  close_out oc

@@ -15,18 +15,37 @@ type row = {
   sep_cnt : int;  (** separation-predicate estimate of the formula *)
   verdict : Verdict.t;
   outcome : outcome;
-  total_time : float;
+  total_time : float;  (** CPU time reported by the decision procedure *)
+  wall_time : float;  (** wall clock around the whole decide call *)
   translate_time : float;
   sat_time : float;
   cnf_clauses : int;
   conflicts : int;  (** learned conflict clauses (0 for SVC) *)
+  decisions : int;
+  propagations : int;
   trans_constraints : int;
+  winner : Decide.method_ option;  (** portfolio runs only *)
 }
 
 val run : ?deadline_s:float -> Decide.method_ -> Suite.benchmark -> row
 (** Builds the benchmark in a fresh context and decides it. Default deadline
     30 seconds of CPU time (the laptop-scale stand-in for the paper's
     30-minute limit). *)
+
+val reset_recorded : unit -> unit
+(** Forget the rows recorded so far. *)
+
+val recorded_rows : unit -> row list
+(** All rows recorded by {!run} since start (or the last
+    {!reset_recorded}), in execution order. *)
+
+val write_json : string -> row list -> unit
+(** Write rows as a JSON array (hand-rolled; no external dependency). Keys
+    per row: [bench], [family], [method], [verdict]
+    ([valid]/[invalid]/[unknown]), [outcome]
+    ([completed]/[timeout]/[blowup]), [wall_time], [cpu_time],
+    [translate_time], [sat_time], [size], [sep_cnt], [cnf_clauses],
+    [conflicts], [decisions], [propagations], [winner] (string or null). *)
 
 val penalized_time : deadline_s:float -> row -> float
 (** Total time, with timeouts/blowups charged the full deadline — the

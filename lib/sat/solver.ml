@@ -19,6 +19,7 @@ type stats = {
   clauses : int;
   learnts : int;
   max_vars : int;
+  eliminated : int;
 }
 
 let dummy_lit = Lit.pos 0
@@ -46,6 +47,10 @@ type t = {
   mutable cla_inc : float;
   (* Analysis scratch *)
   seen : bool Vec.t;
+  (* Incremental interface *)
+  assumptions : Lit.t Vec.t;  (* placed as pseudo-decisions below the search *)
+  mutable conflict_core : Lit.t list;  (* failed assumptions of the last solve *)
+  mutable stop : bool Atomic.t;  (* external cancellation (portfolio racing) *)
   (* State *)
   mutable ok : bool;
   mutable model : bool array option;
@@ -55,6 +60,7 @@ type t = {
   mutable n_decisions : int;
   mutable n_props : int;
   mutable n_restarts : int;
+  mutable n_eliminated : int;
 }
 
 let var_decay = 1. /. 0.95
@@ -79,6 +85,9 @@ let create () =
     var_inc = 1.;
     cla_inc = 1.;
     seen = Vec.create ~dummy:false;
+    assumptions = Vec.create ~dummy:dummy_lit;
+    conflict_core = [];
+    stop = Atomic.make false;
     ok = true;
     model = None;
     proof = None;
@@ -86,7 +95,12 @@ let create () =
     n_decisions = 0;
     n_props = 0;
     n_restarts = 0;
+    n_eliminated = 0;
   }
+
+let set_stop s flag = s.stop <- flag
+
+let interrupted s = Atomic.get s.stop
 
 let start_proof s =
   let p = Proof.create () in
@@ -262,7 +276,13 @@ let detach s c =
    Returns the conflicting clause, if any. *)
 let propagate s =
   let confl = ref dummy_clause in
-  while !confl == dummy_clause && s.qhead < Vec.size s.trail do
+  let stopped = ref false in
+  while (not !stopped) && !confl == dummy_clause && s.qhead < Vec.size s.trail do
+    (* Cheap cancellation poll: a masked atomic load keeps the hot loop hot
+       while letting a portfolio peer abort a propagation-heavy search.
+       Breaking before the queue head advances keeps the state consistent. *)
+    if s.n_props land 255 = 0 && Atomic.get s.stop then stopped := true
+    else begin
     let p = Vec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.n_props <- s.n_props + 1;
@@ -320,6 +340,7 @@ let propagate s =
       end
     done;
     Vec.shrink ws !j
+    end
   done;
   if !confl == dummy_clause then None else Some !confl
 
@@ -396,6 +417,40 @@ let analyze s confl =
   Vec.iter (fun v -> Vec.set s.seen v false) to_clear;
   (Vec.to_list keep, !btlevel)
 
+(* -- Final-conflict analysis (failed-assumption core) -------------------- *)
+
+(* [p] is an assumption found false at placement time. Walks the implication
+   graph backwards from [p]; every pseudo-decision reached is an assumption
+   that participated in falsifying [p]. Returns the failed core: a subset
+   [core] of the current assumptions (including [p]) such that the clause
+   database conjoined with [core] is unsatisfiable. *)
+let analyze_final s p =
+  let core = ref [ p ] in
+  if decision_level s > 0 && Vec.get s.level (Lit.var p) > 0 then begin
+    Vec.set s.seen (Lit.var p) true;
+    let bound = Vec.get s.trail_lim 0 in
+    for i = Vec.size s.trail - 1 downto bound do
+      let q = Vec.get s.trail i in
+      let v = Lit.var q in
+      if Vec.get s.seen v then begin
+        let r = Vec.get s.reason v in
+        if r == dummy_clause then
+          (* A pseudo-decision: an assumption placed earlier. Note that this
+             is [¬p] itself when the assumptions are directly contradictory,
+             in which case the core rightly lists both polarities. *)
+          core := q :: !core
+        else
+          Array.iter
+            (fun l ->
+              if Vec.get s.level (Lit.var l) > 0 then
+                Vec.set s.seen (Lit.var l) true)
+            r.lits;
+        Vec.set s.seen v false
+      end
+    done
+  end;
+  !core
+
 (* -- Learnt clause management ------------------------------------------- *)
 
 let locked s c =
@@ -433,7 +488,8 @@ let add_clause s lits =
       || List.exists (fun l -> value s l = 1 && Vec.get s.level (Lit.var l) = 0)
            lits
     in
-    if not taut then begin
+    if taut then s.n_eliminated <- s.n_eliminated + 1
+    else begin
       let live =
         List.filter
           (fun l -> not (value s l = -1 && Vec.get s.level (Lit.var l) = 0))
@@ -500,6 +556,44 @@ let luby y x =
 
 exception Solved of result
 
+exception Assumptions_failed
+(* Unsatisfiable only under the current assumptions; [conflict_core] holds
+   the failed subset and the solver stays usable. *)
+
+(* Records the satisfying assignment and feeds it back into the branching
+   phases, so the next (incremental) call re-converges on a nearby model. *)
+let save_model s =
+  let m = Array.init (nvars s) (fun v -> Vec.get s.assigns v = 1) in
+  s.model <- Some m;
+  for v = 0 to nvars s - 1 do
+    Vec.set s.polarity v m.(v)
+  done
+
+(* Places pending assumptions as pseudo-decisions, one per level, below any
+   heuristic decision — the MiniSat assumption discipline. *)
+type placement = Placed | All_placed | Failed of Lit.t
+
+let place_assumptions s =
+  let rec go () =
+    if decision_level s >= Vec.size s.assumptions then All_placed
+    else
+      let p = Vec.get s.assumptions (decision_level s) in
+      match value s p with
+      | 1 ->
+        (* Already entailed: open an empty pseudo-level to keep the
+           level-to-assumption correspondence. *)
+        Vec.push s.trail_lim (Vec.size s.trail);
+        go ()
+      | -1 ->
+        s.conflict_core <- analyze_final s p;
+        Failed p
+      | _ ->
+        Vec.push s.trail_lim (Vec.size s.trail);
+        unchecked_enqueue s p dummy_clause;
+        Placed
+  in
+  go ()
+
 let search s ~nof_conflicts ~deadline ~budget =
   let conflict_count = ref 0 in
   let rec loop () =
@@ -507,10 +601,18 @@ let search s ~nof_conflicts ~deadline ~budget =
     | Some confl ->
       s.n_conflicts <- s.n_conflicts + 1;
       incr conflict_count;
+      if Atomic.get s.stop then raise (Solved Unknown);
       if decision_level s = 0 then begin
         log_learned s [];
+        s.conflict_core <- [];
+        s.ok <- false;
         raise (Solved Unsat)
       end;
+      (* Conflicts at assumption levels need no special casing: first-UIP
+         learning only expands reason clauses, so the learnt clause is a
+         consequence of the database alone and the backjump may legally land
+         inside the assumption prefix — [place_assumptions] re-places the
+         rest. Assumption failure is detected at placement time instead. *)
       let learnt, btlevel = analyze s confl in
       cancel_until s btlevel;
       record_learnt s learnt;
@@ -521,6 +623,7 @@ let search s ~nof_conflicts ~deadline ~budget =
       if budget > 0 && s.n_conflicts >= budget then raise (Solved Unknown);
       loop ()
     | None ->
+      if Atomic.get s.stop then raise (Solved Unknown);
       if !conflict_count >= nof_conflicts then begin
         s.n_restarts <- s.n_restarts + 1;
         cancel_until s 0
@@ -532,35 +635,51 @@ let search s ~nof_conflicts ~deadline ~budget =
         reduce_db s;
         loop ()
       end
-      else if all_assigned s then begin
-        let m = Array.init (nvars s) (fun v -> Vec.get s.assigns v = 1) in
-        s.model <- Some m;
-        raise (Solved Sat)
-      end
       else begin
-        let v = pick_branch_var s in
-        if v < 0 then begin
-          let m = Array.init (nvars s) (fun u -> Vec.get s.assigns u = 1) in
-          s.model <- Some m;
-          raise (Solved Sat)
-        end;
-        s.n_decisions <- s.n_decisions + 1;
-        Vec.push s.trail_lim (Vec.size s.trail);
-        unchecked_enqueue s (Lit.make v (Vec.get s.polarity v)) dummy_clause;
-        loop ()
+        match place_assumptions s with
+        | Failed _ -> raise Assumptions_failed
+        | Placed -> loop ()
+        | All_placed ->
+          if all_assigned s then begin
+            save_model s;
+            raise (Solved Sat)
+          end
+          else begin
+            let v = pick_branch_var s in
+            if v < 0 then begin
+              save_model s;
+              raise (Solved Sat)
+            end;
+            s.n_decisions <- s.n_decisions + 1;
+            Vec.push s.trail_lim (Vec.size s.trail);
+            unchecked_enqueue s (Lit.make v (Vec.get s.polarity v)) dummy_clause;
+            loop ()
+          end
       end
   in
   loop ()
 
-let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) s =
+let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) ?(assumptions = [])
+    s =
+  s.conflict_core <- [];
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
     s.model <- None;
+    Vec.clear s.assumptions;
+    List.iter (Vec.push s.assumptions) assumptions;
+    let finish r =
+      (* Pop the assumption levels so the solver is immediately reusable;
+         phase saving in [cancel_until] retains the branching state. *)
+      cancel_until s 0;
+      Vec.clear s.assumptions;
+      r
+    in
     try
       (match propagate s with
       | Some _ ->
         log_learned s [];
+        s.conflict_core <- [];
         s.ok <- false;
         raise (Solved Unsat)
       | None -> ());
@@ -572,15 +691,23 @@ let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) s =
         if Deadline.exceeded deadline then raise (Solved Unknown)
       done;
       assert false
-    with Solved r ->
-      if r = Unsat then s.ok <- false;
-      r
+    with
+    | Solved r -> finish r
+    | Assumptions_failed -> finish Unsat
   end
+
+let unsat_core s = s.conflict_core
 
 let model s =
   match s.model with
   | Some m -> Array.copy m
   | None -> invalid_arg "Solver.model: no model available"
+
+let warm_start s phases =
+  let n = min (Array.length phases) (nvars s) in
+  for v = 0 to n - 1 do
+    Vec.set s.polarity v phases.(v)
+  done
 
 let value s l =
   match s.model with
@@ -608,11 +735,12 @@ let stats s =
     clauses = Vec.size s.clauses;
     learnts = Vec.size s.learnts;
     max_vars = nvars s;
+    eliminated = s.n_eliminated;
   }
 
 let pp_stats ppf st =
   Format.fprintf ppf
     "vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d \
-     learnts=%d"
+     learnts=%d eliminated=%d"
     st.max_vars st.clauses st.conflicts st.decisions st.propagations
-    st.restarts st.learnts
+    st.restarts st.learnts st.eliminated

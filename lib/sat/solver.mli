@@ -6,16 +6,19 @@
     first-UIP clause learning with basic self-subsumption minimization,
     activity-driven learnt-clause deletion and Luby restarts.
 
-    Clauses may be added after a [solve] call returned (the solver backtracks
-    to the root level first), which is what the lazy CVC-style refinement loop
-    relies on. *)
+    The solver is incremental in the MiniSat sense: clauses may be added
+    between [solve] calls (the solver backtracks to the root level first),
+    [solve ~assumptions] decides satisfiability under a temporary conjunction
+    of literals without committing them, and learned clauses, variable
+    activities and saved phases persist across calls. The lazy CVC-style
+    refinement loop and the hybrid threshold sweep are built on this. *)
 
 type t
 
 type result =
   | Sat
   | Unsat
-  | Unknown  (** conflict budget or deadline exhausted *)
+  | Unknown  (** conflict budget or deadline exhausted, or stop flag raised *)
 
 type stats = {
   conflicts : int;  (** conflict clauses learned, the paper's Fig. 2 metric *)
@@ -25,6 +28,9 @@ type stats = {
   clauses : int;  (** problem clauses currently attached *)
   learnts : int;  (** learnt clauses currently attached *)
   max_vars : int;
+  eliminated : int;
+      (** clauses dropped at [add_clause] time (tautological or already
+          satisfied at the root level) *)
 }
 
 val create : unit -> t
@@ -41,12 +47,39 @@ val new_var : t -> int
 val nvars : t -> int
 
 val add_clause : t -> Lit.t list -> unit
-(** Adds a clause. Tautologies are dropped; literals false at the root level
-    are removed; an empty or root-contradicting clause makes the instance
-    unsatisfiable. May be called between [solve] calls. *)
+(** Adds a clause. Literals are sorted and deduplicated; tautologies and
+    clauses containing a root-level-true literal are dropped (counted in
+    [stats.eliminated]); root-level-false literals are removed; an empty or
+    root-contradicting clause makes the instance unsatisfiable. May be called
+    between [solve] calls. *)
 
 val solve :
-  ?deadline:Sepsat_util.Deadline.t -> ?conflict_budget:int -> t -> result
+  ?deadline:Sepsat_util.Deadline.t ->
+  ?conflict_budget:int ->
+  ?assumptions:Lit.t list ->
+  t ->
+  result
+(** Decides satisfiability of the clause database conjoined with the
+    [assumptions] literals. Assumptions are placed as pseudo-decisions below
+    the heuristic search, MiniSat-style, and are retracted when the call
+    returns — they do not change the database, so the solver remains usable
+    whatever the result. [Unsat] under non-empty assumptions means the
+    database together with {!unsat_core} (a subset of the assumptions) is
+    unsatisfiable; the database alone may still be satisfiable. *)
+
+val unsat_core : t -> Lit.t list
+(** After [solve ~assumptions] returned [Unsat]: the failed-assumption core —
+    a subset of the assumptions whose conjunction with the clause database is
+    unsatisfiable. Empty when the database is unsatisfiable on its own.
+    Meaningless after any other result. *)
+
+val set_stop : t -> bool Atomic.t -> unit
+(** Installs a shared cancellation flag. The propagation loop polls it (on a
+    256-propagation mask) and [solve] returns [Unknown] promptly once it is
+    set; the portfolio racer uses one flag across all competing solvers. *)
+
+val interrupted : t -> bool
+(** Whether the installed stop flag is currently set. *)
 
 val value : t -> Lit.t -> bool
 (** Model value of a literal after [solve] returned [Sat].
@@ -55,6 +88,11 @@ val value : t -> Lit.t -> bool
 val model : t -> bool array
 (** Model as an array indexed by variable, after [Sat].
     @raise Invalid_argument if no model is available. *)
+
+val warm_start : t -> bool array -> unit
+(** Seeds the saved branching phases from a model of a related instance (for
+    example the winning portfolio member's), so the next [solve] call
+    re-converges on a nearby assignment. Extra entries are ignored. *)
 
 val export_cnf : t -> int * Lit.t list list
 (** [(nvars, clauses)]: the active problem clauses plus the root-level unit

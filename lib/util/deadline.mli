@@ -1,9 +1,15 @@
-(** Cooperative CPU-time budgets.
+(** Cooperative CPU-time and wall-clock budgets.
 
     Long-running phases (SAT search, transitivity-constraint generation, the
     lazy refinement loop) poll a deadline and abort with {!Timeout} when the
     budget is exhausted, standing in for the paper's 30-minute wall-clock
-    timeout at laptop-friendly scales. *)
+    timeout at laptop-friendly scales.
+
+    Single-method runs use processor-time deadlines ({!after}), matching the
+    paper's CPU-budget methodology. The multicore portfolio uses wall-clock
+    deadlines ({!after_wall}): [Sys.time] accumulates across every running
+    domain, so a CPU deadline would fire N times too early when N domains
+    race. *)
 
 type t
 
@@ -15,10 +21,32 @@ val none : t
 val after : float -> t
 (** [after s] fires [s] seconds of processor time from now. *)
 
+val after_wall : float -> t
+(** [after_wall s] fires [s] seconds of wall-clock time from now. *)
+
+val with_stop : t -> bool Atomic.t -> t
+(** [with_stop t flag] also fires as soon as [flag] becomes true — the
+    cancellation path of the portfolio race: the winner raises the shared
+    flag and every deadline poll in the losers (translation loops included)
+    observes it. *)
+
+val interrupted : t -> bool
+(** Whether the {!with_stop} flag (if any) has been raised — distinguishes
+    cancellation from a genuine budget timeout. *)
+
 val exceeded : t -> bool
+
+val remaining : t -> float option
+(** Seconds until the deadline fires (negative if already passed); [None]
+    for {!none}. When both clocks are armed, the tighter one is reported. *)
 
 val check : t -> unit
 (** @raise Timeout if the deadline has passed. *)
 
 val now : unit -> float
-(** Processor time in seconds, the clock deadlines are measured against. *)
+(** Processor time in seconds, the clock CPU deadlines are measured
+    against. *)
+
+val wall_now : unit -> float
+(** Wall-clock time in seconds, the clock wall deadlines are measured
+    against. *)

@@ -108,11 +108,15 @@ let test_runner_timeout_penalty () =
       verdict = Verdict.Unknown "timeout";
       outcome = Runner.Timed_out;
       total_time = 3.;
+      wall_time = 3.;
       translate_time = 1.;
       sat_time = 2.;
       cnf_clauses = 0;
       conflicts = 0;
+      decisions = 0;
+      propagations = 0;
       trans_constraints = 0;
+      winner = None;
     }
   in
   Alcotest.(check (float 1e-9)) "penalty" 30.

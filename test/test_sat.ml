@@ -451,6 +451,157 @@ let prop_random_cnf ~name ~nvars ~nclauses ~width ~count =
       | Solver.Unsat -> not (brute_force_sat nvars clauses)
       | Solver.Unknown -> false)
 
+(* -- Incremental interface: assumptions, cores, phases, cancellation ------ *)
+
+let test_assumptions_basic () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.pos b ];
+  Alcotest.check result_t "assume -a" Solver.Sat
+    (Solver.solve ~assumptions:[ Lit.neg_of a ] s);
+  Alcotest.(check bool) "b forced" true (Solver.value s (Lit.pos b));
+  Solver.add_clause s [ Lit.neg_of b ];
+  Alcotest.check result_t "assume -a with -b clause" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.neg_of a ] s);
+  (* assumptions are retracted: the database alone is still satisfiable *)
+  Alcotest.check result_t "no assumptions" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "a true in model" true (Solver.value s (Lit.pos a))
+
+let test_assumptions_core () =
+  let s = Solver.create () in
+  let a = Solver.new_var s
+  and b = Solver.new_var s
+  and c = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg_of a; Lit.neg_of b ];
+  (* c is irrelevant; the core must not include it *)
+  let assumptions = [ Lit.pos c; Lit.pos a; Lit.pos b ] in
+  Alcotest.check result_t "conflicting assumptions" Solver.Unsat
+    (Solver.solve ~assumptions s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core non-empty" true (core <> []);
+  Alcotest.(check bool) "core within assumptions" true
+    (List.for_all (fun l -> List.exists (Lit.equal l) assumptions) core);
+  Alcotest.(check bool) "irrelevant assumption dropped" false
+    (List.exists (Lit.equal (Lit.pos c)) core);
+  (* the core is genuinely unsatisfiable with the database *)
+  Alcotest.check result_t "core re-solves unsat" Solver.Unsat
+    (Solver.solve ~assumptions:core s);
+  (* the solver survives the failures and still answers without assumptions *)
+  Alcotest.check result_t "still sat alone" Solver.Sat (Solver.solve s)
+
+let test_contradictory_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  ignore (Solver.new_var s);
+  Alcotest.check result_t "a and -a" Solver.Unsat
+    (Solver.solve ~assumptions:[ Lit.pos a; Lit.neg_of a ] s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core mentions a" true
+    (List.exists (fun l -> Lit.var l = a) core);
+  Alcotest.check result_t "reusable" Solver.Sat (Solver.solve s)
+
+let test_eliminated_stat () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.neg_of a; Lit.pos b ] (* tautology *);
+  Alcotest.(check int) "tautology eliminated" 1
+    (Solver.stats s).Solver.eliminated;
+  Solver.add_clause s [ Lit.pos a ];
+  Solver.add_clause s [ Lit.pos a; Lit.pos b ] (* satisfied at root *);
+  Alcotest.(check int) "root-satisfied eliminated" 2
+    (Solver.stats s).Solver.eliminated;
+  Alcotest.check result_t "sat" Solver.Sat (Solver.solve s)
+
+let test_warm_start () =
+  let s = Solver.create () in
+  let vars = Array.init 6 (fun _ -> Solver.new_var s) in
+  (* wholly unconstrained variables follow their seeded phases *)
+  Solver.add_clause s [ Lit.pos vars.(0); Lit.pos vars.(1) ];
+  let phases = Array.init 6 (fun i -> i mod 2 = 0) in
+  Solver.warm_start s phases;
+  Alcotest.check result_t "sat" Solver.Sat (Solver.solve s);
+  let m = Solver.model s in
+  for i = 2 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "phase of v%d honoured" i)
+      phases.(i) m.(vars.(i))
+  done
+
+let test_stop_flag () =
+  let s = Solver.create () in
+  (* a pigeonhole instance large enough that it cannot finish instantly *)
+  let holes = 8 in
+  let v =
+    Array.init (holes + 1) (fun _ ->
+        Array.init holes (fun _ -> Solver.new_var s))
+  in
+  for p = 0 to holes do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos v.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to holes do
+      for p2 = p1 + 1 to holes do
+        Solver.add_clause s [ Lit.neg_of v.(p1).(h); Lit.neg_of v.(p2).(h) ]
+      done
+    done
+  done;
+  let flag = Atomic.make true in
+  Solver.set_stop s flag;
+  Alcotest.check result_t "cancelled" Solver.Unknown (Solver.solve s);
+  Alcotest.(check bool) "interrupted" true (Solver.interrupted s);
+  Atomic.set flag false;
+  Alcotest.check result_t "resumes to unsat" Solver.Unsat (Solver.solve s)
+
+let gen_cnf_with_assumptions ~nvars ~nclauses ~width ~nassum =
+  QCheck2.Gen.(
+    pair
+      (gen_cnf ~nvars ~nclauses ~width)
+      (list_size (int_bound nassum)
+         (map2 (fun v s -> Lit.make v s) (int_bound (nvars - 1)) bool)))
+
+(* Property: [solve ~assumptions] answers exactly as solving the formula
+   with the assumptions added as unit clauses — without poisoning the
+   database. *)
+let prop_assumptions_agree =
+  QCheck2.Test.make ~name:"assumptions agree with unit clauses" ~count:300
+    (gen_cnf_with_assumptions ~nvars:10 ~nclauses:40 ~width:3 ~nassum:6)
+    (fun (clauses, assumptions) ->
+      let s = Solver.create () in
+      for _ = 1 to 10 do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      let incremental = Solver.solve ~assumptions s in
+      let reference =
+        not
+          (brute_force_sat 10
+             (clauses @ List.map (fun l -> [ l ]) assumptions))
+      in
+      match incremental with
+      | Solver.Sat -> not reference
+      | Solver.Unsat -> reference
+      | Solver.Unknown -> false)
+
+(* Property: the failed-assumption core, asserted as units, really is
+   unsatisfiable with the database. *)
+let prop_failed_core_unsat =
+  QCheck2.Test.make ~name:"failed assumption cores are unsat" ~count:300
+    (gen_cnf_with_assumptions ~nvars:10 ~nclauses:40 ~width:3 ~nassum:6)
+    (fun (clauses, assumptions) ->
+      let s = Solver.create () in
+      for _ = 1 to 10 do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve ~assumptions s with
+      | Solver.Sat | Solver.Unknown -> true
+      | Solver.Unsat ->
+        let core = Solver.unsat_core s in
+        List.for_all (fun l -> List.exists (Lit.equal l) assumptions) core
+        && not
+             (brute_force_sat 10
+                (clauses @ List.map (fun l -> [ l ]) core)))
+
 let () =
   Alcotest.run "sat"
     [
@@ -493,6 +644,18 @@ let () =
           Alcotest.test_case "replay across restarts" `Slow
             test_proof_across_restarts;
           QCheck_alcotest.to_alcotest prop_random_unsat_certifies;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "assumptions basic" `Quick test_assumptions_basic;
+          Alcotest.test_case "failed core" `Quick test_assumptions_core;
+          Alcotest.test_case "contradictory assumptions" `Quick
+            test_contradictory_assumptions;
+          Alcotest.test_case "eliminated stat" `Quick test_eliminated_stat;
+          Alcotest.test_case "warm start" `Quick test_warm_start;
+          Alcotest.test_case "stop flag" `Quick test_stop_flag;
+          QCheck_alcotest.to_alcotest prop_assumptions_agree;
+          QCheck_alcotest.to_alcotest prop_failed_core_unsat;
         ] );
       ( "properties",
         [
