@@ -17,6 +17,9 @@ module Decide = Sepsat.Decide
 module Verdict = Sepsat_sep.Verdict
 module Ast = Sepsat_suf.Ast
 module Deadline = Sepsat_util.Deadline
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+module Chrome_trace = Sepsat_obs.Chrome_trace
 
 let deadline_s = ref 30.
 
@@ -28,9 +31,16 @@ let json_path = ref ""
 
 let strict = ref false
 
+let trace_path = ref ""
+
+let stats = ref false
+
+let log_level = ref "quiet"
+
 let usage =
   "main.exe [--figure 2|3|threshold|4|5|6|portfolio|all] [--deadline S] \
-   [--no-micro] [--json PATH] [--strict]"
+   [--no-micro] [--json PATH] [--strict] [--trace PATH] [--stats] \
+   [--log-level quiet|info|debug]"
 
 let spec =
   [
@@ -39,10 +49,15 @@ let spec =
     ("--no-micro", Arg.Clear micro_enabled, " skip Bechamel micro-benchmarks");
     ( "--json",
       Arg.Set_string json_path,
-      " write every recorded run to PATH as a JSON array" );
+      " write every recorded run to PATH (schema-2 report object)" );
     ( "--strict",
       Arg.Set strict,
       " exit 1 if any recorded run ended with an Unknown verdict" );
+    ( "--trace",
+      Arg.Set_string trace_path,
+      " write a Chrome trace_event JSON timeline to PATH" );
+    ("--stats", Arg.Set stats, " print span rollup and metrics tables at exit");
+    ("--log-level", Arg.Set_string log_level, " quiet (default), info or debug");
   ]
 
 (* -- Bechamel micro-benchmarks: one per paper artifact ------------------- *)
@@ -103,6 +118,11 @@ let micro ppf =
 
 let () =
   Arg.parse (Arg.align spec) (fun a -> raise (Arg.Bad a)) usage;
+  (match Obs.level_of_string !log_level with
+  | Some l -> Obs.set_level l
+  | None -> raise (Arg.Bad ("unknown log level: " ^ !log_level)));
+  if !trace_path <> "" || !stats || Obs.get_level () <> Obs.Quiet then
+    Obs.enable ();
   let ppf = Format.std_formatter in
   let d = !deadline_s in
   Runner.reset_recorded ();
@@ -122,6 +142,14 @@ let () =
     Format.fprintf ppf "wrote %d rows to %s@." (List.length rows) !json_path
   end;
   if !micro_enabled && !figure = "all" then micro ppf;
+  if !trace_path <> "" then begin
+    Chrome_trace.write_current !trace_path;
+    Format.fprintf ppf "wrote trace to %s@." !trace_path
+  end;
+  if !stats then begin
+    Format.fprintf ppf "%a" Obs.pp_summary (Obs.events ());
+    Format.fprintf ppf "%a" Metrics.pp ()
+  end;
   if !strict then begin
     let unknowns =
       List.filter

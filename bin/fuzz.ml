@@ -9,6 +9,9 @@
 
 module Differential = Sepsat_check.Differential
 module Random_formula = Sepsat_workloads.Random_formula
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+module Chrome_trace = Sepsat_obs.Chrome_trace
 open Cmdliner
 
 let profiles =
@@ -71,7 +74,35 @@ let no_shrink_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress output.")
 
-let run iters seed gen timeout no_shrink quiet =
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the whole fuzzing run \
+           to $(docv) (Perfetto / chrome://tracing).")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"After the run, print the span rollup and metrics tables.")
+
+let log_level_arg =
+  Arg.(
+    value & opt string "quiet"
+    & info [ "log-level" ] ~docv:"LEVEL" ~doc:"quiet (default), info or debug.")
+
+let run iters seed gen timeout no_shrink quiet trace stats log_level =
+  (match Obs.level_of_string log_level with
+  | Some l -> Obs.set_level l
+  | None ->
+    Printf.eprintf "unknown log level %S (expected quiet, info or debug)\n"
+      log_level;
+    exit 2);
+  if trace <> None || stats || Obs.get_level () <> Obs.Quiet then
+    Obs.enable ();
   let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
   let summary =
     Differential.fuzz
@@ -79,6 +110,13 @@ let run iters seed gen timeout no_shrink quiet =
       ~gen ~shrink_failures:(not no_shrink) ~log ~iters ~seed ()
   in
   Format.printf "%a" Differential.pp_summary summary;
+  (match trace with
+  | Some path -> Chrome_trace.write_current path
+  | None -> ());
+  if stats then begin
+    Format.printf "%a" Obs.pp_summary (Obs.events ());
+    Format.printf "%a" Metrics.pp ()
+  end;
   exit (if summary.Differential.failures = [] then 0 else 1)
 
 let () =
@@ -92,6 +130,6 @@ let () =
   let term =
     Term.(
       const run $ iters_arg $ seed_arg $ profile_arg $ timeout_arg
-      $ no_shrink_arg $ quiet_arg)
+      $ no_shrink_arg $ quiet_arg $ trace_arg $ stats_flag $ log_level_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

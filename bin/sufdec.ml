@@ -17,6 +17,10 @@ module Verdict = Sepsat_sep.Verdict
 module Brute = Sepsat_sep.Brute
 module Deadline = Sepsat_util.Deadline
 module Suite = Sepsat_workloads.Suite
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+module Progress = Sepsat_obs.Progress
+module Chrome_trace = Sepsat_obs.Chrome_trace
 open Cmdliner
 
 let read_formula ctx path =
@@ -89,21 +93,89 @@ let certify_arg =
            checker; valid verdicts then report their certification status. \
            Eager methods only.")
 
+(* -- Observability flags (shared by solve, smt and bench) ----------------- *)
+
+let level_conv =
+  let parse s =
+    match Obs.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown log level %S (expected quiet, info or debug)" s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (match l with Obs.Quiet -> "quiet" | Obs.Info -> "info" | Obs.Debug -> "debug")
+  in
+  Arg.conv (parse, print)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run to $(docv); \
+           load it in https://ui.perfetto.dev or chrome://tracing.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"After the run, print the span rollup and metrics tables.")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt level_conv Obs.Quiet
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "quiet (default), info or debug. info prints one CDCL progress \
+           line per second to stderr; debug prints four.")
+
+(* Turns collection on when any observability output was requested; the
+   returned finalizer writes/prints those outputs (call it before [exit]). *)
+let obs_setup trace stats level =
+  Obs.set_level level;
+  if trace <> None || stats || level <> Obs.Quiet then begin
+    Obs.enable ();
+    match level with
+    | Obs.Debug -> Progress.install_printer ~every_s:0.25 ()
+    | Obs.Info -> Progress.install_printer ()
+    | Obs.Quiet -> ()
+  end;
+  fun () ->
+    (match trace with
+    | Some path ->
+      Chrome_trace.write_current path;
+      Obs.log Obs.Info "trace written to %s" path
+    | None -> ());
+    if stats then begin
+      Format.printf "%a" Obs.pp_summary (Obs.events ());
+      Format.printf "%a" Metrics.pp ()
+    end
+
+let obs_term = Term.(const obs_setup $ trace_arg $ stats_flag $ log_level_arg)
+
 let pp_assignment ppf (a : Brute.assignment) =
   List.iter (fun (n, v) -> Format.fprintf ppf "  %s = %d@." n v) a.Brute.ints;
   List.iter (fun (n, b) -> Format.fprintf ppf "  %s = %b@." n b) a.Brute.bools
 
 let solve_cmd =
-  let run file method_ portfolio timeout countermodel certify =
+  let run file method_ portfolio timeout countermodel certify obs_finish =
     let method_ = if portfolio then Decide.Portfolio else method_ in
     let ctx = Ast.create_ctx () in
-    match read_formula ctx file with
+    match Obs.span ~cat:"pipeline" "parse" (fun () -> read_formula ctx file) with
     | exception Parse.Error msg ->
       Format.eprintf "parse error: %s@." msg;
       exit 2
-    | formula -> (
+    | formula ->
       let deadline = Deadline.after timeout in
-      let r = Decide.decide ~method_ ~deadline ~certify ctx formula in
+      let r =
+        Obs.span ~cat:"pipeline" "solve" (fun () ->
+            Decide.decide ~method_ ~deadline ~certify ctx formula)
+      in
       Format.printf "method:     %a@." Decide.pp_method method_;
       (match r.Decide.winner with
       | Some w -> Format.printf "winner:     %a@." Decide.pp_method w
@@ -111,38 +183,60 @@ let solve_cmd =
       Format.printf "size:       %d DAG nodes@." (Ast.size formula);
       Format.printf "translate:  %.3fs@." r.Decide.translate_time;
       Format.printf "search:     %.3fs@." r.Decide.sat_time;
+      (match r.Decide.phase_times with
+      | [] -> ()
+      | phases ->
+        Format.printf "phases:    ";
+        List.iter (fun (n, t) -> Format.printf " %s=%.3fs" n t) phases;
+        Format.printf "@.");
       (match r.Decide.sat_stats with
       | Some st ->
         Format.printf "sat:        %a@." Sepsat_sat.Solver.pp_stats st
       | None -> ());
-      match r.Decide.verdict with
-      | Verdict.Valid ->
-        (match r.Decide.certified with
-        | Some true -> Format.printf "result:     valid (DRUP-certified)@."
-        | Some false -> Format.printf "result:     valid (CERTIFICATION FAILED)@."
-        | None -> Format.printf "result:     valid@.");
-        exit 0
-      | Verdict.Invalid assignment ->
-        Format.printf "result:     invalid@.";
-        if countermodel then begin
-          Format.printf "countermodel (separation-logic constants):@.";
-          pp_assignment Format.std_formatter assignment;
-          match r.Decide.witness with
-          | Some w ->
-            Format.printf
-              "first-order witness (falsifies the original formula):@.%a"
-              Sepsat.Witness.pp w
-          | None -> ()
-        end;
-        exit 1
-      | Verdict.Unknown why ->
-        Format.printf "result:     unknown (%s)@." why;
-        exit 3)
+      let code =
+        match r.Decide.verdict with
+        | Verdict.Valid ->
+          (match r.Decide.certified with
+          | Some true -> Format.printf "result:     valid (DRUP-certified)@."
+          | Some false ->
+            Format.printf "result:     valid (CERTIFICATION FAILED)@."
+          | None -> Format.printf "result:     valid@.");
+          0
+        | Verdict.Invalid assignment ->
+          Format.printf "result:     invalid@.";
+          if countermodel then begin
+            Format.printf "countermodel (separation-logic constants):@.";
+            pp_assignment Format.std_formatter assignment;
+            match r.Decide.witness with
+            | Some w ->
+              Format.printf
+                "first-order witness (falsifies the original formula):@.%a"
+                Sepsat.Witness.pp w
+            | None -> ()
+          end;
+          1
+        | Verdict.Unknown why ->
+          Format.printf "result:     unknown (%s)@." why;
+          (* Unknown must not be a dead end: name the phase that gave up so
+             the user knows whether to raise the timeout, switch encodings
+             or shrink the formula. *)
+          (match List.rev r.Decide.phase_times with
+          | (phase, t) :: _ ->
+            Format.printf "gave up in: %s (%.3fs of %.3fs total)@." phase t
+              r.Decide.total_time
+          | [] -> ());
+          (match r.Decide.cnf_clauses with
+          | 0 -> ()
+          | n -> Format.printf "cnf:        %d clauses@." n);
+          3
+      in
+      obs_finish ();
+      exit code
   in
   let term =
     Term.(
       const run $ file_arg $ method_arg $ portfolio_arg $ timeout_arg
-      $ countermodel_arg $ certify_arg)
+      $ countermodel_arg $ certify_arg $ obs_term)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide the validity of a SUF formula.")
@@ -249,9 +343,9 @@ let gen_cmd =
     Term.(const run $ family_arg $ size_arg $ bug_arg $ seed_arg)
 
 let bench_cmd =
-  let run figure timeout =
+  let run figure timeout obs_finish =
     let ppf = Format.std_formatter in
-    match figure with
+    (match figure with
     | "2" -> Sepsat_harness.Experiments.figure2 ~deadline_s:timeout ppf
     | "3" -> Sepsat_harness.Experiments.figure3 ~deadline_s:timeout ppf
     | "threshold" ->
@@ -264,7 +358,8 @@ let bench_cmd =
     | "all" -> Sepsat_harness.Experiments.all ~deadline_s:timeout ppf
     | other ->
       Format.eprintf "unknown figure %S@." other;
-      exit 2
+      exit 2);
+    obs_finish ()
   in
   let figure_arg =
     Arg.(
@@ -274,7 +369,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ figure_arg $ timeout_arg)
+    Term.(const run $ figure_arg $ timeout_arg $ obs_term)
 
 let cnf_cmd =
   let run file method_ =
@@ -322,7 +417,7 @@ let cnf_cmd =
     Term.(const run $ file_arg $ method_arg)
 
 let smt_cmd =
-  let run file method_ timeout =
+  let run file method_ timeout obs_finish =
     let ctx = Ast.create_ctx () in
     match
       if file = "-" then
@@ -342,22 +437,26 @@ let smt_cmd =
       let goal = Sepsat_suf.Smtlib.goal ctx script in
       let deadline = Deadline.after timeout in
       let r = Decide.decide ~method_ ~deadline ctx goal in
-      (match r.Decide.verdict with
-      | Verdict.Valid ->
-        print_endline "unsat";
-        exit 0
-      | Verdict.Invalid _ ->
-        print_endline "sat";
-        exit 0
-      | Verdict.Unknown why ->
-        Format.printf "unknown ; %s@." why;
-        exit 3)
+      let code =
+        match r.Decide.verdict with
+        | Verdict.Valid ->
+          print_endline "unsat";
+          0
+        | Verdict.Invalid _ ->
+          print_endline "sat";
+          0
+        | Verdict.Unknown why ->
+          Format.printf "unknown ; %s@." why;
+          3
+      in
+      obs_finish ();
+      exit code
   in
   Cmd.v
     (Cmd.info "smt"
        ~doc:
          "Run an SMT-LIB 2 script (QF_UFIDL subset) and answer check-sat.")
-    Term.(const run $ file_arg $ method_arg $ timeout_arg)
+    Term.(const run $ file_arg $ method_arg $ timeout_arg $ obs_term)
 
 let list_cmd =
   let run () =

@@ -11,6 +11,12 @@ module Verdict = Sep.Verdict
 module Eij = Sepsat_encode.Eij
 module Diff_solver = Sepsat_theory.Diff_solver
 module Deadline = Sepsat_util.Deadline
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+
+let m_iterations = lazy (Metrics.counter "lazy.iterations")
+
+let m_lemmas = lazy (Metrics.counter "lazy.lemmas")
 
 type stats = {
   iterations : int;
@@ -80,12 +86,15 @@ let decide ?(deadline = Deadline.none) ctx formula =
   let iterations = ref 0 in
   let conflict_clauses = ref 0 in
   let all_consts = List.map fst (Ast.functions formula) in
-  let rec refine () =
+  (* One span per refinement iteration (SAT query + theory check), so the
+     abstraction/refinement ping-pong is visible on the exported timeline. *)
+  let step () =
     Deadline.check deadline;
     incr iterations;
+    Metrics.incr (Lazy.force m_iterations);
     match Solver.solve ~deadline ~assumptions:[ Lit.neg act ] solver with
-    | Solver.Unsat -> Verdict.Valid
-    | Solver.Unknown -> Verdict.Unknown "timeout"
+    | Solver.Unsat -> Some Verdict.Valid
+    | Solver.Unknown -> Some (Verdict.Unknown "timeout")
     | Solver.Sat -> (
       (* Collect the difference constraints the model asserts; each is
          tagged with the SAT literal that must flip to escape it. *)
@@ -120,13 +129,19 @@ let decide ?(deadline = Deadline.none) ctx formula =
             bconst_vars []
           |> List.sort compare
         in
-        Verdict.Invalid { Brute.ints = Diff_solver.model ds; bools }
+        Some (Verdict.Invalid { Brute.ints = Diff_solver.model ds; bools })
       | Some cycle_lits ->
         (* The negative cycle's negation, as in CVC's incremental
            translation. *)
         incr conflict_clauses;
+        Metrics.incr (Lazy.force m_lemmas);
         Solver.add_clause solver (act :: cycle_lits);
-        refine ())
+        None)
+  in
+  let rec refine () =
+    match Obs.span ~cat:"lazy" "lazy.iter" step with
+    | Some v -> v
+    | None -> refine ()
   in
   let verdict = try refine () with Deadline.Timeout -> Verdict.Unknown "timeout" in
   ( verdict,

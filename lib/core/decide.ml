@@ -10,6 +10,7 @@ module Lit = Sepsat_sat.Lit
 module Deadline = Sepsat_util.Deadline
 module Svc = Sepsat_baselines.Svc
 module Lazy_smt = Sepsat_baselines.Lazy_smt
+module Obs = Sepsat_obs.Obs
 
 type method_ =
   | Sd
@@ -54,6 +55,7 @@ type result = {
   translate_time : float;
   sat_time : float;
   total_time : float;
+  phase_times : (string * float) list;
   cnf_clauses : int;
   sat_stats : Solver.stats option;
   encode_stats : Hybrid.stats option;
@@ -81,8 +83,11 @@ let decide_eager ?stop ~config ~deadline ~certify ctx formula =
     | None -> deadline
   in
   let t0 = Deadline.now () in
-  let elim = Elim.eliminate ctx formula in
-  let unknown why =
+  let elim = Obs.span ~cat:"pipeline" "elim" (fun () -> Elim.eliminate ctx formula) in
+  let t_elim = Deadline.now () in
+  (* [~phases] names the phase the pipeline died in, so an Unknown result
+     still reports where the time went (satellite: diagnosable give-ups). *)
+  let unknown ~phases why =
     let t1 = Deadline.now () in
     {
       verdict = Verdict.Unknown why;
@@ -92,20 +97,28 @@ let decide_eager ?stop ~config ~deadline ~certify ctx formula =
       translate_time = t1 -. t0;
       sat_time = 0.;
       total_time = t1 -. t0;
+      phase_times = phases t1;
       cnf_clauses = 0;
       sat_stats = None;
       encode_stats = None;
       winner = None;
     }
   in
+  let died_in_encode t1 =
+    [ ("elim", t_elim -. t0); ("encode", t1 -. t_elim) ]
+  in
   match
-    Hybrid.encode ~config ~deadline ctx ~p_consts:elim.Elim.p_consts
-      elim.Elim.formula
+    Obs.span ~cat:"pipeline" "encode" (fun () ->
+        Hybrid.encode ~config ~deadline ctx ~p_consts:elim.Elim.p_consts
+          elim.Elim.formula)
   with
-  | exception Hybrid.Translation_blowup -> unknown "translation blowup"
+  | exception Hybrid.Translation_blowup ->
+    unknown ~phases:died_in_encode "translation blowup"
   | exception Deadline.Timeout ->
-    unknown (if Deadline.interrupted deadline then "cancelled" else "timeout")
+    unknown ~phases:died_in_encode
+      (if Deadline.interrupted deadline then "cancelled" else "timeout")
   | encoded ->
+    let t_enc = Deadline.now () in
     let solver = Solver.create () in
     (match stop with Some flag -> Solver.set_stop solver flag | None -> ());
     let proof = if certify then Some (Solver.start_proof solver) else None in
@@ -113,10 +126,13 @@ let decide_eager ?stop ~config ~deadline ~certify ctx formula =
        keeps the reference full-Tseitin conversion. *)
     let mode = if certify then Tseitin.Full else Tseitin.Polarity in
     let tseitin = Tseitin.create ~mode solver in
-    Tseitin.assert_root tseitin
-      (F.not_ encoded.Hybrid.prop_ctx encoded.Hybrid.f_bool);
+    Obs.span ~cat:"pipeline" "cnf" (fun () ->
+        Tseitin.assert_root tseitin
+          (F.not_ encoded.Hybrid.prop_ctx encoded.Hybrid.f_bool));
     let t1 = Deadline.now () in
-    let outcome = Solver.solve ~deadline solver in
+    let outcome =
+      Obs.span ~cat:"pipeline" "sat" (fun () -> Solver.solve ~deadline solver)
+    in
     let t2 = Deadline.now () in
     let verdict =
       match outcome with
@@ -143,17 +159,29 @@ let decide_eager ?stop ~config ~deadline ~certify ctx formula =
       translate_time = t1 -. t0;
       sat_time = t2 -. t1;
       total_time = t2 -. t0;
+      phase_times =
+        [
+          ("elim", t_elim -. t0);
+          ("encode", t_enc -. t_elim);
+          ("cnf", t1 -. t_enc);
+          ("sat", t2 -. t1);
+        ];
       cnf_clauses = Tseitin.clauses_added tseitin;
       sat_stats = Some (Solver.stats solver);
       encode_stats = Some encoded.Hybrid.stats;
       winner = None;
     }
 
-let decide_svc ~deadline ctx formula =
+(* SVC and LAZY interleave translation and search, so past elimination the
+   split collapses to a single "search" phase. *)
+let decide_baseline ~span_name ~deadline ~decide_fn ctx formula =
   let t0 = Deadline.now () in
-  let elim = Elim.eliminate ctx formula in
+  let elim = Obs.span ~cat:"pipeline" "elim" (fun () -> Elim.eliminate ctx formula) in
   let t1 = Deadline.now () in
-  let verdict, _stats = Svc.decide ~deadline ctx elim.Elim.formula in
+  let verdict, _stats =
+    Obs.span ~cat:"pipeline" span_name (fun () ->
+        decide_fn ~deadline ctx elim.Elim.formula)
+  in
   let t2 = Deadline.now () in
   {
     verdict;
@@ -163,31 +191,22 @@ let decide_svc ~deadline ctx formula =
     translate_time = t1 -. t0;
     sat_time = t2 -. t1;
     total_time = t2 -. t0;
+    phase_times = [ ("elim", t1 -. t0); ("search", t2 -. t1) ];
     cnf_clauses = 0;
     sat_stats = None;
     encode_stats = None;
     winner = None;
   }
 
+let decide_svc ~deadline ctx formula =
+  decide_baseline ~span_name:"svc.search" ~deadline
+    ~decide_fn:(fun ~deadline ctx f -> Svc.decide ~deadline ctx f)
+    ctx formula
+
 let decide_lazy ~deadline ctx formula =
-  let t0 = Deadline.now () in
-  let elim = Elim.eliminate ctx formula in
-  let t1 = Deadline.now () in
-  let verdict, _stats = Lazy_smt.decide ~deadline ctx elim.Elim.formula in
-  let t2 = Deadline.now () in
-  {
-    verdict;
-    certified = None;
-    witness = witness_of elim verdict;
-    elim;
-    translate_time = t1 -. t0;
-    sat_time = t2 -. t1;
-    total_time = t2 -. t0;
-    cnf_clauses = 0;
-    sat_stats = None;
-    encode_stats = None;
-    winner = None;
-  }
+  decide_baseline ~span_name:"lazy.search" ~deadline
+    ~decide_fn:(fun ~deadline ctx f -> Lazy_smt.decide ~deadline ctx f)
+    ctx formula
 
 (* -- Multicore portfolio -------------------------------------------------- *)
 
@@ -216,21 +235,32 @@ let decide_portfolio ~deadline ~certify ctx formula =
   let stop = Atomic.make false in
   let winner_slot : (method_ * result) option Atomic.t = Atomic.make None in
   let run m =
-    let ctx' = Ast.create_ctx () in
-    let formula' = Parse.formula ctx' printed in
-    let r =
-      decide_eager ~stop ~config:(eager_config m) ~deadline ~certify ctx'
-        formula'
-    in
-    (match r.verdict with
-    | Verdict.Valid | Verdict.Invalid _ ->
-      if Atomic.compare_and_set winner_slot None (Some (m, r)) then
-        Atomic.set stop true
-    | Verdict.Unknown _ -> ());
-    r
+    (* Per-domain rings mean each competitor gets its own trace lane; naming
+       the thread labels the lane in the Chrome trace. *)
+    Obs.name_thread (Format.asprintf "portfolio:%a" pp_method m);
+    Obs.span ~cat:"portfolio" (Format.asprintf "race:%a" pp_method m)
+      (fun () ->
+        let ctx' = Ast.create_ctx () in
+        let formula' = Parse.formula ctx' printed in
+        let r =
+          decide_eager ~stop ~config:(eager_config m) ~deadline ~certify ctx'
+            formula'
+        in
+        (match r.verdict with
+        | Verdict.Valid | Verdict.Invalid _ ->
+          if Atomic.compare_and_set winner_slot None (Some (m, r)) then begin
+            Atomic.set stop true;
+            Obs.instant ~cat:"portfolio"
+              (Format.asprintf "winner:%a" pp_method m)
+          end
+        | Verdict.Unknown _ -> ());
+        r)
   in
   let domains = List.map (fun m -> Domain.spawn (fun () -> run m)) portfolio_members in
-  let results = List.map Domain.join domains in
+  let results =
+    Obs.span ~cat:"portfolio" "portfolio.race" (fun () ->
+        List.map Domain.join domains)
+  in
   let t1 = Deadline.wall_now () in
   let m, r =
     match Atomic.get winner_slot with
@@ -272,9 +302,11 @@ let default_sweep_thresholds = [ 0; 50; 200; 400; 700; 2000; max_int ]
 let decide_sweep ?(thresholds = default_sweep_thresholds)
     ?(deadline = Deadline.none) ctx formula =
   let t0 = Deadline.now () in
-  let elim = Elim.eliminate ctx formula in
+  let elim = Obs.span ~cat:"pipeline" "elim" (fun () -> Elim.eliminate ctx formula) in
   match
-    Hybrid.encode_selective ctx ~p_consts:elim.Elim.p_consts elim.Elim.formula
+    Obs.span ~cat:"pipeline" "encode.selective" (fun () ->
+        Hybrid.encode_selective ctx ~p_consts:elim.Elim.p_consts
+          elim.Elim.formula)
   with
   | exception Hybrid.Translation_blowup ->
     (* Selector mode routes every class through EIJ too, so its translation
@@ -308,8 +340,9 @@ let decide_sweep ?(thresholds = default_sweep_thresholds)
   | enc ->
     let solver = Solver.create () in
     let tseitin = Tseitin.create solver in
-    Tseitin.assert_root tseitin
-      (F.not_ enc.Hybrid.sel_prop_ctx enc.Hybrid.sel_f_bool);
+    Obs.span ~cat:"pipeline" "cnf" (fun () ->
+        Tseitin.assert_root tseitin
+          (F.not_ enc.Hybrid.sel_prop_ctx enc.Hybrid.sel_f_bool));
     let t1 = Deadline.now () in
     let sel_lits =
       Array.map
@@ -330,7 +363,11 @@ let decide_sweep ?(thresholds = default_sweep_thresholds)
           in
           let c0 = (Solver.stats solver).Solver.conflicts in
           let ta = Deadline.now () in
-          let outcome = Solver.solve ~deadline ~assumptions solver in
+          let outcome =
+            Obs.span ~cat:"sweep"
+              (Printf.sprintf "sweep.th=%d" th)
+              (fun () -> Solver.solve ~deadline ~assumptions solver)
+          in
           let tb = Deadline.now () in
           let verdict =
             match outcome with

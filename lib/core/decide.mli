@@ -50,6 +50,14 @@ type result = {
   translate_time : float;  (** seconds spent producing the CNF / abstraction *)
   sat_time : float;  (** seconds inside the SAT/theory search *)
   total_time : float;
+  phase_times : (string * float) list;
+      (** finer-grained split of [total_time], in pipeline order. Eager
+          methods report [elim]/[encode]/[cnf]/[sat] (so [translate_time] =
+          elim + encode + cnf); SVC and LAZY report [elim]/[search]. On an
+          [Unknown] from a translation blowup or timeout the list stops at
+          the phase that gave up, which names the culprit. Same CPU clock as
+          the coarse fields; the {!Sepsat_obs} spans emitted alongside use
+          wall time. *)
   cnf_clauses : int;  (** CNF clauses handed to the solver (0 for SVC) *)
   sat_stats : Solver.stats option;
   encode_stats : Hybrid.stats option;  (** eager methods only *)

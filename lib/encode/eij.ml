@@ -152,7 +152,12 @@ let trans_constraints ?(deadline = Sepsat_util.Deadline.none) t =
     (* Vertex elimination is the expensive translation phase, so it is the
        one that must poll the budget — and, in a portfolio race, the shared
        stop flag a winning competitor raises. *)
-    if t.n_trans land 1023 = 0 then Sepsat_util.Deadline.check deadline
+    if t.n_trans land 1023 = 0 then begin
+      Sepsat_util.Deadline.check deadline;
+      (* Mid-translation progress on the counter track: EIJ blowups are
+         visible on the timeline before they exhaust the budget. *)
+      Sepsat_obs.Obs.sample "eij.trans_constraints" (float_of_int t.n_trans)
+    end
   in
   let lit_for_derived src dst weight =
     match Hashtbl.find_opt derived (src, dst, weight) with

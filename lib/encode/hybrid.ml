@@ -8,6 +8,8 @@ module Ground = Sep.Ground
 module Bound = Sep.Bound
 module Brute = Sep.Brute
 module Diff_solver = Sepsat_theory.Diff_solver
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
 
 exception Translation_blowup
 
@@ -51,6 +53,14 @@ type selective = {
   sel_stats : stats;
   sel_decode : (int -> bool) -> Brute.assignment;
 }
+
+let m_trans = lazy (Metrics.counter "encode.trans_constraints")
+
+let m_eij_predicates = lazy (Metrics.counter "encode.eij_predicates")
+
+let m_sd_classes = lazy (Metrics.counter "encode.sd_classes")
+
+let m_eij_classes = lazy (Metrics.counter "encode.eij_classes")
 
 type method_choice = Use_sd | Use_eij
 
@@ -96,8 +106,12 @@ let p_value_fun classes ~p_consts =
     | None -> invalid_arg (Printf.sprintf "Hybrid: unknown p-constant %S" name)
 
 let encode_core ~mode_of ~eij_budget ~deadline ctx ~p_consts formula =
-  let formula = Normal.normalize ctx formula in
-  let classes = Classes.build ~p_consts formula in
+  let formula =
+    Obs.span ~cat:"encode" "normalize" (fun () -> Normal.normalize ctx formula)
+  in
+  let classes =
+    Obs.span ~cat:"encode" "classes" (fun () -> Classes.build ~p_consts formula)
+  in
   let infos = Classes.classes classes in
   let pctx = F.create_ctx () in
   let mode = mode_of pctx infos in
@@ -183,14 +197,18 @@ let encode_core ~mode_of ~eij_budget ~deadline ctx ~p_consts formula =
     F.or_list pctx disjuncts
   in
   let f_bvar =
-    try encode_f formula
-    with Eij.Translation_blowup -> raise Translation_blowup
+    Obs.span ~cat:"encode" "encode.bvar" (fun () ->
+        try encode_f formula
+        with Eij.Translation_blowup -> raise Translation_blowup)
   in
   let f_trans =
-    try Eij.trans_constraints ~deadline eij
-    with Eij.Translation_blowup -> raise Translation_blowup
+    Obs.span ~cat:"encode" "encode.trans" (fun () ->
+        try Eij.trans_constraints ~deadline eij
+        with Eij.Translation_blowup -> raise Translation_blowup)
   in
-  let f_domain = Sd.domain_constraints sd in
+  let f_domain =
+    Obs.span ~cat:"encode" "encode.domain" (fun () -> Sd.domain_constraints sd)
+  in
   (* F_bool = (F_trans ∧ domain) ⟹ F_bvar: falsifying models must respect
      both the realizability constraints and the finite domains. *)
   let f_bool = F.implies pctx (F.and_ pctx f_trans f_domain) f_bvar in
@@ -214,6 +232,12 @@ let encode_core ~mode_of ~eij_budget ~deadline ctx ~p_consts formula =
       bool_size = F.size f_bool;
     }
   in
+  if Obs.enabled () then begin
+    Metrics.add (Lazy.force m_trans) stats.trans_constraints;
+    Metrics.add (Lazy.force m_eij_predicates) stats.eij_predicates;
+    Metrics.add (Lazy.force m_sd_classes) stats.sd_classes;
+    Metrics.add (Lazy.force m_eij_classes) stats.eij_classes
+  end;
   let decode assign =
     let bools =
       Hashtbl.fold

@@ -5,6 +5,8 @@ module Verdict = Sepsat_sep.Verdict
 module Deadline = Sepsat_util.Deadline
 module Solver = Sepsat_sat.Solver
 module Hybrid = Sepsat_encode.Hybrid
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
 
 type outcome = Completed | Timed_out | Blew_up
 
@@ -27,6 +29,10 @@ type row = {
   propagations : int;
   trans_constraints : int;
   winner : Decide.method_ option;  (** portfolio runs only *)
+  phase_times : (string * float) list;
+  alloc_words : float;
+  major_words : float;
+  heap_words : int;
 }
 
 (* Every [run] appends its row here (newest first), so experiments render
@@ -54,9 +60,22 @@ let run ?(deadline_s = 30.) method_ (bench : Suite.benchmark) =
   let size = Ast.size formula in
   let sep_cnt = sep_count ctx formula in
   let deadline = Deadline.after deadline_s in
+  (* [Gc.quick_stat] reads counters without forcing a collection, so the
+     allocation/heap deltas are cheap enough to record on every row. *)
+  let g0 = Gc.quick_stat () in
   let w0 = Deadline.wall_now () in
-  let r = Decide.decide ~method_ ~deadline ctx formula in
+  let r =
+    Obs.span ~cat:"bench"
+      (Printf.sprintf "%s/%s" bench.Suite.name
+         (Format.asprintf "%a" Decide.pp_method method_))
+      (fun () -> Decide.decide ~method_ ~deadline ctx formula)
+  in
   let w1 = Deadline.wall_now () in
+  let g1 = Gc.quick_stat () in
+  let alloc_words =
+    g1.Gc.minor_words +. g1.Gc.major_words -. g1.Gc.promoted_words
+    -. (g0.Gc.minor_words +. g0.Gc.major_words -. g0.Gc.promoted_words)
+  in
   let outcome =
     match r.Decide.verdict with
     | Verdict.Valid | Verdict.Invalid _ -> Completed
@@ -95,6 +114,10 @@ let run ?(deadline_s = 30.) method_ (bench : Suite.benchmark) =
         | Some es -> es.Hybrid.trans_constraints
         | None -> 0);
       winner = r.Decide.winner;
+      phase_times = r.Decide.phase_times;
+      alloc_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      heap_words = g1.Gc.heap_words;
     }
   in
   recorded := row :: !recorded;
@@ -142,24 +165,55 @@ let row_to_json row =
     | Some m -> Printf.sprintf "%S" (Format.asprintf "%a" Decide.pp_method m)
     | None -> "null"
   in
+  let phases_str =
+    String.concat ", "
+      (List.map
+         (fun (name, t) -> Printf.sprintf "\"%s\": %.6f" (json_escape name) t)
+         row.phase_times)
+  in
   Printf.sprintf
     "{\"bench\": \"%s\", \"family\": \"%s\", \"method\": \"%s\", \"verdict\": \
      \"%s\", \"outcome\": \"%s\", \"wall_time\": %.6f, \"cpu_time\": %.6f, \
-     \"translate_time\": %.6f, \"sat_time\": %.6f, \"size\": %d, \"sep_cnt\": \
-     %d, \"cnf_clauses\": %d, \"conflicts\": %d, \"decisions\": %d, \
-     \"propagations\": %d, \"winner\": %s}"
+     \"translate_time\": %.6f, \"sat_time\": %.6f, \"phase_times\": {%s}, \
+     \"size\": %d, \"sep_cnt\": %d, \"cnf_clauses\": %d, \"conflicts\": %d, \
+     \"decisions\": %d, \"propagations\": %d, \"winner\": %s, \"gc\": \
+     {\"alloc_words\": %.0f, \"major_words\": %.0f, \"heap_words\": %d}}"
     (json_escape row.bench) (json_escape row.family) (json_escape method_str)
     (verdict_label row.verdict)
     (outcome_label row.outcome)
-    row.wall_time row.total_time row.translate_time row.sat_time row.size
-    row.sep_cnt row.cnf_clauses row.conflicts row.decisions row.propagations
-    winner_str
+    row.wall_time row.total_time row.translate_time row.sat_time phases_str
+    row.size row.sep_cnt row.cnf_clauses row.conflicts row.decisions
+    row.propagations winner_str row.alloc_words row.major_words row.heap_words
 
 let rows_to_json rows =
   String.concat ""
-    [ "[\n  "; String.concat ",\n  " (List.map row_to_json rows); "\n]\n" ]
+    [ "[\n  "; String.concat ",\n  " (List.map row_to_json rows); "\n]" ]
+
+(* Schema 2: the run array moved under "runs" to make room for process-wide
+   GC telemetry and the observability metrics registry snapshot. *)
+let report_to_json rows =
+  let g = Gc.quick_stat () in
+  let gc_json =
+    Printf.sprintf
+      "{\"minor_words\": %.0f, \"major_words\": %.0f, \"promoted_words\": \
+       %.0f, \"minor_collections\": %d, \"major_collections\": %d, \
+       \"heap_words\": %d, \"top_heap_words\": %d, \"compactions\": %d}"
+      g.Gc.minor_words g.Gc.major_words g.Gc.promoted_words
+      g.Gc.minor_collections g.Gc.major_collections g.Gc.heap_words
+      g.Gc.top_heap_words g.Gc.compactions
+  in
+  String.concat ""
+    [
+      "{\n\"schema\": 2,\n\"runs\": ";
+      rows_to_json rows;
+      ",\n\"gc\": ";
+      gc_json;
+      ",\n\"metrics\": ";
+      Metrics.to_json ();
+      "\n}\n";
+    ]
 
 let write_json path rows =
   let oc = open_out path in
-  output_string oc (rows_to_json rows);
+  output_string oc (report_to_json rows);
   close_out oc

@@ -25,6 +25,11 @@ type row = {
   propagations : int;
   trans_constraints : int;
   winner : Decide.method_ option;  (** portfolio runs only *)
+  phase_times : (string * float) list;
+      (** per-phase split of [total_time]; see {!Sepsat.Decide.result} *)
+  alloc_words : float;  (** words allocated during the decide call *)
+  major_words : float;  (** words allocated directly on the major heap *)
+  heap_words : int;  (** major-heap size after the call *)
 }
 
 val run : ?deadline_s:float -> Decide.method_ -> Suite.benchmark -> row
@@ -40,12 +45,17 @@ val recorded_rows : unit -> row list
     {!reset_recorded}), in execution order. *)
 
 val write_json : string -> row list -> unit
-(** Write rows as a JSON array (hand-rolled; no external dependency). Keys
-    per row: [bench], [family], [method], [verdict]
+(** Write a schema-2 report object (hand-rolled JSON; no external
+    dependency): [{"schema": 2, "runs": [...], "gc": {...}, "metrics":
+    {...}}]. Keys per run: [bench], [family], [method], [verdict]
     ([valid]/[invalid]/[unknown]), [outcome]
     ([completed]/[timeout]/[blowup]), [wall_time], [cpu_time],
-    [translate_time], [sat_time], [size], [sep_cnt], [cnf_clauses],
-    [conflicts], [decisions], [propagations], [winner] (string or null). *)
+    [translate_time], [sat_time], [phase_times] (object of per-phase
+    seconds), [size], [sep_cnt], [cnf_clauses], [conflicts], [decisions],
+    [propagations], [winner] (string or null), [gc] (per-run allocation
+    deltas). The top-level [gc] is the process-wide [Gc.quick_stat] at write
+    time; [metrics] is {!Sepsat_obs.Metrics.to_json} (empty object when
+    observability is off). *)
 
 val penalized_time : deadline_s:float -> row -> float
 (** Total time, with timeouts/blowups charged the full deadline — the

@@ -1,0 +1,159 @@
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  bounds : float array;  (* upper bounds; the +inf bin is bounds-length *)
+  bins : int Atomic.t array;  (* length = Array.length bounds + 1 *)
+  sum : float Atomic.t;
+  n : int Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let mu = Mutex.create ()
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name make match_ =
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some m -> (
+        match match_ m with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already a %s" name (kind_name m)))
+      | None ->
+        let v = make () in
+        (match match_ v with
+        | Some _ -> ()
+        | None -> assert false);
+        Hashtbl.add table name v;
+        (match match_ v with Some x -> x | None -> assert false))
+
+let counter name =
+  register name
+    (fun () -> C (Atomic.make 0))
+    (function C c -> Some c | G _ | H _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> G (Atomic.make 0.))
+    (function G g -> Some g | C _ | H _ -> None)
+
+(* Base-4 ladder from 1µs to ~4ks: wide enough for phase durations without
+   per-instance configuration. *)
+let default_buckets =
+  Array.init 16 (fun i -> 1e-6 *. (4. ** float_of_int i))
+
+let histogram ?(buckets = default_buckets) name =
+  register name
+    (fun () ->
+      H
+        {
+          bounds = Array.copy buckets;
+          bins = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          sum = Atomic.make 0.;
+          n = Atomic.make 0;
+        })
+    (function H h -> Some h | C _ | G _ -> None)
+
+let rec atomic_add_float cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then
+    atomic_add_float cell x
+
+let incr c = if Obs.enabled () then ignore (Atomic.fetch_and_add c 1)
+
+let add c k = if Obs.enabled () then ignore (Atomic.fetch_and_add c k)
+
+let set g v = if Obs.enabled () then Atomic.set g v
+
+let observe h v =
+  if Obs.enabled () then begin
+    let i = ref 0 in
+    let nb = Array.length h.bounds in
+    while !i < nb && v > h.bounds.(!i) do
+      i := !i + 1
+    done;
+    ignore (Atomic.fetch_and_add h.bins.(!i) 1);
+    ignore (Atomic.fetch_and_add h.n 1);
+    atomic_add_float h.sum v
+  end
+
+let get c = Atomic.get c
+
+(* -- Reporting ------------------------------------------------------------ *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+
+let read = function
+  | C c -> Counter (Atomic.get c)
+  | G g -> Gauge (Atomic.get g)
+  | H h ->
+    let buckets =
+      List.init
+        (Array.length h.bins)
+        (fun i ->
+          ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
+            Atomic.get h.bins.(i) ))
+    in
+    Histogram { count = Atomic.get h.n; sum = Atomic.get h.sum; buckets }
+
+let snapshot () =
+  Mutex.protect mu (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, read m) :: acc) table [])
+  |> List.sort compare
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.9g" f
+  else "1e999"  (* +inf bucket bound; JSON has no infinity *)
+
+let to_json () =
+  let entry (name, v) =
+    let body =
+      match v with
+      | Counter n -> string_of_int n
+      | Gauge f -> json_float f
+      | Histogram { count; sum; buckets } ->
+        Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [%s]}" count
+          (json_float sum)
+          (String.concat ", "
+             (List.map
+                (fun (ub, n) -> Printf.sprintf "[%s, %d]" (json_float ub) n)
+                buckets))
+    in
+    Printf.sprintf "\"%s\": %s" name body
+  in
+  "{" ^ String.concat ", " (List.map entry (snapshot ())) ^ "}"
+
+let pp ppf () =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Format.fprintf ppf "%-32s %12d@." name n
+      | Gauge f -> Format.fprintf ppf "%-32s %12.4f@." name f
+      | Histogram { count; sum; _ } ->
+        Format.fprintf ppf "%-32s %12d obs, sum %.4f@." name count sum)
+    (snapshot ())
+
+let reset () =
+  Mutex.protect mu (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> Atomic.set c 0
+          | G g -> Atomic.set g 0.
+          | H h ->
+            Array.iter (fun b -> Atomic.set b 0) h.bins;
+            Atomic.set h.sum 0.;
+            Atomic.set h.n 0)
+        table)

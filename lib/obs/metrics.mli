@@ -1,0 +1,63 @@
+(** Named counters, gauges and histograms — one publication interface for
+    the whole pipeline.
+
+    Registration ([{!counter}], [{!gauge}], [{!histogram}]) is idempotent by
+    name and takes a global mutex; keep the handle (or register under
+    [lazy]) rather than re-looking up on a hot path. Updates are lock-free
+    (atomics) and domain-safe, and like the event stream they are gated on
+    {!Obs.enabled}: a disabled-mode update is one atomic load and a branch.
+
+    Reads ({!snapshot}, {!to_json}) are meant for end-of-run reporting; they
+    see a consistent-enough view once updating domains have quiesced. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+(** Find-or-create. @raise Invalid_argument if [name] is already registered
+    as a different metric kind. *)
+
+val gauge : string -> gauge
+
+val histogram : ?buckets:float array -> string -> histogram
+(** [buckets] are the upper bounds of the histogram bins (an implicit
+    [+inf] bin is appended); default is a base-4 exponential ladder from
+    1e-6 suited to phase durations in seconds. [buckets] is ignored when
+    [name] already exists. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+val get : counter -> int
+
+(** {2 Reporting} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+      (** [buckets] pairs each upper bound with its cumulative-free bin
+          count; the [+inf] bin is last *)
+
+val snapshot : unit -> (string * value) list
+(** Every registered metric with its current value, sorted by name. *)
+
+val to_json : unit -> string
+(** The snapshot as one JSON object keyed by metric name: counters as
+    integers, gauges as floats, histograms as
+    [{"count":n,"sum":s,"buckets":[[ub,n],...]}]. ["{}"] when nothing is
+    registered. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable table of the snapshot (the [--stats] view). *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)

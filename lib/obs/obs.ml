@@ -1,0 +1,254 @@
+(* Off-by-default tracing with per-domain ring buffers.
+
+   Hot-path discipline: every public emission function first loads one
+   atomic ([enabled_]) and returns when unset — instrumented code pays a
+   load and a branch, nothing else. When enabled, the emitting domain owns
+   its ring buffer (reached through domain-local storage), so pushes are
+   plain mutations with no synchronization; only ring *registration* (once
+   per domain per generation) takes the global mutex. Readers merge the
+   rings after the writers have quiesced. *)
+
+type event =
+  | Span of { name : string; cat : string; ts : float; dur : float; tid : int }
+  | Instant of { name : string; cat : string; ts : float; tid : int }
+  | Sample of { name : string; ts : float; value : float; tid : int }
+
+let event_ts = function
+  | Span { ts; _ } | Instant { ts; _ } | Sample { ts; _ } -> ts
+
+let event_tid = function
+  | Span { tid; _ } | Instant { tid; _ } | Sample { tid; _ } -> tid
+
+let dummy_event = Instant { name = ""; cat = ""; ts = 0.; tid = 0 }
+
+type ring = {
+  r_tid : int;
+  r_gen : int;
+  data : event array;
+  mutable count : int;  (* total pushes; the ring holds the last [cap] *)
+  mutable last : float;  (* monotone clamp for this domain's captures *)
+}
+
+let enabled_ = Atomic.make false
+
+let capacity_ = Atomic.make 65536
+
+let generation = Atomic.make 0
+
+let registry : ring list ref = ref []
+
+let registry_mu = Mutex.create ()
+
+let names : (int * string) list ref = ref []
+
+let names_mu = Mutex.create ()
+
+let enabled () = Atomic.get enabled_
+
+let fresh_ring () =
+  let r =
+    {
+      r_tid = (Domain.self () :> int);
+      r_gen = Atomic.get generation;
+      data = Array.make (max 16 (Atomic.get capacity_)) dummy_event;
+      count = 0;
+      last = 0.;
+    }
+  in
+  Mutex.protect registry_mu (fun () -> registry := r :: !registry);
+  r
+
+let key = Domain.DLS.new_key fresh_ring
+
+(* A reset bumps the generation; stale domain-local rings (already dropped
+   from the registry) are replaced on next use. *)
+let ring () =
+  let r = Domain.DLS.get key in
+  if r.r_gen = Atomic.get generation then r
+  else begin
+    let r = fresh_ring () in
+    Domain.DLS.set key r;
+    r
+  end
+
+(* Wall clock filtered to be non-decreasing per domain, so capture order is
+   timestamp order even across system clock steps — the invariant that makes
+   span sets well-nested by construction. *)
+let mono_now r =
+  let t = Unix.gettimeofday () in
+  if t > r.last then r.last <- t;
+  r.last
+
+let push r e =
+  let cap = Array.length r.data in
+  r.data.(r.count mod cap) <- e;
+  r.count <- r.count + 1
+
+let enable ?(capacity = 65536) () =
+  Atomic.set capacity_ capacity;
+  Atomic.set enabled_ true
+
+let disable () = Atomic.set enabled_ false
+
+let reset () =
+  Mutex.protect registry_mu (fun () -> registry := []);
+  Mutex.protect names_mu (fun () -> names := []);
+  Atomic.incr generation
+
+(* -- Levels -------------------------------------------------------------- *)
+
+type level = Quiet | Info | Debug
+
+let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
+
+let level_ = Atomic.make Quiet
+
+let set_level l = Atomic.set level_ l
+
+let get_level () = Atomic.get level_
+
+let level_of_string = function
+  | "quiet" -> Some Quiet
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let log lvl fmt =
+  if rank lvl <= rank (Atomic.get level_) && lvl <> Quiet then
+    Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr (fmt ^^ "\n%!")
+
+(* -- Emission ------------------------------------------------------------ *)
+
+let span ?(cat = "") name f =
+  if not (Atomic.get enabled_) then f ()
+  else begin
+    let r = ring () in
+    let t0 = mono_now r in
+    let finish () =
+      (* Re-fetch: a reset during [f] swapped the ring underneath us. *)
+      let r = ring () in
+      let t1 = mono_now r in
+      push r
+        (Span { name; cat; ts = t0; dur = Float.max 0. (t1 -. t0); tid = r.r_tid })
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let timed ?(cat = "") name f =
+  if not (Atomic.get enabled_) then begin
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Float.max 0. (Unix.gettimeofday () -. t0))
+  end
+  else begin
+    let r = ring () in
+    let t0 = mono_now r in
+    let finish () =
+      let r = ring () in
+      let t1 = mono_now r in
+      let dur = Float.max 0. (t1 -. t0) in
+      push r (Span { name; cat; ts = t0; dur; tid = r.r_tid });
+      dur
+    in
+    match f () with
+    | v -> (v, finish ())
+    | exception e ->
+      ignore (finish ());
+      raise e
+  end
+
+let instant ?(cat = "") name =
+  if Atomic.get enabled_ then begin
+    let r = ring () in
+    push r (Instant { name; cat; ts = mono_now r; tid = r.r_tid })
+  end
+
+let sample name value =
+  if Atomic.get enabled_ then begin
+    let r = ring () in
+    push r (Sample { name; ts = mono_now r; value; tid = r.r_tid })
+  end
+
+(* -- Thread naming ------------------------------------------------------- *)
+
+let name_thread name =
+  if Atomic.get enabled_ then begin
+    let tid = (Domain.self () :> int) in
+    Mutex.protect names_mu (fun () ->
+        names := (tid, name) :: List.remove_assoc tid !names)
+  end
+
+let thread_names () =
+  Mutex.protect names_mu (fun () -> List.sort compare !names)
+
+(* -- Collection ---------------------------------------------------------- *)
+
+let ring_events r =
+  let cap = Array.length r.data in
+  let n = min r.count cap in
+  let first = if r.count <= cap then 0 else r.count mod cap in
+  List.init n (fun i -> r.data.((first + i) mod cap))
+
+let events () =
+  let rings = Mutex.protect registry_mu (fun () -> !registry) in
+  List.concat_map ring_events rings
+  |> List.stable_sort (fun a b ->
+         match Float.compare (event_ts a) (event_ts b) with
+         | 0 -> compare (event_tid a) (event_tid b)
+         | c -> c)
+
+let dropped () =
+  let rings = Mutex.protect registry_mu (fun () -> !registry) in
+  List.fold_left
+    (fun acc r -> acc + max 0 (r.count - Array.length r.data))
+    0 rings
+
+(* -- Span rollup --------------------------------------------------------- *)
+
+type span_stat = {
+  ss_name : string;
+  ss_count : int;
+  ss_total : float;
+  ss_max : float;
+}
+
+let span_summary evs =
+  let tbl : (string, span_stat ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Span { name; dur; _ } -> (
+        match Hashtbl.find_opt tbl name with
+        | Some s ->
+          s :=
+            {
+              !s with
+              ss_count = !s.ss_count + 1;
+              ss_total = !s.ss_total +. dur;
+              ss_max = Float.max !s.ss_max dur;
+            }
+        | None ->
+          Hashtbl.add tbl name
+            (ref { ss_name = name; ss_count = 1; ss_total = dur; ss_max = dur }))
+      | Instant _ | Sample _ -> ())
+    evs;
+  Hashtbl.fold (fun _ s acc -> !s :: acc) tbl []
+  |> List.sort (fun a b -> Float.compare b.ss_total a.ss_total)
+
+let pp_summary ppf evs =
+  let stats = span_summary evs in
+  Format.fprintf ppf "%-24s %8s %12s %12s %12s@." "span" "count" "total(s)"
+    "mean(s)" "max(s)";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-24s %8d %12.4f %12.4f %12.4f@." s.ss_name
+        s.ss_count s.ss_total
+        (s.ss_total /. float_of_int (max 1 s.ss_count))
+        s.ss_max)
+    stats

@@ -33,8 +33,12 @@ let create ?(mode = Polarity) solver =
     n_clauses = 0;
   }
 
+(* One registry-wide counter across every converter instance. *)
+let m_clauses = lazy (Sepsat_obs.Metrics.counter "cnf.clauses")
+
 let add_clause t c =
   t.n_clauses <- t.n_clauses + 1;
+  Sepsat_obs.Metrics.incr (Lazy.force m_clauses);
   Solver.add_clause t.solver c
 
 let lit_of_var t i =

@@ -1,5 +1,8 @@
 module Vec = Sepsat_util.Vec
 module Deadline = Sepsat_util.Deadline
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+module Progress = Sepsat_obs.Progress
 
 (* Truth values: 0 = undefined, 1 = true, -1 = false. *)
 
@@ -61,6 +64,7 @@ type t = {
   mutable n_props : int;
   mutable n_restarts : int;
   mutable n_eliminated : int;
+  mutable solve_started : float;  (* wall clock at the current solve's start *)
 }
 
 let var_decay = 1. /. 0.95
@@ -96,6 +100,7 @@ let create () =
     n_props = 0;
     n_restarts = 0;
     n_eliminated = 0;
+    solve_started = 0.;
   }
 
 let set_stop s flag = s.stop <- flag
@@ -618,8 +623,15 @@ let search s ~nof_conflicts ~deadline ~budget =
       record_learnt s learnt;
       var_decay_activity s;
       cla_decay_activity s;
-      if s.n_conflicts land 1023 = 0 && Deadline.exceeded deadline then
-        raise (Solved Unknown);
+      (* The periodic poll doubles as the progress-snapshot point: no new
+         branches in propagation, one mask test per conflict. *)
+      if s.n_conflicts land 1023 = 0 then begin
+        if Deadline.exceeded deadline then raise (Solved Unknown);
+        Progress.tick ~conflicts:s.n_conflicts ~decisions:s.n_decisions
+          ~propagations:s.n_props ~learnts:(Vec.size s.learnts)
+          ~trail:(Vec.size s.trail) ~vars:(nvars s)
+          ~level:(decision_level s) ~started:s.solve_started
+      end;
       if budget > 0 && s.n_conflicts >= budget then raise (Solved Unknown);
       loop ()
     | None ->
@@ -659,6 +671,41 @@ let search s ~nof_conflicts ~deadline ~budget =
   in
   loop ()
 
+let stats s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_props;
+    restarts = s.n_restarts;
+    clauses = Vec.size s.clauses;
+    learnts = Vec.size s.learnts;
+    max_vars = nvars s;
+    eliminated = s.n_eliminated;
+  }
+
+(* Metric handles are shared across every solver instance; [lazy] defers
+   registration to first (enabled) use. *)
+let m_solves = lazy (Metrics.counter "sat.solves")
+
+let m_conflicts = lazy (Metrics.counter "sat.conflicts")
+
+let m_decisions = lazy (Metrics.counter "sat.decisions")
+
+let m_propagations = lazy (Metrics.counter "sat.propagations")
+
+let m_restarts = lazy (Metrics.counter "sat.restarts")
+
+let m_solve_seconds = lazy (Metrics.histogram "sat.solve_seconds")
+
+let publish_deltas before after elapsed =
+  Metrics.incr (Lazy.force m_solves);
+  Metrics.add (Lazy.force m_conflicts) (after.conflicts - before.conflicts);
+  Metrics.add (Lazy.force m_decisions) (after.decisions - before.decisions);
+  Metrics.add (Lazy.force m_propagations)
+    (after.propagations - before.propagations);
+  Metrics.add (Lazy.force m_restarts) (after.restarts - before.restarts);
+  Metrics.observe (Lazy.force m_solve_seconds) elapsed
+
 let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) ?(assumptions = [])
     s =
   s.conflict_core <- [];
@@ -668,11 +715,17 @@ let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) ?(assumptions = [])
     s.model <- None;
     Vec.clear s.assumptions;
     List.iter (Vec.push s.assumptions) assumptions;
+    s.solve_started <- Deadline.wall_now ();
+    let before = if Obs.enabled () then Some (stats s) else None in
     let finish r =
       (* Pop the assumption levels so the solver is immediately reusable;
          phase saving in [cancel_until] retains the branching state. *)
       cancel_until s 0;
       Vec.clear s.assumptions;
+      (match before with
+      | Some b ->
+        publish_deltas b (stats s) (Deadline.wall_now () -. s.solve_started)
+      | None -> ());
       r
     in
     try
@@ -725,18 +778,6 @@ let export_cnf s =
     if Vec.get s.level (Lit.var p) = 0 then clauses := [ p ] :: !clauses
   done;
   (nvars s, List.rev !clauses)
-
-let stats s =
-  {
-    conflicts = s.n_conflicts;
-    decisions = s.n_decisions;
-    propagations = s.n_props;
-    restarts = s.n_restarts;
-    clauses = Vec.size s.clauses;
-    learnts = Vec.size s.learnts;
-    max_vars = nvars s;
-    eliminated = s.n_eliminated;
-  }
 
 let pp_stats ppf st =
   Format.fprintf ppf

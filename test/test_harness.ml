@@ -117,6 +117,10 @@ let test_runner_timeout_penalty () =
       propagations = 0;
       trans_constraints = 0;
       winner = None;
+      phase_times = [ ("elim", 1.); ("sat", 2.) ];
+      alloc_words = 0.;
+      major_words = 0.;
+      heap_words = 0;
     }
   in
   Alcotest.(check (float 1e-9)) "penalty" 30.

@@ -1,0 +1,542 @@
+(* Tests of the observability subsystem: span collection across domains,
+   the metrics registry, progress snapshots and the Chrome-trace exporter.
+
+   Obs state is process-global, so every test starts from [fresh ()]. *)
+
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+module Progress = Sepsat_obs.Progress
+module Chrome_trace = Sepsat_obs.Chrome_trace
+
+let fresh ?capacity () =
+  Obs.disable ();
+  Obs.reset ();
+  Metrics.reset ();
+  Progress.set_callback None;
+  Obs.enable ?capacity ()
+
+(* -- A minimal JSON reader, just enough to validate exporter output ------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\255' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then
+        raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            (* skip the four hex digits; the tests compare ASCII names only *)
+            advance ();
+            advance ();
+            advance ();
+            Buffer.add_char buf '?'
+          | c -> Buffer.add_char buf c);
+          advance ();
+          go ()
+        | '\255' -> raise (Bad "eof in string")
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            if peek () = ',' then (
+              advance ();
+              members ((k, v) :: acc))
+            else (
+              expect '}';
+              List.rev ((k, v) :: acc))
+          in
+          Obj (members [])
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (
+          advance ();
+          Arr [])
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            if peek () = ',' then (
+              advance ();
+              elements (v :: acc))
+            else (
+              expect ']';
+              List.rev (v :: acc))
+          in
+          Arr (elements [])
+      | '"' -> Str (string_lit ())
+      | 't' ->
+        pos := !pos + 4;
+        Bool true
+      | 'f' ->
+        pos := !pos + 5;
+        Bool false
+      | 'n' ->
+        pos := !pos + 4;
+        Null
+      | _ ->
+        let start = !pos in
+        let num_char c =
+          match c with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        in
+        while num_char (peek ()) do
+          advance ()
+        done;
+        if !pos = start then raise (Bad (Printf.sprintf "junk at %d" start));
+        Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc k kvs
+    | _ -> raise (Bad ("not an object at " ^ k))
+
+  let str = function Str s -> s | _ -> raise (Bad "not a string")
+
+  let num = function Num f -> f | _ -> raise (Bad "not a number")
+end
+
+(* -- Disabled mode -------------------------------------------------------- *)
+
+let test_disabled_no_events () =
+  Obs.disable ();
+  Obs.reset ();
+  Metrics.reset ();
+  let c = Metrics.counter "test.disabled" in
+  let r = Obs.span "dead" (fun () -> 42) in
+  Obs.instant "dead.instant";
+  Obs.sample "dead.sample" 1.;
+  Metrics.incr c;
+  Alcotest.(check int) "span is transparent" 42 r;
+  Alcotest.(check int) "no events" 0 (List.length (Obs.events ()));
+  Alcotest.(check int) "no metric update" 0 (Metrics.get c);
+  Alcotest.(check bool) "still disabled" false (Obs.enabled ())
+
+(* -- Span collection ------------------------------------------------------ *)
+
+let test_span_basic () =
+  fresh ();
+  let r =
+    Obs.span ~cat:"t" "outer" (fun () ->
+        Obs.span ~cat:"t" "inner" (fun () -> 7))
+  in
+  Alcotest.(check int) "result" 7 r;
+  let spans =
+    List.filter_map
+      (function
+        | Obs.Span { name; ts; dur; _ } -> Some (name, ts, dur)
+        | _ -> None)
+      (Obs.events ())
+  in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let find n = List.find (fun (n', _, _) -> n' = n) spans in
+  let _, ots, odur = find "outer" and _, its, idur = find "inner" in
+  Alcotest.(check bool) "inner starts inside" true (its >= ots);
+  Alcotest.(check bool) "inner ends inside" true
+    (its +. idur <= ots +. odur +. 1e-9)
+
+let test_span_exception () =
+  fresh ();
+  (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  let names =
+    List.filter_map
+      (function Obs.Span { name; _ } -> Some name | _ -> None)
+      (Obs.events ())
+  in
+  Alcotest.(check (list string)) "span recorded on raise" [ "boom" ] names
+
+let test_timed () =
+  fresh ();
+  let r, dt = Obs.timed "timed.work" (fun () -> 5) in
+  Alcotest.(check int) "result" 5 r;
+  Alcotest.(check bool) "non-negative elapsed" true (dt >= 0.);
+  Obs.disable ();
+  let r', dt' = Obs.timed "timed.off" (fun () -> 6) in
+  Alcotest.(check int) "disabled result" 6 r';
+  Alcotest.(check bool) "still measures when disabled" true (dt' >= 0.)
+
+let test_ring_overflow () =
+  fresh ~capacity:16 ();
+  for i = 0 to 99 do
+    Obs.sample "tick" (float_of_int i)
+  done;
+  let evs = Obs.events () in
+  Alcotest.(check int) "ring keeps capacity" 16 (List.length evs);
+  Alcotest.(check int) "dropped counted" 84 (Obs.dropped ());
+  (* The survivors are the newest events, in order. *)
+  let values =
+    List.filter_map
+      (function Obs.Sample { value; _ } -> Some value | _ -> None)
+      evs
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "newest survive"
+    (List.init 16 (fun i -> float_of_int (84 + i)))
+    values
+
+let test_span_summary () =
+  fresh ();
+  Obs.span "a" (fun () -> Obs.span "b" (fun () -> ()));
+  Obs.span "b" (fun () -> ());
+  let stats = Obs.span_summary (Obs.events ()) in
+  let find n = List.find (fun s -> s.Obs.ss_name = n) stats in
+  Alcotest.(check int) "a count" 1 (find "a").Obs.ss_count;
+  Alcotest.(check int) "b count" 2 (find "b").Obs.ss_count;
+  Alcotest.(check bool) "totals non-negative" true
+    (List.for_all (fun s -> s.Obs.ss_total >= 0.) stats)
+
+(* -- Concurrent domain emission ------------------------------------------- *)
+
+(* Each domain runs a random tree of nested spans. The collected stream must
+   then be, per domain: timestamp-monotone, and well-nested — any two spans
+   are either disjoint or one contains the other. This is the structural
+   invariant the Chrome exporter's stack replay relies on. *)
+let prop_concurrent_well_nested =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 1 4)
+        (list_size (int_range 1 30) (int_range 0 3)))
+  in
+  QCheck2.Test.make ~name:"concurrent spans are well-nested per domain"
+    ~count:30 gen (fun (n_domains, shape) ->
+      fresh ();
+      let work d =
+        List.iteri
+          (fun i depth ->
+            let rec nest k =
+              Obs.span
+                (Printf.sprintf "d%d.s%d.%d" d i k)
+                (fun () -> if k < depth then nest (k + 1))
+            in
+            nest 0;
+            Obs.sample "work" (float_of_int i))
+          shape
+      in
+      let domains =
+        List.init n_domains (fun d -> Domain.spawn (fun () -> work d))
+      in
+      List.iter Domain.join domains;
+      let evs = Obs.events () in
+      let tids = List.sort_uniq compare (List.map Obs.event_tid evs) in
+      List.for_all
+        (fun tid ->
+          let mine = List.filter (fun e -> Obs.event_tid e = tid) evs in
+          (* monotone timestamps per domain *)
+          let rec monotone = function
+            | a :: (b :: _ as rest) ->
+              Obs.event_ts a <= Obs.event_ts b && monotone rest
+            | _ -> true
+          in
+          let spans =
+            List.filter_map
+              (function
+                | Obs.Span { ts; dur; _ } -> Some (ts, ts +. dur)
+                | _ -> None)
+              mine
+          in
+          let disjoint_or_nested (s1, e1) (s2, e2) =
+            e1 <= s2 || e2 <= s1
+            || (s1 <= s2 && e2 <= e1)
+            || (s2 <= s1 && e1 <= e2)
+          in
+          let rec pairs_ok = function
+            | [] -> true
+            | x :: rest ->
+              List.for_all (disjoint_or_nested x) rest && pairs_ok rest
+          in
+          monotone mine && pairs_ok spans)
+        tids)
+
+(* -- Chrome trace export -------------------------------------------------- *)
+
+let collect_some_events () =
+  fresh ();
+  Obs.name_thread "main";
+  Obs.span ~cat:"pipeline" "outer" (fun () ->
+      Obs.span ~cat:"pipeline" "inner" (fun () -> Obs.sample "counter" 3.);
+      Obs.instant ~cat:"pipeline" "mark \"quoted\"");
+  Obs.events ()
+
+let test_chrome_valid_json () =
+  let evs = collect_some_events () in
+  let json = Json.parse (Chrome_trace.to_string evs) in
+  let trace = Json.member "traceEvents" json in
+  match trace with
+  | Json.Arr items ->
+    Alcotest.(check bool) "non-empty" true (items <> []);
+    List.iter
+      (fun item ->
+        let ph = Json.str (Json.member "ph" item) in
+        Alcotest.(check bool) "known phase" true
+          (List.mem ph [ "B"; "E"; "i"; "C"; "M" ]);
+        if ph <> "M" then
+          Alcotest.(check bool) "ts non-negative" true
+            (Json.num (Json.member "ts" item) >= 0.))
+      items
+  | _ -> Alcotest.fail "traceEvents is not an array"
+
+let test_chrome_matched_begin_end () =
+  let evs = collect_some_events () in
+  let json = Json.parse (Chrome_trace.to_string evs) in
+  let items =
+    match Json.member "traceEvents" json with
+    | Json.Arr items -> items
+    | _ -> Alcotest.fail "traceEvents is not an array"
+  in
+  (* Replay per-tid: every E must close the most recent open B, timestamps
+     must never decrease, and nothing may stay open. *)
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 4 in
+  let last_ts : (int, float ref) Hashtbl.t = Hashtbl.create 4 in
+  let get tbl tid v0 =
+    match Hashtbl.find_opt tbl tid with
+    | Some r -> r
+    | None ->
+      let r = ref v0 in
+      Hashtbl.add tbl tid r;
+      r
+  in
+  List.iter
+    (fun item ->
+      match Json.str (Json.member "ph" item) with
+      | "B" | "E" as ph ->
+        let tid = int_of_float (Json.num (Json.member "tid" item)) in
+        let ts = Json.num (Json.member "ts" item) in
+        let lt = get last_ts tid 0. in
+        Alcotest.(check bool) "timestamps non-decreasing" true (ts >= !lt);
+        lt := ts;
+        let stack = get stacks tid [] in
+        if ph = "B" then
+          stack := Json.str (Json.member "name" item) :: !stack
+        else begin
+          match !stack with
+          | top :: rest ->
+            Alcotest.(check string) "E matches innermost B" top
+              (Json.str (Json.member "name" item));
+            stack := rest
+          | [] -> Alcotest.fail "E without open B"
+        end
+      | _ -> ())
+    items;
+  Hashtbl.iter
+    (fun _ stack ->
+      Alcotest.(check (list string)) "all spans closed" [] !stack)
+    stacks
+
+let test_chrome_thread_names () =
+  let evs = collect_some_events () in
+  let json = Json.parse (Chrome_trace.to_string evs) in
+  let items =
+    match Json.member "traceEvents" json with
+    | Json.Arr items -> items
+    | _ -> []
+  in
+  let names =
+    List.filter_map
+      (fun item ->
+        if
+          Json.str (Json.member "ph" item) = "M"
+          && Json.str (Json.member "name" item) = "thread_name"
+        then Some (Json.str (Json.member "name" (Json.member "args" item)))
+        else None)
+      items
+  in
+  Alcotest.(check bool) "main lane named" true (List.mem "main" names)
+
+(* -- Metrics -------------------------------------------------------------- *)
+
+let test_metrics_basic () =
+  fresh ();
+  let c = Metrics.counter "m.count" in
+  let g = Metrics.gauge "m.gauge" in
+  let h = Metrics.histogram "m.hist" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Metrics.set g 2.5;
+  Metrics.observe h 0.001;
+  Metrics.observe h 10.;
+  Alcotest.(check int) "counter" 5 (Metrics.get c);
+  (match List.assoc "m.gauge" (Metrics.snapshot ()) with
+  | Metrics.Gauge v -> Alcotest.(check (float 1e-9)) "gauge" 2.5 v
+  | _ -> Alcotest.fail "gauge kind");
+  (match List.assoc "m.hist" (Metrics.snapshot ()) with
+  | Metrics.Histogram { count; sum; buckets } ->
+    Alcotest.(check int) "hist count" 2 count;
+    Alcotest.(check (float 1e-9)) "hist sum" 10.001 sum;
+    Alcotest.(check int) "hist binned" 2
+      (List.fold_left (fun acc (_, n) -> acc + n) 0 buckets)
+  | _ -> Alcotest.fail "hist kind");
+  (* registration is idempotent, kind mismatch rejected *)
+  Metrics.incr (Metrics.counter "m.count");
+  Alcotest.(check int) "same handle" 6 (Metrics.get c);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics: \"m.count\" is already a counter") (fun () ->
+      ignore (Metrics.gauge "m.count"));
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.get c)
+
+let test_metrics_json () =
+  fresh ();
+  Metrics.add (Metrics.counter "j.c") 3;
+  Metrics.set (Metrics.gauge "j.g") 1.5;
+  Metrics.observe (Metrics.histogram "j.h") 0.01;
+  let json = Json.parse (Metrics.to_json ()) in
+  Alcotest.(check (float 1e-9)) "counter" 3. (Json.num (Json.member "j.c" json));
+  Alcotest.(check (float 1e-9)) "gauge" 1.5 (Json.num (Json.member "j.g" json));
+  let h = Json.member "j.h" json in
+  Alcotest.(check (float 1e-9)) "hist count" 1. (Json.num (Json.member "count" h));
+  Obs.disable ();
+  Obs.reset ();
+  Metrics.reset ();
+  Alcotest.(check string) "empty registry after reset keeps shape" "{"
+    (String.sub (Metrics.to_json ()) 0 1)
+
+(* -- Progress ------------------------------------------------------------- *)
+
+let test_progress_tick () =
+  fresh ();
+  let seen = ref [] in
+  Progress.set_callback (Some (fun s -> seen := s :: !seen));
+  Progress.tick ~conflicts:1024 ~decisions:2048 ~propagations:10_000
+    ~learnts:100 ~trail:50 ~vars:200 ~level:7
+    ~started:(Unix.gettimeofday ());
+  (match !seen with
+  | [ s ] ->
+    Alcotest.(check int) "conflicts" 1024 s.Progress.p_conflicts;
+    Alcotest.(check int) "level" 7 s.Progress.p_level;
+    Alcotest.(check bool) "elapsed sane" true (s.Progress.p_elapsed >= 0.)
+  | _ -> Alcotest.fail "expected exactly one snapshot");
+  let samples =
+    List.filter_map
+      (function Obs.Sample { name; _ } -> Some name | _ -> None)
+      (Obs.events ())
+  in
+  Alcotest.(check bool) "conflict track emitted" true
+    (List.mem "sat.conflicts" samples);
+  (* disabled -> no callback *)
+  Obs.disable ();
+  seen := [];
+  Progress.tick ~conflicts:1 ~decisions:1 ~propagations:1 ~learnts:1 ~trail:1
+    ~vars:1 ~level:1 ~started:0.;
+  Alcotest.(check int) "no tick when disabled" 0 (List.length !seen)
+
+(* A real solve with tracing on: the pipeline spans land in the stream. *)
+let test_pipeline_spans_end_to_end () =
+  fresh ();
+  let ctx = Sepsat_suf.Ast.create_ctx () in
+  let f =
+    Sepsat_workloads.Cache.formula ~bug:false ctx ~n_caches:2
+  in
+  let r = Sepsat.Decide.decide ctx f in
+  Alcotest.(check bool) "valid" true (r.Sepsat.Decide.verdict = Sepsat_sep.Verdict.Valid);
+  let span_names =
+    List.filter_map
+      (function Obs.Span { name; _ } -> Some name | _ -> None)
+      (Obs.events ())
+  in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " span present") true
+        (List.mem phase span_names))
+    [ "elim"; "encode"; "cnf"; "sat" ];
+  List.iter
+    (fun (phase, t) ->
+      Alcotest.(check bool) (phase ^ " time sane") true (t >= 0.))
+    r.Sepsat.Decide.phase_times;
+  Alcotest.(check int) "four phases" 4
+    (List.length r.Sepsat.Decide.phase_times)
+
+let () =
+  Obs.set_level Obs.Quiet;
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "disabled mode leaves no events" `Quick
+            test_disabled_no_events;
+          Alcotest.test_case "nested spans" `Quick test_span_basic;
+          Alcotest.test_case "span survives exceptions" `Quick
+            test_span_exception;
+          Alcotest.test_case "timed" `Quick test_timed;
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "span summary" `Quick test_span_summary;
+          QCheck_alcotest.to_alcotest prop_concurrent_well_nested;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "valid JSON" `Quick test_chrome_valid_json;
+          Alcotest.test_case "matched B/E" `Quick
+            test_chrome_matched_begin_end;
+          Alcotest.test_case "thread names" `Quick test_chrome_thread_names;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters, gauges, histograms" `Quick
+            test_metrics_basic;
+          Alcotest.test_case "json snapshot" `Quick test_metrics_json;
+        ] );
+      ( "progress",
+        [ Alcotest.test_case "tick" `Quick test_progress_tick ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "end-to-end spans" `Quick
+            test_pipeline_spans_end_to_end;
+        ] );
+    ]
