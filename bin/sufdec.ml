@@ -7,7 +7,12 @@
    sufdec cnf FILE [--method M]                    DIMACS export
    sufdec gen --family F --size N [--bug] [--seed K]
    sufdec bench [--figure 2|3|threshold|4|5|6|portfolio|all] [--timeout S]
-   sufdec list *)
+   sufdec list
+   sufdec serve [--socket PATH] [--workers N] [--queue N] [--cache N]
+   sufdec submit --socket PATH [FILE...|--suite S] [--method M] [--json]
+   sufdec loadgen [--clients N] [--repeats K] [--json FILE]
+
+   FILE is '-' for stdin throughout. *)
 
 module Ast = Sepsat_suf.Ast
 module Parse = Sepsat_suf.Parse
@@ -23,15 +28,27 @@ module Progress = Sepsat_obs.Progress
 module Chrome_trace = Sepsat_obs.Chrome_trace
 open Cmdliner
 
+(* Chunked, not byte-at-a-time: scripts pipe whole benchmark suites through
+   stdin, and 64 KiB reads keep that I/O-bound rather than syscall-bound. *)
+let read_all ic =
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    let n = input ic chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      loop ()
+    end
+  in
+  (try loop () with End_of_file -> ());
+  Buffer.contents buf
+
+let read_text path = if path = "-" then read_all stdin else (
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_all ic))
+
 let read_formula ctx path =
-  if path = "-" then (
-    let buf = Buffer.create 4096 in
-    (try
-       while true do
-         Buffer.add_channel buf stdin 1
-       done
-     with End_of_file -> ());
-    Parse.formula ctx (Buffer.contents buf))
+  if path = "-" then Parse.formula ctx (read_all stdin)
   else Parse.formula_of_file ctx path
 
 let method_conv =
@@ -420,14 +437,7 @@ let smt_cmd =
   let run file method_ timeout obs_finish =
     let ctx = Ast.create_ctx () in
     match
-      if file = "-" then
-        let buf = Buffer.create 4096 in
-        (try
-           while true do
-             Buffer.add_channel buf stdin 1
-           done
-         with End_of_file -> ());
-        Sepsat_suf.Smtlib.script ctx (Buffer.contents buf)
+      if file = "-" then Sepsat_suf.Smtlib.script ctx (read_all stdin)
       else Sepsat_suf.Smtlib.script_of_file ctx file
     with
     | exception Sepsat_suf.Smtlib.Error msg ->
@@ -458,6 +468,272 @@ let smt_cmd =
          "Run an SMT-LIB 2 script (QF_UFIDL subset) and answer check-sat.")
     Term.(const run $ file_arg $ method_arg $ timeout_arg $ obs_term)
 
+(* -- Serving -------------------------------------------------------------- *)
+
+module Engine = Sepsat_serve.Engine
+module Server = Sepsat_serve.Server
+module Session = Sepsat_serve.Session
+module Protocol = Sepsat_serve.Protocol
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (serve: listen; submit: connect).")
+
+let serve_cmd =
+  let run socket workers queue_cap cache_cap default_timeout obs_finish =
+    let engine =
+      Engine.create ?workers ~queue_capacity:queue_cap
+        ~cache_capacity:cache_cap ~default_timeout_s:default_timeout ()
+    in
+    (match socket with
+    | Some path -> Server.serve_unix engine ~path
+    | None -> ignore (Server.serve_channels engine stdin stdout));
+    Engine.shutdown engine;
+    obs_finish ()
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains (default: cores - 1, clamped to 1..8).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request-queue capacity; beyond it the server sheds \
+             load with busy replies.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity in entries.")
+  in
+  let default_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "t"; "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-request wall-clock budget (requests may override \
+             with timeout_s). Expiry answers unknown; it never kills the \
+             server.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the solver as a long-lived service speaking the JSON-lines \
+          protocol on stdin/stdout or a Unix-domain socket.")
+    Term.(
+      const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
+      $ default_timeout_arg $ obs_term)
+
+let submit_cmd =
+  let run socket files suite method_ timeout lang_s as_json do_ping
+      do_stats do_shutdown =
+    let path =
+      match socket with
+      | Some p -> p
+      | None ->
+        Format.eprintf "submit requires --socket PATH@.";
+        exit 2
+    in
+    let lang =
+      match Protocol.lang_of_string lang_s with
+      | Some l -> l
+      | None ->
+        Format.eprintf "unknown lang %S (expected suf or smt)@." lang_s;
+        exit 2
+    in
+    let session =
+      try Session.connect ~retries:50 path
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "cannot connect to %s: %s@." path (Unix.error_message e);
+        exit 2
+    in
+    let failures = ref 0 in
+    let print_reply reply =
+      if as_json then print_endline (Protocol.reply_to_line reply)
+      else
+        match reply with
+        | Protocol.Ok_solve s ->
+          Format.printf "%-24s %-8s origin=%-6s solve=%.3fms time=%.3fms@."
+            s.Protocol.sv_id
+            (Protocol.verdict_to_string s.Protocol.sv_verdict)
+            (Protocol.origin_to_string s.Protocol.sv_origin)
+            s.Protocol.sv_solve_ms s.Protocol.sv_time_ms
+        | Protocol.Busy id ->
+          incr failures;
+          Format.printf "%-24s BUSY (queue full — retry)@." id
+        | Protocol.Error (id, reason) ->
+          incr failures;
+          Format.printf "%-24s ERROR %s@." id reason
+        | Protocol.Pong id -> Format.printf "%-24s pong@." id
+        | Protocol.Bye id -> Format.printf "%-24s bye@." id
+        | Protocol.Stats (id, j) ->
+          Format.printf "%-24s %s@." id (Sepsat_serve.Json.to_string j)
+    in
+    if do_ping then print_reply (Session.rpc session (Protocol.Ping "ping"));
+    (* Benchmark-suite workloads, by name; files afterwards. *)
+    let suite_requests =
+      match suite with
+      | None -> []
+      | Some sel ->
+        let benches =
+          match sel with
+          | "figure2" ->
+            List.filter_map Suite.find
+              [ "pipe.3"; "pipe.5"; "cache.5"; "cache.6"; "tv.1" ]
+          | "sample16" -> Suite.sample16
+          | "all" -> Suite.benchmarks
+          | name -> (
+            match Suite.find name with
+            | Some b -> [ b ]
+            | None ->
+              Format.eprintf
+                "unknown suite %S (expected figure2, sample16, all or a \
+                 benchmark name)@."
+                sel;
+              exit 2)
+        in
+        List.map
+          (fun (b : Suite.benchmark) ->
+            let ctx = Ast.create_ctx () in
+            (b.Suite.name, Format.asprintf "%a" Ast.pp (b.Suite.build ctx)))
+          benches
+    in
+    let file_requests = List.map (fun f -> (f, read_text f)) files in
+    List.iter
+      (fun (id, text) ->
+        print_reply
+          (Session.solve session ~id ~lang ~method_ ~timeout_s:timeout text))
+      (suite_requests @ file_requests);
+    if do_stats then
+      print_reply (Session.rpc session (Protocol.Stats_req "stats"));
+    if do_shutdown then print_reply (Session.rpc session (Protocol.Shutdown ""));
+    Session.close session;
+    if !failures > 0 then exit 3
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Formula files to submit ('-' for stdin).")
+  in
+  let suite_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "suite" ] ~docv:"SEL"
+          ~doc:
+            "Submit built-in benchmarks: figure2, sample16, all, or a \
+             benchmark name.")
+  in
+  let lang_arg =
+    Arg.(
+      value & opt string "suf"
+      & info [ "lang" ] ~docv:"LANG" ~doc:"Input language: suf or smt.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print raw protocol reply lines (JSON-lines).")
+  in
+  let ping_flag =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Ping the server first.")
+  in
+  let stats_flag' =
+    Arg.(
+      value & flag
+      & info [ "server-stats" ] ~doc:"Fetch server statistics afterwards.")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to shut down afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit formulas (files or built-in benchmarks) to a running \
+          sufdec server over its Unix-domain socket.")
+    Term.(
+      const run $ socket_arg $ files_arg $ suite_arg $ method_arg
+      $ timeout_arg $ lang_arg $ json_flag $ ping_flag $ stats_flag'
+      $ shutdown_flag)
+
+let loadgen_cmd =
+  let run clients repeats workers method_ timeout json_out min_speedup =
+    let config =
+      {
+        Sepsat_harness.Loadgen.default with
+        Sepsat_harness.Loadgen.clients;
+        repeats;
+        workers;
+        method_;
+        timeout_s = timeout;
+      }
+    in
+    let report = Sepsat_harness.Loadgen.run config in
+    Format.printf "%a" Sepsat_harness.Loadgen.pp report;
+    (match json_out with
+    | Some path ->
+      Sepsat_harness.Loadgen.write_json path report;
+      Format.printf "report written to %s@." path
+    | None -> ());
+    let r = report in
+    if r.Sepsat_harness.Loadgen.r_mismatches <> [] then exit 1;
+    if r.Sepsat_harness.Loadgen.r_errors > 0 then exit 1;
+    match min_speedup with
+    | Some m when r.Sepsat_harness.Loadgen.r_speedup < m ->
+      Format.eprintf "cache-hit speedup %.1fx below required %.1fx@."
+        r.Sepsat_harness.Loadgen.r_speedup m;
+      exit 1
+    | _ -> ()
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client domains.")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"K"
+          ~doc:"Workload passes per client (>= 2 exercises the cache).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Engine worker domains.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the throughput report as JSON.")
+  in
+  let min_speedup_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Fail unless cache hits are at least $(docv) times faster \
+                than cold solves.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Benchmark the serving engine in-process: concurrent clients over \
+          a repeated suite workload; verifies concurrent verdicts against \
+          a sequential pass and reports cold vs cache-hit latency.")
+    Term.(
+      const run $ clients_arg $ repeats_arg $ workers_arg $ method_arg
+      $ timeout_arg $ json_arg $ min_speedup_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -486,5 +762,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; smt_cmd; stats_cmd; cnf_cmd; gen_cmd; bench_cmd;
-            list_cmd;
+            list_cmd; serve_cmd; submit_cmd; loadgen_cmd;
           ]))

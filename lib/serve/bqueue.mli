@@ -1,0 +1,32 @@
+(** Bounded multi-producer multi-consumer blocking queue.
+
+    The admission-control point of the serving engine: capacity is the
+    explicit backpressure bound, {!try_push} is the load-shedding path (a
+    full queue refuses instead of growing), {!push} is the cooperative path
+    for in-process clients that prefer waiting to shedding. Implemented with
+    one mutex and two condition variables — the queue is touched for
+    microseconds per request while solves take milliseconds, so contention
+    is immaterial. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed — the caller sheds the load. *)
+
+val push : 'a t -> 'a -> bool
+(** Blocks while full; [false] only if the queue is (or becomes) closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while empty; [None] once the queue is closed {e and} drained, so
+    consumers process the backlog before exiting. *)
+
+val close : 'a t -> unit
+(** Reject future pushes and wake every waiter. Idempotent. *)
+
+val length : 'a t -> int
+(** Current depth (racy by nature; exact under the internal lock). *)
+
+val capacity : 'a t -> int

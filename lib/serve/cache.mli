@@ -1,0 +1,58 @@
+(** Sharded LRU result cache with single-flight deduplication.
+
+    The memoization layer in front of the solver pool. Keys are strings —
+    the engine uses [Ast.digest ^ "|" ^ method] so structurally identical
+    queries hit regardless of textual formatting or the context they were
+    parsed in. Each shard owns a hashtable plus an intrusive doubly-linked
+    recency list under its own mutex, so lookups from concurrent worker
+    domains only contend when they land on the same shard; eviction is O(1)
+    off the list tail.
+
+    {!find_or_compute} adds single-flight semantics: when several domains
+    ask for the same absent key at once, exactly one runs the computation
+    and the rest block and {e join} its result — N identical in-flight
+    queries run the pipeline once. A computation may decline caching (the
+    engine declines on [Unknown] verdicts, so a timeout under one budget
+    does not poison the answer under a larger one); joiners still receive
+    the declined value. An exception inside the computation is re-raised in
+    the computing domain {e and} in every joiner, and the in-flight entry is
+    cleared so a later request retries. *)
+
+type 'v t
+
+val create : ?shards:int -> capacity:int -> unit -> 'v t
+(** [capacity] is the total entry budget, split evenly across [shards]
+    (default 16, rounded up per shard). [capacity < 1] disables storage:
+    every lookup misses and nothing is retained.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val find : 'v t -> string -> 'v option
+(** Refreshes the entry's recency on hit. Counts a hit or miss. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert or overwrite, evicting the least-recently-used entry of the
+    shard when it is at capacity. *)
+
+type origin =
+  | Hit  (** answered from the table *)
+  | Computed  (** ran the computation (and cached it if it allowed) *)
+  | Joined  (** blocked on another domain's identical in-flight call *)
+
+val find_or_compute :
+  'v t -> string -> compute:(unit -> 'v * bool) -> 'v * origin
+(** [compute] returns the value and whether it may be cached. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  joins : int;  (** single-flight joins (counted inside the misses) *)
+  evictions : int;
+  size : int;  (** entries currently stored *)
+  capacity : int;
+}
+
+val stats : 'v t -> stats
+
+val clear : 'v t -> unit
+(** Drop every entry (counters are kept; in-flight computations are not
+    interrupted). *)

@@ -1,0 +1,325 @@
+module Ast = Sepsat_suf.Ast
+module Parse = Sepsat_suf.Parse
+module Smtlib = Sepsat_suf.Smtlib
+module Decide = Sepsat.Decide
+module Verdict = Sepsat_sep.Verdict
+module Brute = Sepsat_sep.Brute
+module Deadline = Sepsat_util.Deadline
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+
+type job = {
+  jb_text : string;
+  jb_lang : Protocol.lang;
+  jb_method : Decide.method_;
+  jb_timeout_s : float option;
+}
+
+let job ?(lang = Protocol.Suf) ?(method_ = Decide.Hybrid_default) ?timeout_s
+    text =
+  { jb_text = text; jb_lang = lang; jb_method = method_; jb_timeout_s = timeout_s }
+
+type outcome = {
+  o_verdict : Protocol.verdict;
+  o_origin : Protocol.origin;
+  o_digest : string;
+  o_witness : string option;
+  o_solve_ms : float;
+  o_time_ms : float;
+}
+
+type reply = (outcome, string) result
+
+type backend =
+  method_:Decide.method_ ->
+  deadline:Deadline.t ->
+  Ast.ctx ->
+  Ast.formula ->
+  Verdict.t
+
+let default_backend ~method_ ~deadline ctx formula =
+  (Decide.decide ~method_ ~deadline ctx formula).Decide.verdict
+
+(* What the cache stores per (digest, method) key. *)
+type entry = {
+  e_verdict : Protocol.verdict;
+  e_witness : string option;
+  e_solve_ms : float;
+}
+
+type work = job * (reply -> unit)
+
+type t = {
+  queue : work Bqueue.t;
+  cache : entry Cache.t;
+  stop : bool Atomic.t;
+  backend : backend;
+  default_timeout_s : float;
+  n_workers : int;
+  submitted : int Atomic.t;
+  completed : int Atomic.t;
+  shed : int Atomic.t;
+  errors : int Atomic.t;
+  mutable domains : unit Domain.t array;
+  shutdown_mu : Mutex.t;
+}
+
+(* Metric handles are registered lazily so a process that never serves pays
+   nothing; updates are no-ops while Obs is disabled. *)
+let m_requests = lazy (Metrics.counter "serve.requests")
+let m_shed = lazy (Metrics.counter "serve.shed")
+let m_errors = lazy (Metrics.counter "serve.errors")
+let m_hits = lazy (Metrics.counter "serve.cache.hits")
+let m_misses = lazy (Metrics.counter "serve.cache.misses")
+let m_joins = lazy (Metrics.counter "serve.cache.joins")
+let m_queue_depth = lazy (Metrics.gauge "serve.queue_depth")
+let m_request_s = lazy (Metrics.histogram "serve.request_s")
+
+let witness_digest = function
+  | Verdict.Invalid a ->
+    (* Canonical: sort both maps by name so the digest is a function of the
+       assignment, not of decode order. *)
+    let ints = List.sort compare a.Brute.ints in
+    let bools = List.sort compare a.Brute.bools in
+    let buf = Buffer.create 64 in
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%s=%d;" n v))
+      ints;
+    List.iter
+      (fun (n, b) -> Buffer.add_string buf (Printf.sprintf "%s=%b;" n b))
+      bools;
+    Some (Digest.to_hex (Digest.string (Buffer.contents buf)))
+  | Verdict.Valid | Verdict.Unknown _ -> None
+
+let parse_job jb =
+  let ctx = Ast.create_ctx () in
+  match jb.jb_lang with
+  | Protocol.Suf -> (
+    match Parse.formula ctx jb.jb_text with
+    | f -> Ok (ctx, f)
+    | exception Parse.Error msg -> Error ("parse error: " ^ msg))
+  | Protocol.Smt -> (
+    match Smtlib.script ctx jb.jb_text with
+    | script -> Ok (ctx, Smtlib.goal ctx script)
+    | exception Smtlib.Error msg -> Error ("smt-lib error: " ^ msg))
+
+let process t (jb : job) : reply =
+  let t0 = Deadline.wall_now () in
+  Obs.span ~cat:"serve" "serve.request" (fun () ->
+      Metrics.incr (Lazy.force m_requests);
+      match Obs.span ~cat:"serve" "serve.parse" (fun () -> parse_job jb) with
+      | Error msg ->
+        Atomic.incr t.errors;
+        Metrics.incr (Lazy.force m_errors);
+        Error msg
+      | Ok (ctx, formula) ->
+        let digest = Ast.digest formula in
+        let key = digest ^ "|" ^ Protocol.method_to_wire jb.jb_method in
+        let compute () =
+          let timeout =
+            Option.value jb.jb_timeout_s ~default:t.default_timeout_s
+          in
+          let deadline =
+            Deadline.with_stop (Deadline.after_wall timeout) t.stop
+          in
+          let ts = Deadline.wall_now () in
+          let verdict =
+            match
+              Obs.span ~cat:"serve" "serve.solve" (fun () ->
+                  t.backend ~method_:jb.jb_method ~deadline ctx formula)
+            with
+            | v -> v
+            | exception Deadline.Timeout ->
+              Verdict.Unknown
+                (if Deadline.interrupted deadline then "cancelled"
+                 else "timeout")
+          in
+          let solve_ms = (Deadline.wall_now () -. ts) *. 1000. in
+          let entry =
+            {
+              e_verdict = Protocol.verdict_of_sep verdict;
+              e_witness = witness_digest verdict;
+              e_solve_ms = solve_ms;
+            }
+          in
+          let cacheable =
+            match verdict with
+            | Verdict.Valid | Verdict.Invalid _ -> true
+            | Verdict.Unknown _ -> false
+          in
+          (entry, cacheable)
+        in
+        let entry, origin = Cache.find_or_compute t.cache key ~compute in
+        let o_origin =
+          match origin with
+          | Cache.Hit ->
+            Metrics.incr (Lazy.force m_hits);
+            Protocol.Cache_hit
+          | Cache.Computed ->
+            Metrics.incr (Lazy.force m_misses);
+            Protocol.Solved
+          | Cache.Joined ->
+            Metrics.incr (Lazy.force m_joins);
+            Protocol.Joined
+        in
+        let time_ms = (Deadline.wall_now () -. t0) *. 1000. in
+        Metrics.observe (Lazy.force m_request_s) (time_ms /. 1000.);
+        Ok
+          {
+            o_verdict = entry.e_verdict;
+            o_origin;
+            o_digest = digest;
+            o_witness = entry.e_witness;
+            o_solve_ms = entry.e_solve_ms;
+            o_time_ms = time_ms;
+          })
+
+let worker t i () =
+  Obs.name_thread (Printf.sprintf "serve:worker-%d" i);
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | None -> ()
+    | Some (jb, cb) ->
+      Metrics.set (Lazy.force m_queue_depth) (float_of_int (Bqueue.length t.queue));
+      let reply =
+        try process t jb
+        with e -> Result.Error ("internal error: " ^ Printexc.to_string e)
+      in
+      (* Count before the callback runs: a client that sees its reply and
+         immediately asks for stats must observe the request as completed. *)
+      Atomic.incr t.completed;
+      (try cb reply with _ -> ());
+      loop ()
+  in
+  loop ()
+
+let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 1024)
+    ?(cache_shards = 16) ?(default_timeout_s = 30.)
+    ?(backend = default_backend) () =
+  let n_workers =
+    match workers with
+    | Some n -> max 1 n
+    | None -> max 1 (min 8 (Domain.recommended_domain_count () - 1))
+  in
+  let t =
+    {
+      queue = Bqueue.create ~capacity:queue_capacity;
+      cache = Cache.create ~shards:cache_shards ~capacity:cache_capacity ();
+      stop = Atomic.make false;
+      backend;
+      default_timeout_s;
+      n_workers;
+      submitted = Atomic.make 0;
+      completed = Atomic.make 0;
+      shed = Atomic.make 0;
+      errors = Atomic.make 0;
+      domains = [||];
+      shutdown_mu = Mutex.create ();
+    }
+  in
+  t.domains <- Array.init n_workers (fun i -> Domain.spawn (worker t i));
+  t
+
+let submit t jb cb =
+  if Bqueue.try_push t.queue (jb, cb) then begin
+    Atomic.incr t.submitted;
+    Metrics.set (Lazy.force m_queue_depth) (float_of_int (Bqueue.length t.queue));
+    true
+  end
+  else begin
+    Atomic.incr t.shed;
+    Metrics.incr (Lazy.force m_shed);
+    Obs.instant ~cat:"serve" "serve.shed";
+    false
+  end
+
+let solve ?(block = false) t jb =
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let slot = ref None in
+  let cb reply =
+    Mutex.lock mu;
+    slot := Some reply;
+    Condition.signal cv;
+    Mutex.unlock mu
+  in
+  let accepted =
+    if block then begin
+      let ok = Bqueue.push t.queue (jb, cb) in
+      if ok then Atomic.incr t.submitted
+      else begin
+        Atomic.incr t.shed;
+        Metrics.incr (Lazy.force m_shed)
+      end;
+      ok
+    end
+    else submit t jb cb
+  in
+  if not accepted then None
+  else begin
+    Mutex.lock mu;
+    while !slot = None do
+      Condition.wait cv mu
+    done;
+    let r = !slot in
+    Mutex.unlock mu;
+    r
+  end
+
+let queue_depth t = Bqueue.length t.queue
+
+let cache_stats t = Cache.stats t.cache
+
+type stats = {
+  st_workers : int;
+  st_submitted : int;
+  st_completed : int;
+  st_shed : int;
+  st_errors : int;
+  st_queue_depth : int;
+  st_cache : Cache.stats;
+}
+
+let stats t =
+  {
+    st_workers = t.n_workers;
+    st_submitted = Atomic.get t.submitted;
+    st_completed = Atomic.get t.completed;
+    st_shed = Atomic.get t.shed;
+    st_errors = Atomic.get t.errors;
+    st_queue_depth = Bqueue.length t.queue;
+    st_cache = Cache.stats t.cache;
+  }
+
+let stats_json t =
+  let s = stats t in
+  let c = s.st_cache in
+  Json.Obj
+    [
+      ("workers", Json.Num (float_of_int s.st_workers));
+      ("submitted", Json.Num (float_of_int s.st_submitted));
+      ("completed", Json.Num (float_of_int s.st_completed));
+      ("shed", Json.Num (float_of_int s.st_shed));
+      ("errors", Json.Num (float_of_int s.st_errors));
+      ("queue_depth", Json.Num (float_of_int s.st_queue_depth));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Num (float_of_int c.Cache.hits));
+            ("misses", Json.Num (float_of_int c.Cache.misses));
+            ("joins", Json.Num (float_of_int c.Cache.joins));
+            ("evictions", Json.Num (float_of_int c.Cache.evictions));
+            ("size", Json.Num (float_of_int c.Cache.size));
+            ("capacity", Json.Num (float_of_int c.Cache.capacity));
+          ] );
+    ]
+
+let shutdown ?(cancel_inflight = true) t =
+  Mutex.lock t.shutdown_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.shutdown_mu)
+    (fun () ->
+      if cancel_inflight then Atomic.set t.stop true;
+      Bqueue.close t.queue;
+      Array.iter Domain.join t.domains;
+      t.domains <- [||])

@@ -1,0 +1,117 @@
+(** The solver pool behind the server: a bounded request queue feeding
+    worker domains, fronted by the structural result cache.
+
+    Life of a request: {!submit} enqueues it (or refuses — {e sheds} — when
+    the queue is at capacity, the explicit backpressure bound); a worker
+    domain pops it, parses the text into a fresh per-request context (AST
+    contexts are single-domain, exactly like {!Sepsat.Decide}'s portfolio),
+    computes the {!Sepsat_suf.Ast.digest}, and asks the cache. A hit answers
+    without solving; a miss runs the pipeline under a per-request wall-clock
+    deadline — expiry yields an [unknown] verdict, never a dead worker — and
+    identical concurrent misses are single-flighted so the pipeline runs
+    once. Only decisive verdicts are cached: an [unknown] under one budget
+    must not poison the answer under a larger one.
+
+    Deadlines are wall-clock, not CPU: with several domains solving
+    concurrently, [Sys.time] accumulates across all of them and a CPU budget
+    would fire N times early (same reasoning as the portfolio's race
+    deadline). Every worker also observes the engine's stop flag through
+    {!Sepsat_util.Deadline.with_stop}, which is how {!shutdown} cancels
+    in-flight solves promptly.
+
+    Observability: spans [serve.request]/[serve.solve], counters
+    [serve.requests], [serve.shed], [serve.errors],
+    [serve.cache.{hits,misses,joins}], gauge [serve.queue_depth], histogram
+    [serve.request_s] — all gated on {!Sepsat_obs.Obs.enabled} like the rest
+    of the pipeline's instrumentation. *)
+
+module Decide = Sepsat.Decide
+
+type job = {
+  jb_text : string;
+  jb_lang : Protocol.lang;
+  jb_method : Decide.method_;
+  jb_timeout_s : float option;  (** [None]: the engine's default budget *)
+}
+
+val job : ?lang:Protocol.lang -> ?method_:Decide.method_ -> ?timeout_s:float -> string -> job
+(** Defaults: SUF text, [Hybrid_default], engine default budget. *)
+
+type outcome = {
+  o_verdict : Protocol.verdict;
+  o_origin : Protocol.origin;
+  o_digest : string;  (** structural digest of the parsed formula *)
+  o_witness : string option;  (** witness digest, [Invalid] only *)
+  o_solve_ms : float;
+      (** pipeline time of the run that produced the verdict; a cache hit
+          reports the original solve's cost *)
+  o_time_ms : float;  (** this request's wall time inside the engine *)
+}
+
+type reply = (outcome, string) result
+(** [Error] carries a parse / front-end message; solver give-ups are
+    [Ok] with an [Unknown] verdict. *)
+
+type backend =
+  method_:Decide.method_ ->
+  deadline:Sepsat_util.Deadline.t ->
+  Sepsat_suf.Ast.ctx ->
+  Sepsat_suf.Ast.formula ->
+  Sepsat_sep.Verdict.t
+(** The solving step, pluggable for tests and alternate pipelines. *)
+
+val default_backend : backend
+(** [Decide.decide]'s verdict. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?cache_capacity:int ->
+  ?cache_shards:int ->
+  ?default_timeout_s:float ->
+  ?backend:backend ->
+  unit ->
+  t
+(** Spawns the worker domains immediately. Defaults: workers = recommended
+    domain count - 1 (clamped to 1..8), queue 64, cache 1024 entries over 16
+    shards, 30 s budget. *)
+
+val submit : t -> job -> (reply -> unit) -> bool
+(** Asynchronous entry point. [false] means the request was shed (queue
+    full or engine shut down) and the callback will never run. The callback
+    runs on a worker domain; it must not block for long. *)
+
+val solve : ?block:bool -> t -> job -> reply option
+(** Synchronous entry point. With [~block:false] (the default) a full queue
+    sheds and returns [None]; with [~block:true] the caller waits for queue
+    space instead — the cooperative in-process backpressure used by the
+    load generator. [None] with [~block:true] only if the engine is shut
+    down. *)
+
+val queue_depth : t -> int
+
+val cache_stats : t -> Cache.stats
+
+type stats = {
+  st_workers : int;
+  st_submitted : int;  (** accepted into the queue *)
+  st_completed : int;
+  st_shed : int;
+  st_errors : int;  (** front-end (parse) failures *)
+  st_queue_depth : int;
+  st_cache : Cache.stats;
+}
+
+val stats : t -> stats
+
+val stats_json : t -> Json.t
+(** The [stats] reply payload of the protocol. *)
+
+val shutdown : ?cancel_inflight:bool -> t -> unit
+(** Close the queue and join the workers. With [cancel_inflight] (default
+    [true]) the stop flag is raised first, so queued and running requests
+    come back [unknown (cancelled)] quickly; with [false] the backlog is
+    drained at full fidelity. Pending callbacks all run either way.
+    Idempotent. *)

@@ -1,0 +1,50 @@
+(** Minimal JSON values, parser and printer for the serving protocol.
+
+    The repo policy is zero new dependencies, and until now JSON only ever
+    flowed outward (hand-rolled writers in {!Sepsat_harness.Runner} and
+    {!Sepsat_obs.Metrics}); the JSON-lines protocol needs the inbound
+    direction too. This is a complete little JSON: objects, arrays, strings
+    with the standard escapes ([\uXXXX] included, encoded to UTF-8), numbers,
+    booleans, null. Not streaming — a protocol line is parsed as one value —
+    and object member order is preserved, duplicates keep the first
+    occurrence on lookup. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-string parse; trailing garbage after the value is an error. The
+    error message carries a byte offset. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — safe as one protocol
+    line). Integral numbers print without a decimal point; non-finite
+    numbers print as [null] (JSON has no lexeme for them). *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on missing member or non-object. *)
+
+val to_str : t -> string option
+
+val to_num : t -> float option
+
+val to_int : t -> int option
+(** Truncates; [None] on non-numbers. *)
+
+val to_bool : t -> bool option
+
+val mem_str : string -> t -> string option
+(** [mem_str k j] = [member k j >>= to_str]; same for the others below. *)
+
+val mem_num : string -> t -> float option
+
+val mem_int : string -> t -> int option
+
+val mem_bool : string -> t -> bool option

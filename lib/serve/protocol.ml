@@ -1,0 +1,225 @@
+module Decide = Sepsat.Decide
+module Verdict = Sepsat_sep.Verdict
+
+type lang = Suf | Smt
+
+let lang_of_string = function
+  | "suf" -> Some Suf
+  | "smt" -> Some Smt
+  | _ -> None
+
+let lang_to_string = function Suf -> "suf" | Smt -> "smt"
+
+type solve_req = {
+  sq_id : string;
+  sq_lang : lang;
+  sq_text : string;
+  sq_method : Decide.method_;
+  sq_timeout_s : float option;
+}
+
+type request =
+  | Solve of solve_req
+  | Ping of string
+  | Stats_req of string
+  | Shutdown of string
+
+(* pp_method prints "HYBRID(700)"; the wire uses the method_of_string
+   syntax so requests survive a print/parse round trip. *)
+let method_to_wire = function
+  | Decide.Sd -> "sd"
+  | Decide.Eij -> "eij"
+  | Decide.Hybrid_default -> "hybrid"
+  | Decide.Hybrid_at t -> Printf.sprintf "hybrid:%d" t
+  | Decide.Svc_baseline -> "svc"
+  | Decide.Lazy_baseline -> "lazy"
+  | Decide.Portfolio -> "portfolio"
+
+let request_of_line line =
+  match Json.parse line with
+  | Error e -> Result.Error e
+  | Ok j -> (
+    let id = Option.value (Json.mem_str "id" j) ~default:"" in
+    match Option.value (Json.mem_str "op" j) ~default:"solve" with
+    | "ping" -> Ok (Ping id)
+    | "stats" -> Ok (Stats_req id)
+    | "shutdown" -> Ok (Shutdown id)
+    | "solve" -> (
+      match Json.mem_str "formula" j with
+      | None -> Result.Error "solve request lacks a \"formula\" field"
+      | Some text -> (
+        let lang_s = Option.value (Json.mem_str "lang" j) ~default:"suf" in
+        match lang_of_string lang_s with
+        | None -> Result.Error (Printf.sprintf "unknown lang %S" lang_s)
+        | Some lang -> (
+          let method_s =
+            Option.value (Json.mem_str "method" j) ~default:"hybrid"
+          in
+          match Decide.method_of_string method_s with
+          | None -> Result.Error (Printf.sprintf "unknown method %S" method_s)
+          | Some m ->
+            Ok
+              (Solve
+                 {
+                   sq_id = id;
+                   sq_lang = lang;
+                   sq_text = text;
+                   sq_method = m;
+                   sq_timeout_s = Json.mem_num "timeout_s" j;
+                 }))))
+    | op -> Result.Error (Printf.sprintf "unknown op %S" op))
+
+let request_to_line = function
+  | Ping id -> Json.to_string (Obj [ ("op", Str "ping"); ("id", Str id) ])
+  | Stats_req id ->
+    Json.to_string (Obj [ ("op", Str "stats"); ("id", Str id) ])
+  | Shutdown id ->
+    Json.to_string (Obj [ ("op", Str "shutdown"); ("id", Str id) ])
+  | Solve r ->
+    let base =
+      [
+        ("op", Json.Str "solve");
+        ("id", Json.Str r.sq_id);
+        ("lang", Json.Str (lang_to_string r.sq_lang));
+        ("formula", Json.Str r.sq_text);
+        ("method", Json.Str (method_to_wire r.sq_method));
+      ]
+    in
+    let fields =
+      match r.sq_timeout_s with
+      | None -> base
+      | Some t -> base @ [ ("timeout_s", Json.Num t) ]
+    in
+    Json.to_string (Obj fields)
+
+(* -- Replies --------------------------------------------------------------- *)
+
+type verdict = Valid | Invalid | Unknown of string
+
+let verdict_of_sep = function
+  | Verdict.Valid -> Valid
+  | Verdict.Invalid _ -> Invalid
+  | Verdict.Unknown why -> Unknown why
+
+let verdict_to_string = function
+  | Valid -> "valid"
+  | Invalid -> "invalid"
+  | Unknown _ -> "unknown"
+
+type origin = Solved | Cache_hit | Joined
+
+let origin_to_string = function
+  | Solved -> "solved"
+  | Cache_hit -> "cache"
+  | Joined -> "joined"
+
+let origin_of_string = function
+  | "solved" -> Some Solved
+  | "cache" -> Some Cache_hit
+  | "joined" -> Some Joined
+  | _ -> None
+
+type solved = {
+  sv_id : string;
+  sv_verdict : verdict;
+  sv_origin : origin;
+  sv_digest : string;
+  sv_witness : string option;
+  sv_solve_ms : float;
+  sv_time_ms : float;
+}
+
+type reply =
+  | Ok_solve of solved
+  | Busy of string
+  | Error of string * string
+  | Pong of string
+  | Stats of string * Json.t
+  | Bye of string
+
+let reply_to_line = function
+  | Busy id -> Json.to_string (Obj [ ("id", Str id); ("status", Str "busy") ])
+  | Error (id, reason) ->
+    Json.to_string
+      (Obj [ ("id", Str id); ("status", Str "error"); ("reason", Str reason) ])
+  | Pong id -> Json.to_string (Obj [ ("id", Str id); ("status", Str "pong") ])
+  | Bye id -> Json.to_string (Obj [ ("id", Str id); ("status", Str "bye") ])
+  | Stats (id, j) ->
+    Json.to_string
+      (Obj [ ("id", Str id); ("status", Str "stats"); ("stats", j) ])
+  | Ok_solve s ->
+    let fields =
+      [
+        ("id", Json.Str s.sv_id);
+        ("status", Json.Str "ok");
+        ("verdict", Json.Str (verdict_to_string s.sv_verdict));
+      ]
+      @ (match s.sv_verdict with
+        | Unknown why -> [ ("reason", Json.Str why) ]
+        | Valid | Invalid -> [])
+      @ [
+          ("origin", Json.Str (origin_to_string s.sv_origin));
+          ("cached", Json.Bool (s.sv_origin <> Solved));
+          ("digest", Json.Str s.sv_digest);
+          ( "witness",
+            match s.sv_witness with Some w -> Json.Str w | None -> Json.Null );
+          ("solve_ms", Json.Num s.sv_solve_ms);
+          ("time_ms", Json.Num s.sv_time_ms);
+        ]
+    in
+    Json.to_string (Obj fields)
+
+let reply_of_line line =
+  match Json.parse line with
+  | Result.Error e -> Result.Error e
+  | Ok j -> (
+    let id = Option.value (Json.mem_str "id" j) ~default:"" in
+    match Json.mem_str "status" j with
+    | None -> Result.Error "reply lacks a \"status\" field"
+    | Some "busy" -> Ok (Busy id)
+    | Some "pong" -> Ok (Pong id)
+    | Some "bye" -> Ok (Bye id)
+    | Some "error" ->
+      Ok
+        (Error (id, Option.value (Json.mem_str "reason" j) ~default:"unknown"))
+    | Some "stats" ->
+      Ok (Stats (id, Option.value (Json.member "stats" j) ~default:Json.Null))
+    | Some "ok" -> (
+      let verdict =
+        match Json.mem_str "verdict" j with
+        | Some "valid" -> Some Valid
+        | Some "invalid" -> Some Invalid
+        | Some "unknown" ->
+          Some
+            (Unknown (Option.value (Json.mem_str "reason" j) ~default:""))
+        | _ -> None
+      in
+      match verdict with
+      | None -> Result.Error "ok reply lacks a valid \"verdict\" field"
+      | Some sv_verdict ->
+        let sv_origin =
+          match Option.bind (Json.mem_str "origin" j) origin_of_string with
+          | Some o -> o
+          | None ->
+            if Option.value (Json.mem_bool "cached" j) ~default:false then
+              Cache_hit
+            else Solved
+        in
+        Ok
+          (Ok_solve
+             {
+               sv_id = id;
+               sv_verdict;
+               sv_origin;
+               sv_digest = Option.value (Json.mem_str "digest" j) ~default:"";
+               sv_witness = Json.mem_str "witness" j;
+               sv_solve_ms =
+                 Option.value (Json.mem_num "solve_ms" j) ~default:0.;
+               sv_time_ms =
+                 Option.value (Json.mem_num "time_ms" j) ~default:0.;
+             }))
+    | Some other -> Result.Error (Printf.sprintf "unknown status %S" other))
+
+let reply_id = function
+  | Ok_solve s -> s.sv_id
+  | Busy id | Error (id, _) | Pong id | Stats (id, _) | Bye id -> id

@@ -1,0 +1,102 @@
+(** Wire types of the JSON-lines serving protocol.
+
+    One JSON object per line in both directions; no framing beyond the
+    newline, no binary. Requests select an operation with ["op"] (default
+    ["solve"]) and carry a client-chosen ["id"] echoed verbatim on the
+    matching reply, so one connection can pipeline requests and match
+    out-of-order replies. See DESIGN.md §11 for the full specification.
+
+    Requests:
+    {v
+    {"op":"solve","id":"r1","lang":"suf","formula":"(= x x)",
+     "method":"hybrid","timeout_s":5}
+    {"op":"ping","id":"p"}    {"op":"stats","id":"s"}    {"op":"shutdown"}
+    v}
+
+    Replies:
+    {v
+    {"id":"r1","status":"ok","verdict":"valid","origin":"solved",
+     "cached":false,"digest":"...","witness":null,"solve_ms":12.3,
+     "time_ms":12.5}
+    {"id":"r1","status":"busy"}
+    {"id":"r1","status":"error","reason":"parse error: ..."}
+    v} *)
+
+type lang = Suf | Smt
+
+val lang_of_string : string -> lang option
+(** ["suf"] or ["smt"]. *)
+
+val lang_to_string : lang -> string
+
+type solve_req = {
+  sq_id : string;
+  sq_lang : lang;
+  sq_text : string;  (** formula (SUF s-expression) or SMT-LIB 2 script *)
+  sq_method : Sepsat.Decide.method_;
+  sq_timeout_s : float option;  (** [None]: the server's default budget *)
+}
+
+type request =
+  | Solve of solve_req
+  | Ping of string  (** payload: id *)
+  | Stats_req of string
+  | Shutdown of string
+
+val method_to_wire : Sepsat.Decide.method_ -> string
+(** Inverse of [Decide.method_of_string] — ["hybrid:700"], not the
+    pretty-printer's ["HYBRID(700)"]. Also the method component of cache
+    keys. *)
+
+val request_of_line : string -> (request, string) result
+(** Parse one protocol line. Missing ["id"] defaults to [""]; missing
+    ["op"] defaults to solve; unknown fields are ignored (forward
+    compatibility). *)
+
+val request_to_line : request -> string
+(** One line, no trailing newline. *)
+
+(** {1 Replies} *)
+
+type verdict = Valid | Invalid | Unknown of string
+
+val verdict_of_sep : Sepsat_sep.Verdict.t -> verdict
+(** Forgets the falsifying assignment — the wire carries its digest
+    instead. *)
+
+val verdict_to_string : verdict -> string
+(** ["valid"], ["invalid"], ["unknown"]. *)
+
+type origin =
+  | Solved  (** ran the full pipeline *)
+  | Cache_hit  (** answered from the result cache *)
+  | Joined  (** deduplicated onto an identical in-flight solve *)
+
+val origin_to_string : origin -> string
+
+type solved = {
+  sv_id : string;
+  sv_verdict : verdict;
+  sv_origin : origin;
+  sv_digest : string;  (** {!Sepsat_suf.Ast.digest} of the parsed formula *)
+  sv_witness : string option;
+      (** digest of the falsifying assignment, [Invalid] only *)
+  sv_solve_ms : float;
+      (** pipeline time of the run that produced the verdict (a cache hit
+          reports the original solve's time) *)
+  sv_time_ms : float;  (** this request's wall time inside the engine *)
+}
+
+type reply =
+  | Ok_solve of solved
+  | Busy of string  (** payload: id; the request queue was full — shed *)
+  | Error of string * string  (** id, reason *)
+  | Pong of string
+  | Stats of string * Json.t
+  | Bye of string  (** shutdown acknowledged *)
+
+val reply_to_line : reply -> string
+
+val reply_of_line : string -> (reply, string) result
+
+val reply_id : reply -> string

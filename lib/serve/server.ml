@@ -1,0 +1,140 @@
+module Obs = Sepsat_obs.Obs
+
+let with_lock mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
+let solved_of_outcome id (o : Engine.outcome) =
+  Protocol.Ok_solve
+    {
+      Protocol.sv_id = id;
+      sv_verdict = o.Engine.o_verdict;
+      sv_origin = o.Engine.o_origin;
+      sv_digest = o.Engine.o_digest;
+      sv_witness = o.Engine.o_witness;
+      sv_solve_ms = o.Engine.o_solve_ms;
+      sv_time_ms = o.Engine.o_time_ms;
+    }
+
+let serve_channels eng ic oc =
+  let out_mu = Mutex.create () in
+  (* Out-standing submissions: the loop must not return (and the channels
+     must not be torn down) while worker callbacks still owe replies. *)
+  let pend_mu = Mutex.create () in
+  let pend_cv = Condition.create () in
+  let pending = ref 0 in
+  let send reply =
+    (* A vanished peer (EPIPE surfaces as Sys_error on channels) only costs
+       the peer its replies; the serving loop keeps its invariants. *)
+    try
+      with_lock out_mu (fun () ->
+          output_string oc (Protocol.reply_to_line reply);
+          output_char oc '\n';
+          flush oc)
+    with Sys_error _ -> ()
+  in
+  let job_of (rq : Protocol.solve_req) =
+    {
+      Engine.jb_text = rq.Protocol.sq_text;
+      jb_lang = rq.Protocol.sq_lang;
+      jb_method = rq.Protocol.sq_method;
+      jb_timeout_s = rq.Protocol.sq_timeout_s;
+    }
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> `Eof
+    | exception Sys_error _ -> `Eof
+    | line -> (
+      if String.trim line = "" then loop ()
+      else
+        match Protocol.request_of_line line with
+        | Error msg ->
+          send (Protocol.Error ("", "bad request: " ^ msg));
+          loop ()
+        | Ok (Protocol.Ping id) ->
+          send (Protocol.Pong id);
+          loop ()
+        | Ok (Protocol.Stats_req id) ->
+          send (Protocol.Stats (id, Engine.stats_json eng));
+          loop ()
+        | Ok (Protocol.Shutdown id) ->
+          send (Protocol.Bye id);
+          `Shutdown
+        | Ok (Protocol.Solve rq) ->
+          let id = rq.Protocol.sq_id in
+          with_lock pend_mu (fun () -> incr pending);
+          let cb (reply : Engine.reply) =
+            (match reply with
+            | Ok o -> send (solved_of_outcome id o)
+            | Error msg -> send (Protocol.Error (id, msg)));
+            with_lock pend_mu (fun () ->
+                decr pending;
+                Condition.signal pend_cv)
+          in
+          if not (Engine.submit eng (job_of rq) cb) then begin
+            with_lock pend_mu (fun () ->
+                decr pending;
+                Condition.signal pend_cv);
+            send (Protocol.Busy id)
+          end;
+          loop ())
+  in
+  let res = loop () in
+  with_lock pend_mu (fun () ->
+      while !pending > 0 do
+        Condition.wait pend_cv pend_mu
+      done);
+  res
+
+let serve_unix eng ~path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Sys.remove path with Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 64;
+  let stopping = Atomic.make false in
+  let conns_mu = Mutex.create () in
+  let conns = ref [] in
+  let handle cfd =
+    let ic = Unix.in_channel_of_descr cfd in
+    let oc = Unix.out_channel_of_descr cfd in
+    let res = try serve_channels eng ic oc with _ -> `Eof in
+    (try flush oc with Sys_error _ -> ());
+    (try Unix.close cfd with Unix.Unix_error _ -> ());
+    if res = `Shutdown then begin
+      Atomic.set stopping true;
+      Obs.log Obs.Info "serve: shutdown requested"
+    end
+  in
+  (* Poll-accept so a shutdown arriving on any connection stops the
+     listener within one poll interval — closing a blocked accept(2) from
+     another thread is not portable. *)
+  let rec accept_loop () =
+    if not (Atomic.get stopping) then begin
+      (match Unix.select [ listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+          ->
+          ()
+        | cfd, _ ->
+          let th = Thread.create handle cfd in
+          with_lock conns_mu (fun () -> conns := th :: !conns))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  Obs.log Obs.Info "serve: listening on %s" path;
+  accept_loop ();
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  List.iter Thread.join (with_lock conns_mu (fun () -> !conns));
+  try Sys.remove path with Sys_error _ -> ()

@@ -1,0 +1,28 @@
+(** Protocol front ends over an {!Engine}: a stdio loop and a Unix-domain
+    socket listener.
+
+    Both speak the JSON-lines protocol of {!Protocol}. Requests are
+    submitted asynchronously, so one connection can pipeline: replies carry
+    the request's [id] and may arrive out of order. Backpressure is the
+    engine's: when its bounded queue is full the server answers
+    [{"status":"busy"}] immediately instead of buffering — clients retry or
+    slow down, the server's memory does not grow with offered load. A
+    [shutdown] request stops the loop (and, for the socket listener, the
+    accept loop); the caller still owns the engine and decides when to
+    {!Engine.shutdown} it. *)
+
+val serve_channels :
+  Engine.t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+(** Serve one JSON-lines stream until end-of-input or a [shutdown] request.
+    Waits for every in-flight reply before returning, so the stream is
+    complete when this returns. Blank lines are ignored; malformed lines
+    get an [error] reply with an empty id. *)
+
+val serve_unix : Engine.t -> path:string -> unit
+(** Listen on a Unix-domain socket, one system thread per connection (the
+    heavy lifting happens on the engine's worker domains; connection
+    threads only shuttle lines). An existing socket file at [path] is
+    replaced. Returns after a [shutdown] request once every accepted
+    connection has drained, and removes the socket file. SIGPIPE is
+    ignored; a client that disconnects mid-reply only loses its own
+    connection. *)

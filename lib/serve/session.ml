@@ -1,0 +1,73 @@
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+  fd : Unix.file_descr option;  (* [Some] iff we own the socket *)
+}
+
+let rec connect ?(retries = 0) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+    {
+      ic = Unix.in_channel_of_descr fd;
+      oc = Unix.out_channel_of_descr fd;
+      fd = Some fd;
+    }
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+    when retries > 0 ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Unix.sleepf 0.1;
+    connect ~retries:(retries - 1) path
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let of_channels ic oc = { ic; oc; fd = None }
+
+let send t req =
+  output_string t.oc (Protocol.request_to_line req);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  match input_line t.ic with
+  | exception (End_of_file | Sys_error _) -> None
+  | line -> (
+    match Protocol.reply_of_line line with
+    | Ok r -> Some r
+    | Error e -> Some (Protocol.Error ("", "malformed reply: " ^ e)))
+
+let rpc t req =
+  send t req;
+  match recv t with
+  | Some r -> r
+  | None -> Protocol.Error ("", "connection closed")
+
+let solve t ?(id = "") ?(lang = Protocol.Suf)
+    ?(method_ = Sepsat.Decide.Hybrid_default) ?timeout_s text =
+  rpc t
+    (Protocol.Solve
+       {
+         Protocol.sq_id = id;
+         sq_lang = lang;
+         sq_text = text;
+         sq_method = method_;
+         sq_timeout_s = timeout_s;
+       })
+
+let ping t =
+  match rpc t (Protocol.Ping "ping") with
+  | Protocol.Pong _ -> true
+  | _ -> false
+
+let stats t =
+  match rpc t (Protocol.Stats_req "stats") with
+  | Protocol.Stats (_, j) -> Some j
+  | _ -> None
+
+let shutdown t = ignore (rpc t (Protocol.Shutdown ""))
+
+let close t =
+  match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()

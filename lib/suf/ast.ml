@@ -292,6 +292,69 @@ let fresh_name ctx stem =
   in
   if Hashtbl.mem ctx.symbols stem then loop 1 else stem
 
+(* -- Structural digest ----------------------------------------------------- *)
+
+(* Raw 16-byte MD5 of a node's structure: a tag, length-prefixed symbol names
+   and the children's digests.  The smart constructors order And/Or/Eq
+   children by hash-cons id, which depends on construction order; hashing
+   those children as a sorted digest pair makes the digest a function of the
+   formula alone, so two contexts that built the same formula in different
+   orders (or a parse of a print) agree.  Memoized on the hash-cons ids, so
+   the cost is linear in DAG nodes. *)
+let digesters () =
+  let tmemo = Hashtbl.create 256 in
+  let fmemo = Hashtbl.create 256 in
+  let memo tbl key f =
+    match Hashtbl.find_opt tbl key with
+    | Some d -> d
+    | None ->
+      let d = f () in
+      Hashtbl.add tbl key d;
+      d
+  in
+  let nm s = string_of_int (String.length s) ^ ":" ^ s in
+  let sorted2 x y = if String.compare x y <= 0 then x ^ y else y ^ x in
+  let rec dt t =
+    memo tmemo t.tid (fun () ->
+        Digest.string
+          (match t.tnode with
+          | Const c -> "C" ^ nm c
+          | Succ t' -> "S" ^ dt t'
+          | Pred t' -> "P" ^ dt t'
+          | Tite (c, a, b) -> "I" ^ df c ^ dt a ^ dt b
+          | App (f, args) ->
+            "A" ^ nm f
+            ^ string_of_int (List.length args)
+            ^ ":"
+            ^ String.concat "" (List.map dt args)))
+  and df f =
+    memo fmemo f.fid (fun () ->
+        Digest.string
+          (match f.fnode with
+          | Ftrue -> "T"
+          | Ffalse -> "F"
+          | Not g -> "N" ^ df g
+          | And (a, b) -> "&" ^ sorted2 (df a) (df b)
+          | Or (a, b) -> "|" ^ sorted2 (df a) (df b)
+          | Eq (t1, t2) -> "=" ^ sorted2 (dt t1) (dt t2)
+          | Lt (t1, t2) -> "<" ^ dt t1 ^ dt t2
+          | Papp (p, args) ->
+            "p" ^ nm p
+            ^ string_of_int (List.length args)
+            ^ ":"
+            ^ String.concat "" (List.map dt args)
+          | Bconst b -> "B" ^ nm b))
+  in
+  (dt, df)
+
+let digest root =
+  let _, df = digesters () in
+  Digest.to_hex (df root)
+
+let digest_term t =
+  let dt, _ = digesters () in
+  Digest.to_hex (dt t)
+
 (* -- Printing ------------------------------------------------------------- *)
 
 let rec pp_term ppf t =

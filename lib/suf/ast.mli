@@ -116,6 +116,22 @@ val has_applications : formula -> bool
 val fresh_name : ctx -> string -> string
 (** A name based on the stem that is not yet registered in the manager. *)
 
+(** {1 Structural digest} *)
+
+val digest : formula -> string
+(** Stable 32-hex-character structural digest of the formula. The digest is a
+    function of the formula's abstract syntax alone: it does not depend on
+    the hash-cons table order, the context it was built in, or the
+    construction order of commutative children (And/Or/Eq children hash as an
+    unordered pair, matching the smart constructors' id-based
+    canonicalization). Parse/print round-trips — {!pp} and
+    {!Smtlib.print_script} alike — preserve it, which is what makes it a
+    sound whole-query memoization key for result caches. Linear in DAG
+    nodes. *)
+
+val digest_term : term -> string
+(** Same digest, rooted at a term. *)
+
 val pp_term : Format.formatter -> term -> unit
 
 val pp : Format.formatter -> formula -> unit

@@ -1,0 +1,661 @@
+(* Tests for the serving subsystem: JSON codec, wire protocol, bounded
+   queue, sharded LRU cache with single-flight deduplication, the engine
+   (caching correctness against a fresh [Decide.decide], shedding,
+   deadlines) and the socket/channel protocol front ends. *)
+
+module Json = Sepsat_serve.Json
+module Protocol = Sepsat_serve.Protocol
+module Bqueue = Sepsat_serve.Bqueue
+module Cache = Sepsat_serve.Cache
+module Engine = Sepsat_serve.Engine
+module Server = Sepsat_serve.Server
+module Session = Sepsat_serve.Session
+module Ast = Sepsat_suf.Ast
+module Parse = Sepsat_suf.Parse
+module Decide = Sepsat.Decide
+module Verdict = Sepsat_sep.Verdict
+module Deadline = Sepsat_util.Deadline
+module Random_formula = Sepsat_workloads.Random_formula
+module Loadgen = Sepsat_harness.Loadgen
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Num x, Json.Num y -> x = y
+  | Json.Str x, Json.Str y -> x = y
+  | Json.Arr x, Json.Arr y ->
+    List.length x = List.length y && List.for_all2 json_eq x y
+  | Json.Obj x, Json.Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> k1 = k2 && json_eq v1 v2)
+         x y
+  | _ -> false
+
+let test_json_roundtrip () =
+  let values =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Num 0.;
+      Json.Num (-42.);
+      Json.Num 3.25;
+      Json.Num 1e100;
+      Json.Str "";
+      Json.Str "plain";
+      Json.Str "quotes \" and \\ and \ncontrol \t bytes";
+      Json.Arr [];
+      Json.Arr [ Json.Num 1.; Json.Str "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("k", Json.Str "v");
+          ("nested", Json.Obj [ ("a", Json.Arr [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      match Json.parse s with
+      | Ok v' ->
+        Alcotest.(check bool) ("roundtrip " ^ s) true (json_eq v v')
+      | Error e -> Alcotest.failf "reparse of %s failed: %s" s e)
+    values
+
+let test_json_parse () =
+  let ok s = Result.is_ok (Json.parse s)
+  and err s = Result.is_error (Json.parse s) in
+  Alcotest.(check bool) "whitespace" true (ok " { \"a\" : [ 1 , 2 ] } ");
+  Alcotest.(check bool) "unicode escape" true
+    (match Json.parse "\"\\u0041\\u00e9\"" with
+    | Ok (Json.Str s) -> s = "A\xc3\xa9"
+    | _ -> false);
+  Alcotest.(check bool) "surrogate pair" true
+    (match Json.parse "\"\\ud83d\\ude00\"" with
+    | Ok (Json.Str s) -> String.length s = 4
+    | _ -> false);
+  Alcotest.(check bool) "exponent" true
+    (match Json.parse "1.5e2" with Ok (Json.Num n) -> n = 150. | _ -> false);
+  Alcotest.(check bool) "trailing garbage" true (err "{} x");
+  Alcotest.(check bool) "bare word" true (err "verdict");
+  Alcotest.(check bool) "unterminated string" true (err "\"abc");
+  Alcotest.(check bool) "trailing comma" true (err "[1,]");
+  Alcotest.(check bool) "empty input" true (err "");
+  Alcotest.(check bool) "integral floats as ints" true
+    (Json.to_string (Json.Num 42.) = "42")
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+
+let test_protocol_requests () =
+  let reqs =
+    [
+      Protocol.Solve
+        {
+          Protocol.sq_id = "r1";
+          sq_lang = Protocol.Suf;
+          sq_text = "(= x y)";
+          sq_method = Decide.Hybrid_at 700;
+          sq_timeout_s = Some 2.5;
+        };
+      Protocol.Solve
+        {
+          Protocol.sq_id = "";
+          sq_lang = Protocol.Smt;
+          sq_text = "(assert true)(check-sat)";
+          sq_method = Decide.Hybrid_default;
+          sq_timeout_s = None;
+        };
+      Protocol.Ping "p1";
+      Protocol.Stats_req "s1";
+      Protocol.Shutdown "bye-now";
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = Protocol.request_to_line r in
+      match Protocol.request_of_line line with
+      | Ok r' ->
+        Alcotest.(check string) ("request roundtrip " ^ line) line
+          (Protocol.request_to_line r')
+      | Error e -> Alcotest.failf "reparse of %s failed: %s" line e)
+    reqs;
+  (* defaults: op defaults to solve, id to "" *)
+  (match Protocol.request_of_line "{\"formula\":\"(= x x)\"}" with
+  | Ok (Protocol.Solve q) ->
+    Alcotest.(check string) "default id" "" q.Protocol.sq_id;
+    Alcotest.(check string) "text" "(= x x)" q.Protocol.sq_text
+  | _ -> Alcotest.fail "expected default solve");
+  Alcotest.(check bool) "malformed line" true
+    (Result.is_error (Protocol.request_of_line "not json"))
+
+let test_protocol_replies () =
+  let replies =
+    [
+      Protocol.Ok_solve
+        {
+          Protocol.sv_id = "r1";
+          sv_verdict = Protocol.Valid;
+          sv_origin = Protocol.Solved;
+          sv_digest = String.make 32 'a';
+          sv_witness = None;
+          sv_solve_ms = 12.5;
+          sv_time_ms = 13.;
+        };
+      Protocol.Ok_solve
+        {
+          Protocol.sv_id = "r2";
+          sv_verdict = Protocol.Invalid;
+          sv_origin = Protocol.Cache_hit;
+          sv_digest = String.make 32 'b';
+          sv_witness = Some (String.make 32 'c');
+          sv_solve_ms = 1.;
+          sv_time_ms = 0.25;
+        };
+      Protocol.Ok_solve
+        {
+          Protocol.sv_id = "r3";
+          sv_verdict = Protocol.Unknown "timeout";
+          sv_origin = Protocol.Joined;
+          sv_digest = String.make 32 'd';
+          sv_witness = None;
+          sv_solve_ms = 0.;
+          sv_time_ms = 0.;
+        };
+      Protocol.Busy "r4";
+      Protocol.Error ("r5", "parse error: oops");
+      Protocol.Pong "p";
+      Protocol.Stats ("s", Json.Obj [ ("requests", Json.Num 3.) ]);
+      Protocol.Bye "q";
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = Protocol.reply_to_line r in
+      match Protocol.reply_of_line line with
+      | Ok r' ->
+        Alcotest.(check string) ("reply roundtrip " ^ line) line
+          (Protocol.reply_to_line r')
+      | Error e -> Alcotest.failf "reparse of %s failed: %s" line e)
+    replies;
+  Alcotest.(check string) "reply_id" "r4"
+    (Protocol.reply_id (Protocol.Busy "r4"))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                       *)
+
+let test_bqueue_bounds () =
+  let q = Bqueue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2);
+  Alcotest.(check bool) "push 3 sheds" false (Bqueue.try_push q 3);
+  Alcotest.(check int) "depth" 2 (Bqueue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Bqueue.pop q);
+  Alcotest.(check bool) "room again" true (Bqueue.try_push q 4);
+  Bqueue.close q;
+  Alcotest.(check bool) "closed rejects" false (Bqueue.try_push q 5);
+  Alcotest.(check bool) "closed blocks reject" false (Bqueue.push q 5);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Bqueue.pop q);
+  Alcotest.(check (option int)) "drains 4" (Some 4) (Bqueue.pop q);
+  Alcotest.(check (option int)) "then empty" None (Bqueue.pop q)
+
+let test_bqueue_concurrent () =
+  let q = Bqueue.create ~capacity:4 in
+  let n = 500 in
+  let producers =
+    List.init 2 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to n - 1 do
+              ignore (Bqueue.push q ((p * n) + i))
+            done))
+  in
+  let consumers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop acc =
+              match Bqueue.pop q with
+              | Some v -> loop (v :: acc)
+              | None -> acc
+            in
+            loop []))
+  in
+  List.iter Domain.join producers;
+  Bqueue.close q;
+  let received = List.concat_map Domain.join consumers in
+  Alcotest.(check int) "all items received" (2 * n) (List.length received);
+  Alcotest.(check int) "no duplicates" (2 * n)
+    (List.length (List.sort_uniq compare received))
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let test_cache_lru () =
+  (* one shard makes the eviction order deterministic *)
+  let c = Cache.create ~shards:1 ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  (* touching [a] makes [b] the least recently used *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Cache.find c "a");
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Cache.find c "c");
+  let s = Cache.stats c in
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "size" 2 s.Cache.size;
+  (* overwrite does not evict *)
+  Cache.add c "a" 10;
+  Alcotest.(check (option int)) "overwrite" (Some 10) (Cache.find c "a");
+  Alcotest.(check (option int)) "c still there" (Some 3) (Cache.find c "c");
+  Cache.clear c;
+  Alcotest.(check (option int)) "cleared" None (Cache.find c "a");
+  let disabled = Cache.create ~shards:1 ~capacity:0 () in
+  Cache.add disabled "k" 1;
+  Alcotest.(check (option int)) "capacity 0 stores nothing" None
+    (Cache.find disabled "k")
+
+let test_cache_find_or_compute () =
+  let c = Cache.create ~shards:1 ~capacity:8 () in
+  let runs = ref 0 in
+  let compute cacheable () =
+    incr runs;
+    (!runs, cacheable)
+  in
+  let v, o = Cache.find_or_compute c "k" ~compute:(compute true) in
+  Alcotest.(check int) "computed value" 1 v;
+  Alcotest.(check bool) "computed origin" true (o = Cache.Computed);
+  let v, o = Cache.find_or_compute c "k" ~compute:(compute true) in
+  Alcotest.(check int) "cached value" 1 v;
+  Alcotest.(check bool) "hit origin" true (o = Cache.Hit);
+  (* a computation that declines caching is re-run next time *)
+  let v, _ = Cache.find_or_compute c "u" ~compute:(compute false) in
+  Alcotest.(check int) "uncached first" 2 v;
+  let v, o = Cache.find_or_compute c "u" ~compute:(compute false) in
+  Alcotest.(check int) "uncached recomputed" 3 v;
+  Alcotest.(check bool) "recomputed origin" true (o = Cache.Computed);
+  (* an exception clears the in-flight entry so later calls retry *)
+  (match Cache.find_or_compute c "boom" ~compute:(fun () -> failwith "x") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected the computation's exception");
+  let v, _ = Cache.find_or_compute c "boom" ~compute:(compute true) in
+  Alcotest.(check int) "retried after failure" 4 v
+
+let test_cache_single_flight () =
+  let c = Cache.create ~shards:1 ~capacity:8 () in
+  let computes = Atomic.make 0 in
+  let gate = Atomic.make false in
+  let worker () =
+    Cache.find_or_compute c "shared" ~compute:(fun () ->
+        Atomic.incr computes;
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        ("value", true))
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  (* let everyone pile onto the in-flight entry, then open the gate *)
+  while Atomic.get computes = 0 do
+    Domain.cpu_relax ()
+  done;
+  Unix.sleepf 0.05;
+  Atomic.set gate true;
+  let results = List.map Domain.join domains in
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computes);
+  List.iter
+    (fun (v, _) -> Alcotest.(check string) "same value" "value" v)
+    results;
+  let computed =
+    List.length (List.filter (fun (_, o) -> o = Cache.Computed) results)
+  in
+  let joined =
+    List.length (List.filter (fun (_, o) -> o = Cache.Joined) results)
+  in
+  Alcotest.(check int) "one computer" 1 computed;
+  Alcotest.(check int) "three joiners" 3 joined;
+  Alcotest.(check int) "stats joins" 3 (Cache.stats c).Cache.joins
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let verdict_string (r : Engine.reply) =
+  match r with
+  | Ok o -> Protocol.verdict_to_string o.Engine.o_verdict
+  | Error e -> "error:" ^ e
+
+(* The satellite property: for random formulas, the served answer — cold,
+   then from the cache — always equals a fresh [Decide.decide] verdict. *)
+let prop_cache_matches_decide =
+  QCheck2.Test.make ~name:"served verdict = fresh Decide.decide" ~count:15
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let ctx = Ast.create_ctx () in
+      let f = Random_formula.generate Random_formula.small ctx ~seed in
+      let text = Ast.to_string f in
+      let expected =
+        (Decide.decide ~deadline:(Deadline.after_wall 20.) ctx f)
+          .Decide.verdict
+      in
+      let expected = Protocol.verdict_to_string (Protocol.verdict_of_sep expected) in
+      let engine = Engine.create ~workers:1 ~cache_capacity:64 () in
+      Fun.protect
+        ~finally:(fun () -> Engine.shutdown engine)
+        (fun () ->
+          let job = Engine.job ~timeout_s:20. text in
+          let first = Option.get (Engine.solve ~block:true engine job) in
+          let second = Option.get (Engine.solve ~block:true engine job) in
+          let hit_ok =
+            match (first, second) with
+            | Ok a, Ok b -> (
+              match a.Engine.o_verdict with
+              | Protocol.Unknown _ -> true (* unknowns are never cached *)
+              | _ ->
+                b.Engine.o_origin = Protocol.Cache_hit
+                && a.Engine.o_digest = b.Engine.o_digest)
+            | _ -> false
+          in
+          verdict_string first = expected
+          && verdict_string second = expected
+          && hit_ok))
+
+let test_engine_shedding () =
+  let started = Atomic.make 0 in
+  let gate = Atomic.make false in
+  let backend ~method_:_ ~deadline:_ ctx _f =
+    Atomic.incr started;
+    while not (Atomic.get gate) do
+      Domain.cpu_relax ()
+    done;
+    ignore ctx;
+    Verdict.Valid
+  in
+  let engine =
+    Engine.create ~workers:1 ~queue_capacity:1 ~cache_capacity:64 ~backend ()
+  in
+  let replies = Bqueue.create ~capacity:8 in
+  let submit text =
+    Engine.submit engine (Engine.job text) (fun r ->
+        ignore (Bqueue.try_push replies (text, r)))
+  in
+  Alcotest.(check bool) "first accepted" true (submit "(= a a)");
+  (* wait until the worker owns it, so the queue is empty again *)
+  while Atomic.get started = 0 do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "second queued" true (submit "(= b b)");
+  Alcotest.(check bool) "third shed" false (submit "(= c c)");
+  Alcotest.(check int) "shed counted" 1 (Engine.stats engine).Engine.st_shed;
+  Atomic.set gate true;
+  let r1 = Option.get (Bqueue.pop replies) in
+  let r2 = Option.get (Bqueue.pop replies) in
+  List.iter
+    (fun (text, r) ->
+      Alcotest.(check string) (text ^ " solved") "valid" (verdict_string r))
+    [ r1; r2 ];
+  Engine.shutdown engine;
+  let s = Engine.stats engine in
+  Alcotest.(check int) "completed" 2 s.Engine.st_completed;
+  Alcotest.(check int) "submitted" 2 s.Engine.st_submitted
+
+let test_engine_deadline_unknown () =
+  (* a backend that honors its deadline: spins until the budget fires; the
+     engine must answer unknown and must not cache it *)
+  let backend ~method_:_ ~deadline ctx _f =
+    ignore ctx;
+    match Deadline.remaining deadline with
+    | Some s when s > 1. -> Verdict.Valid
+    | _ ->
+      let rec spin () =
+        Deadline.check deadline;
+        Unix.sleepf 0.002;
+        spin ()
+      in
+      spin ()
+  in
+  let engine = Engine.create ~workers:1 ~cache_capacity:64 ~backend () in
+  let r1 =
+    Option.get
+      (Engine.solve ~block:true engine (Engine.job ~timeout_s:0.05 "(= x y)"))
+  in
+  (match r1 with
+  | Ok o -> (
+    match o.Engine.o_verdict with
+    | Protocol.Unknown _ -> ()
+    | v ->
+      Alcotest.failf "expected unknown, got %s"
+        (Protocol.verdict_to_string v))
+  | Error e -> Alcotest.failf "expected unknown, got error %s" e);
+  (* same formula under a generous budget: the unknown was not cached *)
+  let r2 =
+    Option.get
+      (Engine.solve ~block:true engine (Engine.job ~timeout_s:30. "(= x y)"))
+  in
+  (match r2 with
+  | Ok o ->
+    Alcotest.(check string) "decisive under big budget" "valid"
+      (Protocol.verdict_to_string o.Engine.o_verdict);
+    Alcotest.(check bool) "not a cache hit" true
+      (o.Engine.o_origin = Protocol.Solved)
+  | Error e -> Alcotest.failf "unexpected error %s" e);
+  Engine.shutdown engine
+
+let test_engine_parse_error () =
+  let engine = Engine.create ~workers:1 () in
+  let r =
+    Option.get (Engine.solve ~block:true engine (Engine.job "(= x"))
+  in
+  Alcotest.(check bool) "parse error surfaces" true (Result.is_error r);
+  Alcotest.(check int) "error counted" 1 (Engine.stats engine).Engine.st_errors;
+  Engine.shutdown engine
+
+(* ------------------------------------------------------------------ *)
+(* Protocol front ends                                                 *)
+
+let test_serve_channels () =
+  let requests =
+    String.concat "\n"
+      [
+        Protocol.request_to_line (Protocol.Ping "p");
+        Protocol.request_to_line
+          (Protocol.Solve
+             {
+               Protocol.sq_id = "good";
+               sq_lang = Protocol.Suf;
+               sq_text = "(= x x)";
+               sq_method = Decide.Hybrid_default;
+               sq_timeout_s = Some 10.;
+             });
+        "this is not json";
+        "";
+        Protocol.request_to_line (Protocol.Stats_req "st");
+        Protocol.request_to_line (Protocol.Shutdown "q");
+      ]
+    ^ "\n"
+  in
+  let in_path = Filename.temp_file "sufserve" ".in" in
+  let out_path = Filename.temp_file "sufserve" ".out" in
+  let oc = open_out in_path in
+  output_string oc requests;
+  close_out oc;
+  let engine = Engine.create ~workers:1 () in
+  let ic = open_in in_path in
+  let oc = open_out out_path in
+  let outcome = Server.serve_channels engine ic oc in
+  close_in ic;
+  close_out oc;
+  Engine.shutdown engine;
+  Alcotest.(check bool) "shutdown request ends the loop" true
+    (outcome = `Shutdown);
+  let ic = open_in out_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let replies =
+    List.rev_map
+      (fun l ->
+        match Protocol.reply_of_line l with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "bad reply line %s: %s" l e)
+      !lines
+  in
+  let find id =
+    List.find_opt (fun r -> Protocol.reply_id r = id) replies
+  in
+  (match find "p" with
+  | Some (Protocol.Pong _) -> ()
+  | _ -> Alcotest.fail "no pong");
+  (match find "good" with
+  | Some (Protocol.Ok_solve s) ->
+    Alcotest.(check string) "solve verdict" "valid"
+      (Protocol.verdict_to_string s.Protocol.sv_verdict)
+  | _ -> Alcotest.fail "no solve reply");
+  (match find "st" with
+  | Some (Protocol.Stats _) -> ()
+  | _ -> Alcotest.fail "no stats reply");
+  (match find "q" with
+  | Some (Protocol.Bye _) -> ()
+  | _ -> Alcotest.fail "no bye");
+  Alcotest.(check bool) "malformed line got an error reply" true
+    (List.exists (function Protocol.Error _ -> true | _ -> false) replies);
+  Sys.remove in_path;
+  Sys.remove out_path
+
+let test_serve_unix_end_to_end () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sufserve-%d.sock" (Unix.getpid ()))
+  in
+  let engine = Engine.create ~workers:2 () in
+  let server = Domain.spawn (fun () -> Server.serve_unix engine ~path) in
+  let client k =
+    Domain.spawn (fun () ->
+        let s = Session.connect ~retries:100 path in
+        let r1 = Session.solve s ~id:"a" "(= x x)" in
+        let r2 = Session.solve s ~id:"b" "(= x x)" in
+        let r3 = Session.solve s ~id:"c" (Printf.sprintf "(= c%d d)" k) in
+        Session.close s;
+        (r1, r2, r3))
+  in
+  let clients = List.init 3 client in
+  let results = List.map Domain.join clients in
+  List.iter
+    (fun (r1, r2, r3) ->
+      (match r1 with
+      | Protocol.Ok_solve s ->
+        Alcotest.(check string) "valid over the wire" "valid"
+          (Protocol.verdict_to_string s.Protocol.sv_verdict)
+      | _ -> Alcotest.fail "expected ok for r1");
+      (match r2 with
+      | Protocol.Ok_solve s ->
+        (* the session is serial: by the time r2 is sent, this client's own
+           r1 answer is cached *)
+        Alcotest.(check bool) "repeat answered from the cache" true
+          (s.Protocol.sv_origin = Protocol.Cache_hit);
+        Alcotest.(check string) "cached verdict" "valid"
+          (Protocol.verdict_to_string s.Protocol.sv_verdict)
+      | _ -> Alcotest.fail "expected ok for r2");
+      match r3 with
+      | Protocol.Ok_solve s ->
+        Alcotest.(check string) "invalid over the wire" "invalid"
+          (Protocol.verdict_to_string s.Protocol.sv_verdict);
+        Alcotest.(check bool) "witness digest present" true
+          (s.Protocol.sv_witness <> None)
+      | _ -> Alcotest.fail "expected ok for r3")
+    results;
+  (* stats and shutdown *)
+  let s = Session.connect ~retries:10 path in
+  Alcotest.(check bool) "ping" true (Session.ping s);
+  (match Session.stats s with
+  | Some j ->
+    Alcotest.(check bool) "stats counts the requests" true
+      (match Json.member "submitted" j with
+      | Some (Json.Num n) -> n >= 9.
+      | _ -> false)
+  | None -> Alcotest.fail "no stats");
+  Session.shutdown s;
+  Session.close s;
+  Domain.join server;
+  Engine.shutdown engine;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
+(* Load generator                                                      *)
+
+let test_loadgen_smoke () =
+  let config =
+    {
+      Loadgen.default with
+      Loadgen.clients = 2;
+      repeats = 2;
+      bench_names = [ "cache.5"; "tv.1" ];
+      workers = 2;
+    }
+  in
+  let r = Loadgen.run config in
+  Alcotest.(check int) "requests" 8 r.Loadgen.r_requests;
+  Alcotest.(check int) "all ok" 8 r.Loadgen.r_ok;
+  Alcotest.(check int) "no errors" 0 r.Loadgen.r_errors;
+  Alcotest.(check (list (triple string string string))) "no mismatches" []
+    r.Loadgen.r_mismatches;
+  Alcotest.(check bool) "cache was exercised" true
+    (r.Loadgen.r_hit.Loadgen.l_count + r.Loadgen.r_joined.Loadgen.l_count > 0);
+  (* the JSON report parses back *)
+  let path = Filename.temp_file "loadgen" ".json" in
+  Loadgen.write_json path r;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "report is valid json" true
+    (Result.is_ok (Json.parse line))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "requests" `Quick test_protocol_requests;
+          Alcotest.test_case "replies" `Quick test_protocol_replies;
+        ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "bounds and close" `Quick test_bqueue_bounds;
+          Alcotest.test_case "concurrent" `Quick test_bqueue_concurrent;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "find_or_compute" `Quick
+            test_cache_find_or_compute;
+          Alcotest.test_case "single flight" `Quick test_cache_single_flight;
+        ] );
+      ( "engine",
+        [
+          QCheck_alcotest.to_alcotest prop_cache_matches_decide;
+          Alcotest.test_case "shedding" `Quick test_engine_shedding;
+          Alcotest.test_case "deadline yields unknown" `Quick
+            test_engine_deadline_unknown;
+          Alcotest.test_case "parse error" `Quick test_engine_parse_error;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "channels" `Quick test_serve_channels;
+          Alcotest.test_case "unix socket" `Quick test_serve_unix_end_to_end;
+        ] );
+      ("loadgen", [ Alcotest.test_case "smoke" `Quick test_loadgen_smoke ]);
+    ]

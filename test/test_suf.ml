@@ -355,6 +355,58 @@ let prop_smtlib_roundtrip_random =
       roundtrip_check "random" ctx f;
       true)
 
+(* ------------------------------------------------------------------ *)
+(* Structural digests                                                  *)
+
+let test_digest_distinguishes () =
+  let ctx = Ast.create_ctx () in
+  let f = Parse.formula ctx "(= (f x) (f y))" in
+  let g = Parse.formula ctx "(= (f x) (f z))" in
+  let h = Parse.formula ctx "(= (f y) (f x))" in
+  Alcotest.(check bool)
+    "distinct formulas, distinct digests" true
+    (Ast.digest f <> Ast.digest g);
+  (* eq is symmetric: hash-consing already identifies these, and the digest
+     must agree with that identification *)
+  Alcotest.(check string) "symmetric eq" (Ast.digest f) (Ast.digest h);
+  Alcotest.(check bool) "hex, 32 chars" true (String.length (Ast.digest f) = 32)
+
+(* The And/Or/Eq smart constructors canonicalize operands by hash-cons node
+   id, which depends on construction order within a context. The digest must
+   not: the same formula built in contexts with different allocation orders
+   digests identically. *)
+let test_digest_order_independent () =
+  let text = "(and (or (P x) (= y z)) (= (f x) (succ y)))" in
+  let ctx1 = Ast.create_ctx () in
+  (* warm ctx2 so every shared node gets different ids than in ctx1 *)
+  let ctx2 = Ast.create_ctx () in
+  ignore (Parse.formula ctx2 "(= (g z) (succ (f (pred y))))");
+  ignore (Parse.formula ctx2 "(or (P q) (Q x))");
+  let f1 = Parse.formula ctx1 text in
+  let f2 = Parse.formula ctx2 text in
+  Alcotest.(check string) "same digest across contexts" (Ast.digest f1)
+    (Ast.digest f2)
+
+let prop_digest_roundtrip =
+  QCheck2.Test.make
+    ~name:"digest survives print/parse and smtlib round trips" ~count:200
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let ctx = Ast.create_ctx () in
+      let f = Random_formula.generate Random_formula.default ctx ~seed in
+      let d = Ast.digest f in
+      (* native syntax into a fresh context *)
+      let ctx2 = Ast.create_ctx () in
+      let g = Parse.formula ctx2 (Ast.to_string f) in
+      (* smtlib print/re-parse into yet another fresh context *)
+      let text = Smtlib.script_to_string [ f ] in
+      let ctx3 = Ast.create_ctx () in
+      let s = Smtlib.script ctx3 text in
+      let h =
+        match s.Smtlib.assertions with [ h ] -> h | _ -> assert false
+      in
+      d = Ast.digest g && d = Ast.digest h)
+
 let () =
   Alcotest.run "suf"
     [
@@ -383,6 +435,13 @@ let () =
           Alcotest.test_case "suite round trip" `Quick
             test_smtlib_roundtrip_suite;
           QCheck_alcotest.to_alcotest prop_smtlib_roundtrip_random;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "distinguishes" `Quick test_digest_distinguishes;
+          Alcotest.test_case "order independent" `Quick
+            test_digest_order_independent;
+          QCheck_alcotest.to_alcotest prop_digest_roundtrip;
         ] );
       ( "elim",
         [
