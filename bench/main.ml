@@ -8,7 +8,13 @@
      main.exe --deadline 30   per-run CPU budget in seconds
      main.exe --no-micro      skip the Bechamel pass
      main.exe --json OUT.json write every recorded run as JSON
-     main.exe --strict        exit 1 if any run ended Unknown             *)
+     main.exe --strict        exit 1 if any run ended Unknown
+     main.exe --repeat 3      run the selected figure(s) K times (min-of-k)
+     main.exe --baseline-out B.json   record a perf baseline
+     main.exe --compare B.json        diff against a baseline; exit 4 on a
+                                      noise/drift-adjusted regression
+     main.exe --compare-current C.json  compare a saved report instead of
+                                        running anything                  *)
 
 module Experiments = Sepsat_harness.Experiments
 module Runner = Sepsat_harness.Runner
@@ -37,10 +43,24 @@ let stats = ref false
 
 let log_level = ref "quiet"
 
+let repeat = ref 1
+
+let baseline_out = ref ""
+
+let compare_path = ref ""
+
+let compare_current = ref ""
+
+let compare_rel = ref 0.25
+
+let compare_abs = ref 0.05
+
 let usage =
   "main.exe [--figure 2|3|threshold|4|5|6|portfolio|all] [--deadline S] \
    [--no-micro] [--json PATH] [--strict] [--trace PATH] [--stats] \
-   [--log-level quiet|info|debug]"
+   [--log-level quiet|info|debug] [--repeat K] [--baseline-out PATH] \
+   [--compare PATH] [--compare-rel R] [--compare-abs S] \
+   [--compare-current PATH]"
 
 let spec =
   [
@@ -58,6 +78,25 @@ let spec =
       " write a Chrome trace_event JSON timeline to PATH" );
     ("--stats", Arg.Set stats, " print span rollup and metrics tables at exit");
     ("--log-level", Arg.Set_string log_level, " quiet (default), info or debug");
+    ( "--repeat",
+      Arg.Set_int repeat,
+      " run the selected figure(s) K times; baselines keep the min" );
+    ( "--baseline-out",
+      Arg.Set_string baseline_out,
+      " write a perf baseline (min-of-k per bench/method) to PATH" );
+    ( "--compare",
+      Arg.Set_string compare_path,
+      " compare against the baseline at PATH; exit 4 on regression" );
+    ( "--compare-rel",
+      Arg.Set_float compare_rel,
+      " relative regression threshold after drift adjustment (default 0.25)" );
+    ( "--compare-abs",
+      Arg.Set_float compare_abs,
+      " absolute regression threshold in seconds (default 0.05)" );
+    ( "--compare-current",
+      Arg.Set_string compare_current,
+      " with --compare: read the current run from a saved report at PATH \
+       instead of benchmarking" );
   ]
 
 (* -- Bechamel micro-benchmarks: one per paper artifact ------------------- *)
@@ -126,22 +165,38 @@ let () =
   let ppf = Format.std_formatter in
   let d = !deadline_s in
   Runner.reset_recorded ();
-  (match !figure with
-  | "2" -> Experiments.figure2 ~deadline_s:d ppf
-  | "3" -> Experiments.figure3 ~deadline_s:d ppf
-  | "threshold" -> ignore (Experiments.threshold_selection ~deadline_s:d ppf)
-  | "4" -> Experiments.figure4 ~deadline_s:d ppf
-  | "5" -> Experiments.figure5 ~deadline_s:d ppf
-  | "6" -> Experiments.figure6 ~deadline_s:d ppf
-  | "portfolio" -> Experiments.figure_portfolio ~deadline_s:d ppf
-  | "all" -> Experiments.all ~deadline_s:d ppf
-  | other -> raise (Arg.Bad ("unknown figure: " ^ other)));
+  let run_figures () =
+    match !figure with
+    | "2" -> Experiments.figure2 ~deadline_s:d ppf
+    | "3" -> Experiments.figure3 ~deadline_s:d ppf
+    | "threshold" -> ignore (Experiments.threshold_selection ~deadline_s:d ppf)
+    | "4" -> Experiments.figure4 ~deadline_s:d ppf
+    | "5" -> Experiments.figure5 ~deadline_s:d ppf
+    | "6" -> Experiments.figure6 ~deadline_s:d ppf
+    | "portfolio" -> Experiments.figure_portfolio ~deadline_s:d ppf
+    | "all" -> Experiments.all ~deadline_s:d ppf
+    | other -> raise (Arg.Bad ("unknown figure: " ^ other))
+  in
+  (* With a saved current report there is nothing to benchmark: the compare
+     step below judges file against file (CI uses this for the synthetic
+     regression self-check). *)
+  let offline = !compare_current <> "" && !compare_path <> "" in
+  if not offline then
+    for _ = 1 to max 1 !repeat do
+      run_figures ()
+    done;
   let rows = Runner.recorded_rows () in
   if !json_path <> "" then begin
     Runner.write_json !json_path rows;
     Format.fprintf ppf "wrote %d rows to %s@." (List.length rows) !json_path
   end;
-  if !micro_enabled && !figure = "all" then micro ppf;
+  if !baseline_out <> "" then begin
+    let entries = Sepsat_harness.Baseline.of_rows rows in
+    Sepsat_harness.Baseline.write !baseline_out entries;
+    Format.fprintf ppf "wrote %d baseline entries to %s@."
+      (List.length entries) !baseline_out
+  end;
+  if !micro_enabled && !figure = "all" && not offline then micro ppf;
   if !trace_path <> "" then begin
     Chrome_trace.write_current !trace_path;
     Format.fprintf ppf "wrote trace to %s@." !trace_path
@@ -167,4 +222,25 @@ let () =
         unknowns;
       exit 1
     end
+  end;
+  if !compare_path <> "" then begin
+    let module Baseline = Sepsat_harness.Baseline in
+    let read_or_die path =
+      match Baseline.read path with
+      | Ok entries -> entries
+      | Error msg ->
+        Format.eprintf "compare: %s@." msg;
+        exit 2
+    in
+    let baseline = read_or_die !compare_path in
+    let current =
+      if offline then read_or_die !compare_current
+      else Baseline.of_rows rows
+    in
+    let c =
+      Baseline.compare_ ~rel:!compare_rel ~abs_s:!compare_abs ~baseline
+        current
+    in
+    Format.fprintf ppf "%a" Baseline.pp c;
+    if Baseline.regressed c then exit 4
   end

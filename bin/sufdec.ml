@@ -483,16 +483,66 @@ let socket_arg =
         ~doc:"Unix-domain socket path (serve: listen; submit: connect).")
 
 let serve_cmd =
-  let run socket workers queue_cap cache_cap default_timeout obs_finish =
+  let run socket metrics_socket log_json workers queue_cap cache_cap
+      default_timeout obs_finish =
+    let log_close =
+      match log_json with
+      | None -> fun () -> ()
+      | Some "-" ->
+        Sepsat_obs.Log.enable ();
+        fun () -> ()
+      | Some path ->
+        let oc = open_out path in
+        let sink line =
+          output_string oc line;
+          output_char oc '\n';
+          flush oc
+        in
+        Sepsat_obs.Log.enable ~sink ();
+        fun () ->
+          Sepsat_obs.Log.disable ();
+          close_out_noerr oc
+    in
     let engine =
       Engine.create ?workers ~queue_capacity:queue_cap
         ~cache_capacity:cache_cap ~default_timeout_s:default_timeout ()
     in
     (match socket with
-    | Some path -> Server.serve_unix engine ~path
-    | None -> ignore (Server.serve_channels engine stdin stdout));
+    | Some path -> Server.serve_unix ?metrics_path:metrics_socket engine ~path
+    | None ->
+      (* Stdio mode still gets the scrape socket: the JSON-lines stream is
+         owned by the client, so HTTP is the only side channel. *)
+      let stop = Atomic.make false in
+      let metrics_th =
+        Option.map
+          (fun p -> Server.serve_metrics ~path:p ~stop)
+          metrics_socket
+      in
+      ignore (Server.serve_channels engine stdin stdout);
+      Atomic.set stop true;
+      Option.iter Thread.join metrics_th);
     Engine.shutdown engine;
+    log_close ();
     obs_finish ()
+  in
+  let metrics_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve Prometheus scrapes (GET /metrics over HTTP) on a second \
+             Unix-domain socket, e.g. for curl --unix-socket $(docv) \
+             http://localhost/metrics.")
+  in
+  let log_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-json" ] ~docv:"FILE"
+          ~doc:
+            "Write structured JSON-lines request logs (one object per \
+             event, correlated by request id) to $(docv); '-' for stderr.")
   in
   let workers_arg =
     Arg.(
@@ -529,12 +579,12 @@ let serve_cmd =
          "Run the solver as a long-lived service speaking the JSON-lines \
           protocol on stdin/stdout or a Unix-domain socket.")
     Term.(
-      const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
-      $ default_timeout_arg $ obs_term)
+      const run $ socket_arg $ metrics_socket_arg $ log_json_arg
+      $ workers_arg $ queue_arg $ cache_arg $ default_timeout_arg $ obs_term)
 
 let submit_cmd =
   let run socket files suite method_ timeout lang_s as_json do_ping
-      do_stats do_shutdown =
+      do_stats do_metrics do_shutdown =
     let path =
       match socket with
       | Some p -> p
@@ -576,6 +626,9 @@ let submit_cmd =
         | Protocol.Bye id -> Format.printf "%-24s bye@." id
         | Protocol.Stats (id, j) ->
           Format.printf "%-24s %s@." id (Sepsat_serve.Json.to_string j)
+        | Protocol.Metrics (_, body) ->
+          (* The exposition document is already line-oriented text. *)
+          print_string body
     in
     if do_ping then print_reply (Session.rpc session (Protocol.Ping "ping"));
     (* Benchmark-suite workloads, by name; files afterwards. *)
@@ -614,6 +667,8 @@ let submit_cmd =
       (suite_requests @ file_requests);
     if do_stats then
       print_reply (Session.rpc session (Protocol.Stats_req "stats"));
+    if do_metrics then
+      print_reply (Session.rpc session (Protocol.Metrics_req "metrics"));
     if do_shutdown then print_reply (Session.rpc session (Protocol.Shutdown ""));
     Session.close session;
     if !failures > 0 then exit 3
@@ -650,6 +705,14 @@ let submit_cmd =
       value & flag
       & info [ "server-stats" ] ~doc:"Fetch server statistics afterwards.")
   in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Fetch the server's Prometheus exposition document afterwards \
+             (printed as text; with $(b,--json), as the raw reply line).")
+  in
   let shutdown_flag =
     Arg.(
       value & flag
@@ -663,7 +726,7 @@ let submit_cmd =
     Term.(
       const run $ socket_arg $ files_arg $ suite_arg $ method_arg
       $ timeout_arg $ lang_arg $ json_flag $ ping_flag $ stats_flag'
-      $ shutdown_flag)
+      $ metrics_flag $ shutdown_flag)
 
 let loadgen_cmd =
   let run clients repeats workers method_ timeout json_out min_speedup =

@@ -1,0 +1,75 @@
+(** Perf-regression baselines over the benchmark suite: record per-bench
+    wall times, re-run later, flag what got slower.
+
+    Two defenses against false alarms, both needed for a checked-in
+    baseline to be useful across machines:
+
+    - {b Noise}: entries keep the {e minimum} wall time over their runs
+      (interference only adds time, so min-of-k is the low-noise
+      estimate).
+    - {b Machine drift}: a comparison first estimates a global drift
+      factor — the median of per-benchmark current/baseline ratios, when
+      at least 4 benchmarks pair up — and judges each benchmark against
+      its drift-adjusted expectation. A uniformly slower machine shifts
+      the median and flags nothing; a single benchmark going off the pack
+      is exactly what sticks out.
+
+    A regression must clear {e both} a relative threshold (drift-adjusted
+    ratio) and an absolute one (seconds over drift-adjusted baseline). *)
+
+type entry = {
+  e_bench : string;
+  e_method : string;
+      (** [Decide.pp_method] rendering, matching schema-2 report files *)
+  e_wall_s : float;  (** min over the aggregated runs *)
+  e_runs : int;  (** how many runs were aggregated *)
+  e_phases : (string * float) list;  (** phase times of the fastest run *)
+}
+
+val of_rows : Runner.row list -> entry list
+(** Group recorded rows by (bench, method); min-of-k wall time, phase
+    times of the fastest run. First-seen order. *)
+
+val write : string -> entry list -> unit
+(** Write a baseline file:
+    [{"schema":"sepsat-bench-baseline-1","runs":[...]}]. *)
+
+val read : string -> (entry list, string) result
+(** Read a baseline file {e or} a {!Runner.write_json} schema-2 report —
+    anything with a ["runs"] array of objects carrying ["bench"], a wall
+    time (["wall_s"] or ["wall_time"]) and optionally ["method"] and
+    ["phase_times"]. Duplicate (bench, method) entries aggregate by min,
+    so a multi-run report reads back exactly like {!of_rows}. *)
+
+type delta = {
+  d_bench : string;
+  d_method : string;
+  d_base_s : float;
+  d_cur_s : float;
+  d_ratio : float;  (** current / baseline, before drift adjustment *)
+  d_adjusted : float;  (** ratio / drift — what the thresholds judge *)
+  d_regressed : bool;
+  d_worst_phase : (string * float) option;
+      (** regressed entries only: the phase with the largest absolute
+          growth over its drift-adjusted baseline, for attribution *)
+}
+
+type comparison = {
+  c_drift : float;  (** the applied drift factor ([1.] below 4 pairs) *)
+  c_deltas : delta list;  (** one per paired (bench, method) *)
+  c_regressions : delta list;
+  c_missing : entry list;  (** in the baseline but not in this run *)
+  c_new : entry list;  (** in this run but not in the baseline *)
+}
+
+val compare_ :
+  ?rel:float -> ?abs_s:float -> baseline:entry list -> entry list -> comparison
+(** [compare_ ~baseline current]. A paired benchmark regresses iff its
+    drift-adjusted ratio exceeds [1 + rel] (default [rel = 0.25]) {e and}
+    it is more than [abs_s] seconds (default 0.05) over its
+    drift-adjusted baseline. Missing/new entries are reported, never
+    flagged. *)
+
+val regressed : comparison -> bool
+
+val pp : Format.formatter -> comparison -> unit

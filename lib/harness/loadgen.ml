@@ -34,17 +34,41 @@ type lat = {
   l_mean_ms : float;
   l_min_ms : float;
   l_max_ms : float;
+  l_p50_ms : float;
+  l_p90_ms : float;
+  l_p99_ms : float;
 }
 
 let lat_of = function
-  | [] -> { l_count = 0; l_mean_ms = 0.; l_min_ms = 0.; l_max_ms = 0. }
+  | [] ->
+    {
+      l_count = 0;
+      l_mean_ms = 0.;
+      l_min_ms = 0.;
+      l_max_ms = 0.;
+      l_p50_ms = 0.;
+      l_p90_ms = 0.;
+      l_p99_ms = 0.;
+    }
   | ms ->
     let n = List.length ms in
+    (* Same estimator the serving engine's stats use: a window sized to
+       hold everything is just "exact quantiles of the sample". *)
+    let w = Sepsat_obs.Window.create ~capacity:n () in
+    List.iter (Sepsat_obs.Window.add w) ms;
+    let p50, p90, p99 =
+      match Sepsat_obs.Window.quantiles w [ 0.5; 0.9; 0.99 ] with
+      | [ a; b; c ] -> (a, b, c)
+      | _ -> (0., 0., 0.)
+    in
     {
       l_count = n;
       l_mean_ms = List.fold_left ( +. ) 0. ms /. float_of_int n;
       l_min_ms = List.fold_left min infinity ms;
       l_max_ms = List.fold_left max neg_infinity ms;
+      l_p50_ms = p50;
+      l_p90_ms = p90;
+      l_p99_ms = p99;
     }
 
 type report = {
@@ -221,8 +245,11 @@ let run config =
 let pp_lat ppf (name, l) =
   if l.l_count = 0 then Format.fprintf ppf "  %-7s -@." name
   else
-    Format.fprintf ppf "  %-7s %5d responses  mean %8.3f ms  min %8.3f  max %8.3f@."
-      name l.l_count l.l_mean_ms l.l_min_ms l.l_max_ms
+    Format.fprintf ppf
+      "  %-7s %5d responses  mean %8.3f ms  min %8.3f  p50 %8.3f  p90 \
+       %8.3f  p99 %8.3f  max %8.3f@."
+      name l.l_count l.l_mean_ms l.l_min_ms l.l_p50_ms l.l_p90_ms l.l_p99_ms
+      l.l_max_ms
 
 let pp ppf r =
   Format.fprintf ppf "Serving load generator@.";
@@ -255,6 +282,9 @@ let write_json path r =
         ("count", J.Num (float_of_int l.l_count));
         ("mean_ms", J.Num l.l_mean_ms);
         ("min_ms", J.Num (if l.l_count = 0 then 0. else l.l_min_ms));
+        ("p50_ms", J.Num l.l_p50_ms);
+        ("p90_ms", J.Num l.l_p90_ms);
+        ("p99_ms", J.Num l.l_p99_ms);
         ("max_ms", J.Num (if l.l_count = 0 then 0. else l.l_max_ms));
       ]
   in

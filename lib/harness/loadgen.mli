@@ -36,6 +36,9 @@ type lat = {
   l_mean_ms : float;
   l_min_ms : float;
   l_max_ms : float;
+  l_p50_ms : float;  (** {!Sepsat_obs.Window} quantiles; 0 when empty *)
+  l_p90_ms : float;
+  l_p99_ms : float;
 }
 
 type report = {

@@ -1,0 +1,136 @@
+(* Leveled JSON-lines structured logger with request correlation.
+
+   Obs.log prints human lines; this module prints machine lines — one JSON
+   object per line, so `grep rq-17 server.log` reconstructs a request's
+   whole path (request → shed/hit/solve/deadline → reply) and `jq` can
+   aggregate. Design points:
+
+   - Per-domain buffering: each domain formats its line into a
+     domain-local Buffer, then hands the *complete* line to the sink under
+     one mutex. Lines from concurrent worker domains never interleave
+     mid-line, and formatting itself takes no lock.
+   - Exception safety: the domain buffer is cleared on every path
+     (Fun.protect), so a sink that raises — a closed log file, a full pipe
+     — cannot leave half a line to corrupt the next event, and the
+     exception propagates to the caller.
+   - Ambient context: [with_fields] pushes key/values (typically the
+     correlation id) onto a domain-local stack; every event emitted inside
+     carries them. That is how one rid threads through the engine's
+     parse/cache/solve path without plumbing it into each call. *)
+
+type value = S of string | I of int | F of float | B of bool
+
+type field = string * value
+
+let enabled_ = Atomic.make false
+
+let level_ = Atomic.make Obs.Info
+
+let rank = function Obs.Quiet -> 0 | Obs.Info -> 1 | Obs.Debug -> 2
+
+let sink_mu = Mutex.create ()
+
+let default_sink line =
+  output_string stderr line;
+  output_char stderr '\n';
+  flush stderr
+
+let sink = ref default_sink
+
+let enable ?(level = Obs.Info) ?sink:(s = default_sink) () =
+  Mutex.protect sink_mu (fun () -> sink := s);
+  Atomic.set level_ level;
+  Atomic.set enabled_ true
+
+let disable () = Atomic.set enabled_ false
+
+let enabled () = Atomic.get enabled_
+
+let set_level l = Atomic.set level_ l
+
+(* Correlation ids: a process-global counter, so every minted id is unique
+   within one server's log stream and cheap enough to mint per request. *)
+let mint_counter = Atomic.make 0
+
+let mint prefix =
+  Printf.sprintf "%s-%d" prefix (1 + Atomic.fetch_and_add mint_counter 1)
+
+(* -- Ambient per-domain context ------------------------------------------- *)
+
+let ctx_key : field list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let with_fields fields f =
+  let old = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key (old @ fields);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key old) f
+
+let current_fields () = Domain.DLS.get ctx_key
+
+(* -- JSON rendering -------------------------------------------------------- *)
+
+let buf_key : Buffer.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Buffer.create 256)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_value buf = function
+  | S s -> add_json_string buf s
+  | I i -> Buffer.add_string buf (string_of_int i)
+  | B b -> Buffer.add_string buf (if b then "true" else "false")
+  | F f ->
+    if not (Float.is_finite f) then Buffer.add_string buf "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+
+let add_field buf (k, v) =
+  Buffer.add_string buf ", ";
+  add_json_string buf k;
+  Buffer.add_string buf ": ";
+  add_value buf v
+
+let level_name = function
+  | Obs.Quiet -> "quiet"
+  | Obs.Info -> "info"
+  | Obs.Debug -> "debug"
+
+let event ?(level = Obs.Info) name fields =
+  if
+    Atomic.get enabled_ && level <> Obs.Quiet
+    && rank level <= rank (Atomic.get level_)
+  then begin
+    let buf = Domain.DLS.get buf_key in
+    Buffer.clear buf;
+    Fun.protect
+      ~finally:(fun () -> Buffer.clear buf)
+      (fun () ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"ts\": %.6f, \"level\": \"%s\", \"event\": "
+             (Unix.gettimeofday ()) (level_name level));
+        add_json_string buf name;
+        List.iter (add_field buf) fields;
+        (* Ambient context after the explicit fields; a context key shadowed
+           by an explicit field is dropped so lookups (first occurrence
+           wins) see the more specific value. *)
+        List.iter
+          (fun (k, v) ->
+            if not (List.mem_assoc k fields) then add_field buf (k, v))
+          (Domain.DLS.get ctx_key);
+        Buffer.add_char buf '}';
+        let line = Buffer.contents buf in
+        Mutex.protect sink_mu (fun () -> !sink line))
+  end

@@ -2,11 +2,18 @@ type counter = int Atomic.t
 
 type gauge = float Atomic.t
 
+(* No separate observation counter: the count is derived as the sum of the
+   bins at read time. [reset] zeroes the fields one atomic at a time, so a
+   counter read independently of the bins could tear — report a non-zero
+   count against already-zeroed buckets. Deriving the count makes
+   "count > 0 with all-zero buckets" impossible by construction; the only
+   remaining reset race is benign (a concurrent [observe]'s bin increment
+   and sum addition may land on opposite sides of the reset, skewing [sum]
+   by at most that one in-flight observation). *)
 type histogram = {
   bounds : float array;  (* upper bounds; the +inf bin is bounds-length *)
   bins : int Atomic.t array;  (* length = Array.length bounds + 1 *)
   sum : float Atomic.t;
-  n : int Atomic.t;
 }
 
 type metric = C of counter | G of gauge | H of histogram
@@ -57,7 +64,6 @@ let histogram ?(buckets = default_buckets) name =
           bounds = Array.copy buckets;
           bins = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
           sum = Atomic.make 0.;
-          n = Atomic.make 0;
         })
     (function H h -> Some h | C _ | G _ -> None)
 
@@ -66,21 +72,33 @@ let rec atomic_add_float cell x =
   if not (Atomic.compare_and_set cell old (old +. x)) then
     atomic_add_float cell x
 
-let incr c = if Obs.enabled () then ignore (Atomic.fetch_and_add c 1)
+(* Updates are normally gated on [Obs.enabled] so the pipeline's hot paths
+   pay one load and a branch when tracing is off. A long-lived server is
+   the exception: its operational counters must move in a default run or
+   the metrics surfaces lie, so the serving engine flips [always_] and
+   updates flow regardless of tracing. *)
+let always_ = Atomic.make false
 
-let add c k = if Obs.enabled () then ignore (Atomic.fetch_and_add c k)
+let set_always_on b = Atomic.set always_ b
 
-let set g v = if Obs.enabled () then Atomic.set g v
+let always_on () = Atomic.get always_
+
+let on () = Obs.enabled () || Atomic.get always_
+
+let incr c = if on () then ignore (Atomic.fetch_and_add c 1)
+
+let add c k = if on () then ignore (Atomic.fetch_and_add c k)
+
+let set g v = if on () then Atomic.set g v
 
 let observe h v =
-  if Obs.enabled () then begin
+  if on () then begin
     let i = ref 0 in
     let nb = Array.length h.bounds in
     while !i < nb && v > h.bounds.(!i) do
       i := !i + 1
     done;
     ignore (Atomic.fetch_and_add h.bins.(!i) 1);
-    ignore (Atomic.fetch_and_add h.n 1);
     atomic_add_float h.sum v
   end
 
@@ -104,18 +122,26 @@ let read = function
           ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
             Atomic.get h.bins.(i) ))
     in
-    Histogram { count = Atomic.get h.n; sum = Atomic.get h.sum; buckets }
+    (* Derived, not stored: count always equals the bucket total, even when
+       this read races a [reset]. *)
+    let count = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+    Histogram { count; sum = Atomic.get h.sum; buckets }
 
 let snapshot () =
   Mutex.protect mu (fun () ->
       Hashtbl.fold (fun name m acc -> (name, read m) :: acc) table [])
   |> List.sort compare
 
+(* Strict JSON: no infinity lexeme exists, and the once-used `1e999`
+   workaround is rejected by conforming parsers. Non-finite values render
+   as null, and the histogram's +inf bucket is simply omitted — it is
+   implicit, [count - sum(finite bins)] — the same convention Prometheus
+   uses with its mandatory `_count` series. *)
 let json_float f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
-  else if Float.is_finite f then Printf.sprintf "%.9g" f
-  else "1e999"  (* +inf bucket bound; JSON has no infinity *)
+  else Printf.sprintf "%.9g" f
 
 let to_json () =
   let entry (name, v) =
@@ -127,8 +153,11 @@ let to_json () =
         Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [%s]}" count
           (json_float sum)
           (String.concat ", "
-             (List.map
-                (fun (ub, n) -> Printf.sprintf "[%s, %d]" (json_float ub) n)
+             (List.filter_map
+                (fun (ub, n) ->
+                  if Float.is_finite ub then
+                    Some (Printf.sprintf "[%s, %d]" (json_float ub) n)
+                  else None)
                 buckets))
     in
     Printf.sprintf "\"%s\": %s" name body
@@ -154,6 +183,5 @@ let reset () =
           | G g -> Atomic.set g 0.
           | H h ->
             Array.iter (fun b -> Atomic.set b 0) h.bins;
-            Atomic.set h.sum 0.;
-            Atomic.set h.n 0)
+            Atomic.set h.sum 0.)
         table)

@@ -4,8 +4,10 @@
     Registration ([{!counter}], [{!gauge}], [{!histogram}]) is idempotent by
     name and takes a global mutex; keep the handle (or register under
     [lazy]) rather than re-looking up on a hot path. Updates are lock-free
-    (atomics) and domain-safe, and like the event stream they are gated on
-    {!Obs.enabled}: a disabled-mode update is one atomic load and a branch.
+    (atomics) and domain-safe, and like the event stream they are normally
+    gated on {!Obs.enabled}: a disabled-mode update is one atomic load and a
+    branch. Long-lived servers flip {!set_always_on} so their operational
+    counters move even when tracing is off.
 
     Reads ({!snapshot}, {!to_json}) are meant for end-of-run reporting; they
     see a consistent-enough view once updating domains have quiesced. *)
@@ -38,6 +40,13 @@ val observe : histogram -> float -> unit
 
 val get : counter -> int
 
+val set_always_on : bool -> unit
+(** When [true], updates flow regardless of {!Obs.enabled}. Meant for the
+    serving engine, whose metrics surfaces must stay live in default runs;
+    batch pipelines leave it [false] so disabled-mode updates stay free. *)
+
+val always_on : unit -> bool
+
 (** {2 Reporting} *)
 
 type value =
@@ -45,7 +54,9 @@ type value =
   | Gauge of float
   | Histogram of { count : int; sum : float; buckets : (float * int) list }
       (** [buckets] pairs each upper bound with its cumulative-free bin
-          count; the [+inf] bin is last *)
+          count; the [+inf] bin is last. [count] is derived from the bins at
+          read time, so a snapshot racing {!reset} can never report a
+          non-zero count against all-zero buckets. *)
 
 val snapshot : unit -> (string * value) list
 (** Every registered metric with its current value, sorted by name. *)
@@ -53,8 +64,10 @@ val snapshot : unit -> (string * value) list
 val to_json : unit -> string
 (** The snapshot as one JSON object keyed by metric name: counters as
     integers, gauges as floats, histograms as
-    [{"count":n,"sum":s,"buckets":[[ub,n],...]}]. ["{}"] when nothing is
-    registered. *)
+    [{"count":n,"sum":s,"buckets":[[ub,n],...]}]. Strict JSON: non-finite
+    floats render as [null], and only finite-bound buckets are listed — the
+    [+inf] bin is implicit ([count] minus the listed bins). ["{}"] when
+    nothing is registered. *)
 
 val pp : Format.formatter -> unit -> unit
 (** Human-readable table of the snapshot (the [--stats] view). *)

@@ -1,0 +1,111 @@
+(* Prometheus text-format exposition (format version 0.0.4) over the
+   Metrics registry. Zero dependencies: the format is line-oriented ASCII
+   and the registry snapshot already carries everything a scrape needs.
+
+   Mapping choices:
+   - Registry names use dots ("serve.request_s"); Prometheus names must
+     match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid byte becomes '_' and
+     a leading digit gets a '_' prefix. The original name is preserved in
+     the HELP line so a dashboard author can trace a series back.
+   - Histograms are exported the Prometheus way: cumulative
+     [name_bucket{le="ub"}] series ending at le="+Inf", plus [name_sum]
+     and [name_count]. The registry stores per-bin (non-cumulative)
+     counts; the running total is accumulated here, which also guarantees
+     the +Inf bucket equals _count by construction.
+   - Collisions after sanitization ("a.b" and "a_b") are rendered under
+     one name with distinct HELP lines; Prometheus tolerates this and the
+     registry has no such pairs in practice. *)
+
+let is_valid_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize_name name =
+  let s = String.map (fun c -> if is_valid_char c then c else '_') name in
+  if s = "" then "_"
+  else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s
+  else s
+
+(* Label values escape backslash, double-quote and newline. *)
+let escape_label s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* HELP text escapes backslash and newline only (quotes are legal there). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let render metrics =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (orig, v) ->
+      let name = sanitize_name orig in
+      let help () =
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s sepsat metric %s\n" name
+             (escape_help orig))
+      in
+      match v with
+      | Metrics.Counter n ->
+        help ();
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" name n)
+      | Metrics.Gauge f ->
+        help ();
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" name (number f))
+      | Metrics.Histogram { count; sum; buckets } ->
+        help ();
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        let cum = ref 0 in
+        List.iter
+          (fun (ub, n) ->
+            cum := !cum + n;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+                 (escape_label (number ub))
+                 !cum))
+          buckets;
+        (* The registry's bucket list ends with the +inf bin, so the last
+           cumulative value equals [count]; emit an explicit +Inf series
+           anyway if the list was empty or ended on a finite bound. *)
+        (match List.rev buckets with
+        | (ub, _) :: _ when ub = Float.infinity -> ()
+        | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name count));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n" name (number sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count))
+    metrics;
+  Buffer.contents buf
+
+let content_type = "text/plain; version=0.0.4"
+
+let current () = render (Metrics.snapshot ())

@@ -1,0 +1,31 @@
+(** Prometheus text-format exposition (version 0.0.4) over the {!Metrics}
+    registry — zero dependencies.
+
+    Registry names are sanitized to the Prometheus charset
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*]): invalid bytes become ['_'] and a leading
+    digit gains a ['_'] prefix; the original name is preserved in the
+    [# HELP] line. Histograms are exported as cumulative
+    [name_bucket{le="…"}] series ending at [le="+Inf"] (whose value always
+    equals [name_count]), plus [name_sum] and [name_count]. *)
+
+val current : unit -> string
+(** Render {!Metrics.snapshot} as a complete exposition document. *)
+
+val render : (string * Metrics.value) list -> string
+(** Render an explicit snapshot (for tests and offline reports). *)
+
+val content_type : string
+(** The HTTP [Content-Type] for this format:
+    ["text/plain; version=0.0.4"]. *)
+
+val sanitize_name : string -> string
+
+val escape_label : string -> string
+(** Escape a label {e value}: backslash, double-quote, newline. *)
+
+val escape_help : string -> string
+(** Escape HELP text: backslash and newline. *)
+
+val number : float -> string
+(** Prometheus float rendering: [NaN], [+Inf], [-Inf], integral values
+    without exponent, otherwise shortest round-trippable decimal. *)

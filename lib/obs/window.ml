@@ -1,0 +1,60 @@
+(* Sliding-window quantile estimator: a mutex-protected ring of the last
+   [capacity] observations.
+
+   The serving engine needs *current* latency, not lifetime latency — a
+   histogram accumulated since process start hides a regression that began
+   five minutes ago behind hours of healthy traffic. A count-bounded window
+   is the simplest estimator with that property: quantiles are exact over
+   the window, the memory bound is fixed, and there is no decay parameter
+   to tune. Reads sort a snapshot (O(capacity log capacity)), which is fine
+   for the intended read rate (a stats request or a scrape, not a hot
+   path); writes are O(1) under the mutex. *)
+
+type t = {
+  mu : Mutex.t;
+  data : float array;
+  mutable count : int;  (* total adds; the ring holds the last [capacity] *)
+}
+
+let create ?(capacity = 512) () =
+  { mu = Mutex.create (); data = Array.make (max 1 capacity) 0.; count = 0 }
+
+let capacity t = Array.length t.data
+
+let add t v =
+  Mutex.protect t.mu (fun () ->
+      t.data.(t.count mod Array.length t.data) <- v;
+      t.count <- t.count + 1)
+
+let length t =
+  Mutex.protect t.mu (fun () -> min t.count (Array.length t.data))
+
+let total t = Mutex.protect t.mu (fun () -> t.count)
+
+let clear t = Mutex.protect t.mu (fun () -> t.count <- 0)
+
+(* Window contents, unordered (quantiles do not care about arrival order). *)
+let snapshot t =
+  Mutex.protect t.mu (fun () ->
+      Array.init (min t.count (Array.length t.data)) (fun i -> t.data.(i)))
+
+let quantiles t qs =
+  let a = snapshot t in
+  let n = Array.length a in
+  if n = 0 then List.map (fun _ -> 0.) qs
+  else begin
+    Array.sort Float.compare a;
+    List.map
+      (fun q ->
+        let q = Float.max 0. (Float.min 1. q) in
+        (* linear interpolation between closest ranks *)
+        let pos = q *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor pos) in
+        let hi = int_of_float (Float.ceil pos) in
+        let frac = pos -. Float.floor pos in
+        (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac))
+      qs
+  end
+
+let quantile t q =
+  match quantiles t [ q ] with [ v ] -> v | _ -> assert false

@@ -1,0 +1,38 @@
+(** Sliding-window quantile estimator over the last [capacity]
+    observations.
+
+    Lifetime histograms answer "how has this process behaved since start";
+    operators watching a service need "how is it behaving {e now}". This is
+    the rolling complement: a fixed-size ring of the most recent
+    observations with exact quantiles over that window. Domain-safe (one
+    mutex); adds are O(1), quantile reads sort a snapshot and are meant for
+    stats replies and scrapes, not hot paths. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring size in observations, default 512. Values beyond capacity
+    overwrite the oldest. *)
+
+val capacity : t -> int
+
+val add : t -> float -> unit
+
+val length : t -> int
+(** Observations currently in the window ([min total capacity]). *)
+
+val total : t -> int
+(** Observations ever added (monotone; survives ring wrap-around). *)
+
+val clear : t -> unit
+
+val snapshot : t -> float array
+(** The window's current contents, in no particular order. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [[0,1]] (clamped), linearly interpolated
+    between closest ranks of the sorted window. [0.] on an empty window —
+    callers that must distinguish "no data" check {!length} first. *)
+
+val quantiles : t -> float list -> float list
+(** Like {!quantile} for several ranks over one snapshot (one sort). *)

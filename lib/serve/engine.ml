@@ -7,17 +7,30 @@ module Brute = Sepsat_sep.Brute
 module Deadline = Sepsat_util.Deadline
 module Obs = Sepsat_obs.Obs
 module Metrics = Sepsat_obs.Metrics
+module Log = Sepsat_obs.Log
+module Window = Sepsat_obs.Window
 
 type job = {
   jb_text : string;
   jb_lang : Protocol.lang;
   jb_method : Decide.method_;
   jb_timeout_s : float option;
+  jb_id : string;
+  jb_rid : string;
 }
 
 let job ?(lang = Protocol.Suf) ?(method_ = Decide.Hybrid_default) ?timeout_s
-    text =
-  { jb_text = text; jb_lang = lang; jb_method = method_; jb_timeout_s = timeout_s }
+    ?(id = "") ?rid text =
+  {
+    jb_text = text;
+    jb_lang = lang;
+    jb_method = method_;
+    jb_timeout_s = timeout_s;
+    jb_id = id;
+    (* Client ids are echoes, not identities — they may repeat or be empty,
+       so every job also gets a server-minted correlation id. *)
+    jb_rid = (match rid with Some r -> r | None -> Log.mint "rq");
+  }
 
 type outcome = {
   o_verdict : Protocol.verdict;
@@ -52,6 +65,7 @@ type work = job * (reply -> unit)
 type t = {
   queue : work Bqueue.t;
   cache : entry Cache.t;
+  lat : Window.t;  (* per-request wall times (ms), feeds rolling quantiles *)
   stop : bool Atomic.t;
   backend : backend;
   default_timeout_s : float;
@@ -65,7 +79,8 @@ type t = {
 }
 
 (* Metric handles are registered lazily so a process that never serves pays
-   nothing; updates are no-ops while Obs is disabled. *)
+   nothing. [create] flips [Metrics.set_always_on]: a server's operational
+   counters must move in default runs, not only under --trace. *)
 let m_requests = lazy (Metrics.counter "serve.requests")
 let m_shed = lazy (Metrics.counter "serve.shed")
 let m_errors = lazy (Metrics.counter "serve.errors")
@@ -105,12 +120,29 @@ let parse_job jb =
 
 let process t (jb : job) : reply =
   let t0 = Deadline.wall_now () in
+  (* Every log line emitted anywhere below — including deep inside the
+     pipeline — carries the request's correlation id, so one grep on the
+     rid reconstructs the request's full path. *)
+  Log.with_fields [ ("rid", Log.S jb.jb_rid); ("id", Log.S jb.jb_id) ]
+  @@ fun () ->
   Obs.span ~cat:"serve" "serve.request" (fun () ->
       Metrics.incr (Lazy.force m_requests);
+      Log.event "serve.request"
+        [
+          ("lang", Log.S (Protocol.lang_to_string jb.jb_lang));
+          ("method", Log.S (Protocol.method_to_wire jb.jb_method));
+          ( "timeout_s",
+            Log.F (Option.value jb.jb_timeout_s ~default:t.default_timeout_s)
+          );
+        ];
       match Obs.span ~cat:"serve" "serve.parse" (fun () -> parse_job jb) with
       | Error msg ->
         Atomic.incr t.errors;
         Metrics.incr (Lazy.force m_errors);
+        let time_ms = (Deadline.wall_now () -. t0) *. 1000. in
+        Window.add t.lat time_ms;
+        Log.event "serve.error"
+          [ ("reason", Log.S msg); ("time_ms", Log.F time_ms) ];
         Error msg
       | Ok (ctx, formula) ->
         let digest = Ast.digest formula in
@@ -130,9 +162,13 @@ let process t (jb : job) : reply =
             with
             | v -> v
             | exception Deadline.Timeout ->
-              Verdict.Unknown
-                (if Deadline.interrupted deadline then "cancelled"
-                 else "timeout")
+              let why =
+                if Deadline.interrupted deadline then "cancelled"
+                else "timeout"
+              in
+              Log.event "serve.deadline"
+                [ ("reason", Log.S why); ("budget_s", Log.F timeout) ];
+              Verdict.Unknown why
           in
           let solve_ms = (Deadline.wall_now () -. ts) *. 1000. in
           let entry =
@@ -164,6 +200,19 @@ let process t (jb : job) : reply =
         in
         let time_ms = (Deadline.wall_now () -. t0) *. 1000. in
         Metrics.observe (Lazy.force m_request_s) (time_ms /. 1000.);
+        Window.add t.lat time_ms;
+        Log.event "serve.reply"
+          ([
+             ("verdict", Log.S (Protocol.verdict_to_string entry.e_verdict));
+             ("origin", Log.S (Protocol.origin_to_string o_origin));
+             ("digest", Log.S digest);
+             ("solve_ms", Log.F entry.e_solve_ms);
+             ("time_ms", Log.F time_ms);
+           ]
+          @
+          match entry.e_verdict with
+          | Protocol.Unknown why -> [ ("reason", Log.S why) ]
+          | Protocol.Valid | Protocol.Invalid -> []);
         Ok
           {
             o_verdict = entry.e_verdict;
@@ -201,10 +250,14 @@ let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 1024)
     | Some n -> max 1 n
     | None -> max 1 (min 8 (Domain.recommended_domain_count () - 1))
   in
+  (* A serving process reports live metrics whether or not tracing is on;
+     see the note on the metric handles above. *)
+  Metrics.set_always_on true;
   let t =
     {
       queue = Bqueue.create ~capacity:queue_capacity;
       cache = Cache.create ~shards:cache_shards ~capacity:cache_capacity ();
+      lat = Window.create ();
       stop = Atomic.make false;
       backend;
       default_timeout_s;
@@ -230,6 +283,10 @@ let submit t jb cb =
     Atomic.incr t.shed;
     Metrics.incr (Lazy.force m_shed);
     Obs.instant ~cat:"serve" "serve.shed";
+    (* Shed jobs never reach [process], so the correlation fields must be
+       explicit here. *)
+    Log.event "serve.shed"
+      [ ("rid", Log.S jb.jb_rid); ("id", Log.S jb.jb_id) ];
     false
   end
 
@@ -249,7 +306,9 @@ let solve ?(block = false) t jb =
       if ok then Atomic.incr t.submitted
       else begin
         Atomic.incr t.shed;
-        Metrics.incr (Lazy.force m_shed)
+        Metrics.incr (Lazy.force m_shed);
+        Log.event "serve.shed"
+          [ ("rid", Log.S jb.jb_rid); ("id", Log.S jb.jb_id) ]
       end;
       ok
     end
@@ -278,9 +337,17 @@ type stats = {
   st_errors : int;
   st_queue_depth : int;
   st_cache : Cache.stats;
+  st_lat_count : int;
+  st_p50_ms : float;
+  st_p90_ms : float;
+  st_p99_ms : float;
 }
 
 let stats t =
+  let quantiles = Window.quantiles t.lat [ 0.5; 0.9; 0.99 ] in
+  let p50, p90, p99 =
+    match quantiles with [ a; b; c ] -> (a, b, c) | _ -> (0., 0., 0.)
+  in
   {
     st_workers = t.n_workers;
     st_submitted = Atomic.get t.submitted;
@@ -289,6 +356,10 @@ let stats t =
     st_errors = Atomic.get t.errors;
     st_queue_depth = Bqueue.length t.queue;
     st_cache = Cache.stats t.cache;
+    st_lat_count = Window.length t.lat;
+    st_p50_ms = p50;
+    st_p90_ms = p90;
+    st_p99_ms = p99;
   }
 
 let stats_json t =
@@ -302,6 +373,14 @@ let stats_json t =
       ("shed", Json.Num (float_of_int s.st_shed));
       ("errors", Json.Num (float_of_int s.st_errors));
       ("queue_depth", Json.Num (float_of_int s.st_queue_depth));
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("count", Json.Num (float_of_int s.st_lat_count));
+            ("p50", Json.Num s.st_p50_ms);
+            ("p90", Json.Num s.st_p90_ms);
+            ("p99", Json.Num s.st_p99_ms);
+          ] );
       ( "cache",
         Json.Obj
           [

@@ -22,8 +22,14 @@
     Observability: spans [serve.request]/[serve.solve], counters
     [serve.requests], [serve.shed], [serve.errors],
     [serve.cache.{hits,misses,joins}], gauge [serve.queue_depth], histogram
-    [serve.request_s] — all gated on {!Sepsat_obs.Obs.enabled} like the rest
-    of the pipeline's instrumentation. *)
+    [serve.request_s]. Unlike the batch pipeline's instrumentation these
+    are {e always on}: {!create} flips {!Sepsat_obs.Metrics.set_always_on}
+    so the metrics and stats surfaces stay live in default runs. Each job
+    also carries a server-minted correlation id ([rq-N]); when
+    {!Sepsat_obs.Log} is enabled, every request emits [serve.request],
+    [serve.shed], [serve.deadline], [serve.error] and [serve.reply] JSON
+    lines tagged with that id, and a rolling window of request wall times
+    feeds the p50/p90/p99 figures in {!stats}. *)
 
 module Decide = Sepsat.Decide
 
@@ -32,10 +38,22 @@ type job = {
   jb_lang : Protocol.lang;
   jb_method : Decide.method_;
   jb_timeout_s : float option;  (** [None]: the engine's default budget *)
+  jb_id : string;  (** client-chosen id, echoed on the reply; may repeat *)
+  jb_rid : string;
+      (** server-minted correlation id, unique per job — the key that ties
+          this request's log lines together *)
 }
 
-val job : ?lang:Protocol.lang -> ?method_:Decide.method_ -> ?timeout_s:float -> string -> job
-(** Defaults: SUF text, [Hybrid_default], engine default budget. *)
+val job :
+  ?lang:Protocol.lang ->
+  ?method_:Decide.method_ ->
+  ?timeout_s:float ->
+  ?id:string ->
+  ?rid:string ->
+  string ->
+  job
+(** Defaults: SUF text, [Hybrid_default], engine default budget, empty
+    client id, freshly minted correlation id. *)
 
 type outcome = {
   o_verdict : Protocol.verdict;
@@ -102,6 +120,11 @@ type stats = {
   st_errors : int;  (** front-end (parse) failures *)
   st_queue_depth : int;
   st_cache : Cache.stats;
+  st_lat_count : int;
+      (** requests in the rolling latency window (most recent 512) *)
+  st_p50_ms : float;  (** rolling request-latency quantiles; [0.] if empty *)
+  st_p90_ms : float;
+  st_p99_ms : float;
 }
 
 val stats : t -> stats

@@ -22,6 +22,7 @@ type request =
   | Solve of solve_req
   | Ping of string
   | Stats_req of string
+  | Metrics_req of string
   | Shutdown of string
 
 (* pp_method prints "HYBRID(700)"; the wire uses the method_of_string
@@ -43,6 +44,7 @@ let request_of_line line =
     match Option.value (Json.mem_str "op" j) ~default:"solve" with
     | "ping" -> Ok (Ping id)
     | "stats" -> Ok (Stats_req id)
+    | "metrics" -> Ok (Metrics_req id)
     | "shutdown" -> Ok (Shutdown id)
     | "solve" -> (
       match Json.mem_str "formula" j with
@@ -73,6 +75,8 @@ let request_to_line = function
   | Ping id -> Json.to_string (Obj [ ("op", Str "ping"); ("id", Str id) ])
   | Stats_req id ->
     Json.to_string (Obj [ ("op", Str "stats"); ("id", Str id) ])
+  | Metrics_req id ->
+    Json.to_string (Obj [ ("op", Str "metrics"); ("id", Str id) ])
   | Shutdown id ->
     Json.to_string (Obj [ ("op", Str "shutdown"); ("id", Str id) ])
   | Solve r ->
@@ -135,6 +139,7 @@ type reply =
   | Error of string * string
   | Pong of string
   | Stats of string * Json.t
+  | Metrics of string * string
   | Bye of string
 
 let reply_to_line = function
@@ -147,6 +152,17 @@ let reply_to_line = function
   | Stats (id, j) ->
     Json.to_string
       (Obj [ ("id", Str id); ("status", Str "stats"); ("stats", j) ])
+  | Metrics (id, body) ->
+    (* The exposition document travels as one JSON string; line breaks
+       survive as \n escapes, so the reply is still one protocol line. *)
+    Json.to_string
+      (Obj
+         [
+           ("id", Str id);
+           ("status", Str "metrics");
+           ("content_type", Str Sepsat_obs.Prom.content_type);
+           ("prometheus", Str body);
+         ])
   | Ok_solve s ->
     let fields =
       [
@@ -184,6 +200,9 @@ let reply_of_line line =
         (Error (id, Option.value (Json.mem_str "reason" j) ~default:"unknown"))
     | Some "stats" ->
       Ok (Stats (id, Option.value (Json.member "stats" j) ~default:Json.Null))
+    | Some "metrics" ->
+      Ok
+        (Metrics (id, Option.value (Json.mem_str "prometheus" j) ~default:""))
     | Some "ok" -> (
       let verdict =
         match Json.mem_str "verdict" j with
@@ -222,4 +241,10 @@ let reply_of_line line =
 
 let reply_id = function
   | Ok_solve s -> s.sv_id
-  | Busy id | Error (id, _) | Pong id | Stats (id, _) | Bye id -> id
+  | Busy id
+  | Error (id, _)
+  | Pong id
+  | Stats (id, _)
+  | Metrics (id, _)
+  | Bye id ->
+    id

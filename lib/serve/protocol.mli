@@ -41,6 +41,9 @@ type request =
   | Solve of solve_req
   | Ping of string  (** payload: id *)
   | Stats_req of string
+  | Metrics_req of string
+      (** ["op":"metrics"] — a Prometheus exposition snapshot over the
+          protocol (the HTTP listener serves the same document) *)
   | Shutdown of string
 
 val method_to_wire : Sepsat.Decide.method_ -> string
@@ -93,6 +96,10 @@ type reply =
   | Error of string * string  (** id, reason *)
   | Pong of string
   | Stats of string * Json.t
+  | Metrics of string * string
+      (** id, Prometheus text-format document. On the wire the document is
+          one JSON string field ["prometheus"] (newlines escaped), next to
+          a ["content_type"] field. *)
   | Bye of string  (** shutdown acknowledged *)
 
 val reply_to_line : reply -> string

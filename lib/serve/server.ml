@@ -1,4 +1,5 @@
 module Obs = Sepsat_obs.Obs
+module Prom = Sepsat_obs.Prom
 
 let with_lock mu f =
   Mutex.lock mu;
@@ -40,12 +41,9 @@ let serve_channels eng ic oc =
     with Sys_error _ -> ()
   in
   let job_of (rq : Protocol.solve_req) =
-    {
-      Engine.jb_text = rq.Protocol.sq_text;
-      jb_lang = rq.Protocol.sq_lang;
-      jb_method = rq.Protocol.sq_method;
-      jb_timeout_s = rq.Protocol.sq_timeout_s;
-    }
+    Engine.job ~lang:rq.Protocol.sq_lang ~method_:rq.Protocol.sq_method
+      ?timeout_s:rq.Protocol.sq_timeout_s ~id:rq.Protocol.sq_id
+      rq.Protocol.sq_text
   in
   let rec loop () =
     match input_line ic with
@@ -63,6 +61,9 @@ let serve_channels eng ic oc =
           loop ()
         | Ok (Protocol.Stats_req id) ->
           send (Protocol.Stats (id, Engine.stats_json eng));
+          loop ()
+        | Ok (Protocol.Metrics_req id) ->
+          send (Protocol.Metrics (id, Prom.current ()));
           loop ()
         | Ok (Protocol.Shutdown id) ->
           send (Protocol.Bye id);
@@ -93,7 +94,72 @@ let serve_channels eng ic oc =
       done);
   res
 
-let serve_unix eng ~path =
+(* -- Metrics scrape listener ----------------------------------------------- *)
+
+(* A minimal HTTP/1.0 responder so a stock Prometheus (or curl
+   --unix-socket) can scrape without speaking the JSON-lines protocol.
+   Scrapes are rare, tiny and read-only, so connections are handled
+   serially on the listener thread — no per-connection threads, no
+   keep-alive, close after one response. *)
+let http_respond oc status content_type body =
+  Printf.fprintf oc
+    "HTTP/1.0 %s\r\n\
+     Content-Type: %s; charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status content_type (String.length body) body;
+  flush oc
+
+let handle_scrape cfd =
+  let ic = Unix.in_channel_of_descr cfd in
+  let oc = Unix.out_channel_of_descr cfd in
+  (try
+     let request_line = input_line ic in
+     (* Drain headers to the blank line; we need none of them. *)
+     (try
+        while String.trim (input_line ic) <> "" do
+          ()
+        done
+      with End_of_file -> ());
+     match String.split_on_char ' ' (String.trim request_line) with
+     | "GET" :: target :: _ when target = "/metrics" || target = "/" ->
+       http_respond oc "200 OK" Prom.content_type (Prom.current ())
+     | _ -> http_respond oc "404 Not Found" "text/plain" "not found\n"
+   with End_of_file | Sys_error _ -> ());
+  try Unix.close cfd with Unix.Unix_error _ -> ()
+
+let serve_metrics ~path ~stop =
+  (try Sys.remove path with Sys_error _ -> ());
+  (* Bind before spawning: when this returns, the socket exists and a
+     scraper may connect immediately. *)
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 16;
+  Obs.log Obs.Info "serve: metrics on %s" path;
+  Thread.create
+    (fun () ->
+      let rec loop () =
+        if not (Atomic.get stop) then begin
+          (match Unix.select [ listen_fd ] [] [] 0.25 with
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+            match Unix.accept listen_fd with
+            | exception
+                Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+              ()
+            | cfd, _ -> ( try handle_scrape cfd with _ -> ()))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          loop ()
+        end
+      in
+      loop ();
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    ()
+
+let serve_unix ?metrics_path eng ~path =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   (try Sys.remove path with Sys_error _ -> ());
@@ -101,6 +167,9 @@ let serve_unix eng ~path =
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
   Unix.listen listen_fd 64;
   let stopping = Atomic.make false in
+  let metrics_th =
+    Option.map (fun p -> serve_metrics ~path:p ~stop:stopping) metrics_path
+  in
   let conns_mu = Mutex.create () in
   let conns = ref [] in
   let handle cfd =
@@ -137,4 +206,5 @@ let serve_unix eng ~path =
   accept_loop ();
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   List.iter Thread.join (with_lock conns_mu (fun () -> !conns));
+  Option.iter Thread.join metrics_th;
   try Sys.remove path with Sys_error _ -> ()

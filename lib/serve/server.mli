@@ -18,11 +18,20 @@ val serve_channels :
     complete when this returns. Blank lines are ignored; malformed lines
     get an [error] reply with an empty id. *)
 
-val serve_unix : Engine.t -> path:string -> unit
+val serve_unix : ?metrics_path:string -> Engine.t -> path:string -> unit
 (** Listen on a Unix-domain socket, one system thread per connection (the
     heavy lifting happens on the engine's worker domains; connection
     threads only shuttle lines). An existing socket file at [path] is
     replaced. Returns after a [shutdown] request once every accepted
     connection has drained, and removes the socket file. SIGPIPE is
     ignored; a client that disconnects mid-reply only loses its own
-    connection. *)
+    connection. With [metrics_path] a second socket serves plaintext
+    [GET /metrics] (see {!serve_metrics}) until the same shutdown. *)
+
+val serve_metrics : path:string -> stop:bool Atomic.t -> Thread.t
+(** Serve Prometheus scrapes ([GET /metrics], HTTP/1.0, one response per
+    connection) on a Unix-domain socket, e.g. for
+    [curl --unix-socket PATH http://localhost/metrics]. The socket is bound
+    before this returns, so a scraper may connect immediately. The returned
+    thread polls [stop] (4 Hz) and on stop closes the listener and removes
+    the socket file; join it after raising the flag. *)

@@ -65,6 +65,11 @@ let stats t =
   | Protocol.Stats (_, j) -> Some j
   | _ -> None
 
+let metrics t =
+  match rpc t (Protocol.Metrics_req "metrics") with
+  | Protocol.Metrics (_, body) -> Some body
+  | _ -> None
+
 let shutdown t = ignore (rpc t (Protocol.Shutdown ""))
 
 let close t =

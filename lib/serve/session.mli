@@ -43,6 +43,10 @@ val ping : t -> bool
 val stats : t -> Json.t option
 (** [None] when the server answered anything but a [stats] reply. *)
 
+val metrics : t -> string option
+(** The server's Prometheus exposition document, via the protocol's
+    [metrics] op. [None] on any other reply. *)
+
 val shutdown : t -> unit
 (** Ask the server to stop; waits for the [bye]. *)
 

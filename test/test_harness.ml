@@ -128,6 +128,163 @@ let test_runner_timeout_penalty () =
   Alcotest.(check (float 1e-9)) "normalized" 60.
     (Runner.normalized_time ~deadline_s:30. row)
 
+(* ------------------------------------------------------------------ *)
+(* Perf-regression baselines                                           *)
+
+module Baseline = Sepsat_harness.Baseline
+
+let fake_row ?(method_ = Decide.Sd) ?(phases = [ ("elim", 0.1); ("sat", 0.2) ])
+    bench wall =
+  {
+    Runner.bench;
+    family = "f";
+    invariant_checking = false;
+    method_;
+    size = 10;
+    sep_cnt = 1;
+    verdict = Verdict.Valid;
+    outcome = Runner.Completed;
+    total_time = wall;
+    wall_time = wall;
+    translate_time = 0.;
+    sat_time = 0.;
+    cnf_clauses = 0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    trans_constraints = 0;
+    winner = None;
+    phase_times = phases;
+    alloc_words = 0.;
+    major_words = 0.;
+    heap_words = 0;
+  }
+
+let entry ?(method_ = "sd") ?(phases = []) bench wall =
+  {
+    Baseline.e_bench = bench;
+    e_method = method_;
+    e_wall_s = wall;
+    e_runs = 1;
+    e_phases = phases;
+  }
+
+let test_baseline_of_rows () =
+  let rows =
+    [
+      fake_row "a" 2.0 ~phases:[ ("sat", 1.9) ];
+      fake_row "a" 1.0 ~phases:[ ("sat", 0.9) ];
+      fake_row "a" 3.0 ~phases:[ ("sat", 2.9) ];
+      fake_row "b" 0.5;
+      fake_row "a" ~method_:Decide.Eij 4.0;
+    ]
+  in
+  match Baseline.of_rows rows with
+  | [ a_sd; b; a_eij ] ->
+    Alcotest.(check string) "first-seen order" "a" a_sd.Baseline.e_bench;
+    Alcotest.(check (float 1e-9)) "min-of-k wall" 1.0 a_sd.Baseline.e_wall_s;
+    Alcotest.(check int) "runs aggregated" 3 a_sd.Baseline.e_runs;
+    Alcotest.(check (float 1e-9)) "phases follow the fastest run" 0.9
+      (List.assoc "sat" a_sd.Baseline.e_phases);
+    Alcotest.(check string) "second bench" "b" b.Baseline.e_bench;
+    Alcotest.(check bool) "methods kept apart" true
+      (a_eij.Baseline.e_method <> a_sd.Baseline.e_method)
+  | es -> Alcotest.failf "expected 3 entries, got %d" (List.length es)
+
+let test_baseline_roundtrip () =
+  let entries = Baseline.of_rows [ fake_row "a" 1.5; fake_row "b" 0.25 ] in
+  let path = Filename.temp_file "baseline" ".json" in
+  Baseline.write path entries;
+  let back =
+    match Baseline.read path with
+    | Ok es -> es
+    | Error e -> Alcotest.failf "read: %s" e
+  in
+  Sys.remove path;
+  Alcotest.(check int) "entry count" (List.length entries) (List.length back);
+  List.iter2
+    (fun (a : Baseline.entry) (b : Baseline.entry) ->
+      Alcotest.(check string) "bench" a.Baseline.e_bench b.Baseline.e_bench;
+      Alcotest.(check string) "method" a.Baseline.e_method b.Baseline.e_method;
+      Alcotest.(check (float 1e-9)) "wall" a.Baseline.e_wall_s b.Baseline.e_wall_s;
+      Alcotest.(check (float 1e-9)) "phase"
+        (List.assoc "sat" a.Baseline.e_phases)
+        (List.assoc "sat" b.Baseline.e_phases))
+    entries back
+
+let test_baseline_compare () =
+  let base =
+    [
+      entry "a" 1.0; entry "b" 1.0; entry "c" 1.0; entry "d" 1.0;
+      entry "gone" 1.0;
+    ]
+  in
+  (* identical run: no regressions, drift 1 *)
+  let same = [ entry "a" 1.0; entry "b" 1.0; entry "c" 1.0; entry "d" 1.0 ] in
+  let c = Baseline.compare_ ~baseline:base same in
+  Alcotest.(check bool) "identical is clean" false (Baseline.regressed c);
+  Alcotest.(check (float 1e-9)) "no drift" 1.0 c.Baseline.c_drift;
+  Alcotest.(check int) "missing reported" 1
+    (List.length c.Baseline.c_missing);
+  (* a uniformly 3x slower machine is drift, not regression *)
+  let slow = [ entry "a" 3.0; entry "b" 3.0; entry "c" 3.0; entry "d" 3.0 ] in
+  let c = Baseline.compare_ ~baseline:base slow in
+  Alcotest.(check (float 1e-9)) "drift absorbed" 3.0 c.Baseline.c_drift;
+  Alcotest.(check bool) "uniform slowdown is clean" false
+    (Baseline.regressed c);
+  (* one benchmark leaving the pack is exactly what gets flagged *)
+  let spike =
+    [ entry "a" 1.0; entry "b" 1.0; entry "c" 1.0;
+      entry "d" 2.0 ~phases:[ ("sat", 1.9) ] ]
+  in
+  let base_p =
+    [ entry "a" 1.0; entry "b" 1.0; entry "c" 1.0;
+      entry "d" 1.0 ~phases:[ ("sat", 0.9) ] ]
+  in
+  let c = Baseline.compare_ ~baseline:base_p spike in
+  Alcotest.(check bool) "spike regresses" true (Baseline.regressed c);
+  (match c.Baseline.c_regressions with
+  | [ d ] ->
+    Alcotest.(check string) "the right bench" "d" d.Baseline.d_bench;
+    (match d.Baseline.d_worst_phase with
+    | Some (name, _) -> Alcotest.(check string) "attributed" "sat" name
+    | None -> Alcotest.fail "no phase attribution")
+  | ds -> Alcotest.failf "expected 1 regression, got %d" (List.length ds));
+  (* below the absolute floor nothing fires, however large the ratio *)
+  let tiny_base = [ entry "a" 0.001; entry "b" 0.001 ] in
+  let tiny_cur = [ entry "a" 0.010; entry "b" 0.001 ] in
+  let c = Baseline.compare_ ~baseline:tiny_base tiny_cur in
+  Alcotest.(check bool) "absolute floor holds" false (Baseline.regressed c);
+  (* new benchmarks are reported, never flagged *)
+  let c =
+    Baseline.compare_ ~baseline:[ entry "a" 1.0 ]
+      [ entry "a" 1.0; entry "fresh" 9.0 ]
+  in
+  Alcotest.(check int) "new reported" 1 (List.length c.Baseline.c_new);
+  Alcotest.(check bool) "new never regresses" false (Baseline.regressed c)
+
+let test_baseline_reads_report () =
+  (* a schema-2 report written by Runner.write_json reads back as a
+     baseline, aggregating repeated runs by min *)
+  let rows =
+    [ fake_row "a" 2.0; fake_row "a" 1.0; fake_row "b" 0.5 ]
+  in
+  let path = Filename.temp_file "report" ".json" in
+  Runner.write_json path rows;
+  let back =
+    match Baseline.read path with
+    | Ok es -> es
+    | Error e -> Alcotest.failf "read: %s" e
+  in
+  Sys.remove path;
+  match back with
+  | [ a; b ] ->
+    Alcotest.(check string) "bench a" "a" a.Baseline.e_bench;
+    Alcotest.(check (float 1e-6)) "report min" 1.0 a.Baseline.e_wall_s;
+    Alcotest.(check int) "report runs" 2 a.Baseline.e_runs;
+    Alcotest.(check string) "bench b" "b" b.Baseline.e_bench
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es)
+
 let test_ascii_plot () =
   let series =
     [
@@ -166,6 +323,17 @@ let () =
         [
           Alcotest.test_case "run benchmark" `Quick test_runner;
           Alcotest.test_case "timeout penalty" `Quick test_runner_timeout_penalty;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "of_rows aggregates by min" `Quick
+            test_baseline_of_rows;
+          Alcotest.test_case "write/read roundtrip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "drift-adjusted compare" `Quick
+            test_baseline_compare;
+          Alcotest.test_case "reads schema-2 reports" `Quick
+            test_baseline_reads_report;
         ] );
       ( "ascii_plot",
         [

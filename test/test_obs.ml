@@ -7,6 +7,9 @@ module Obs = Sepsat_obs.Obs
 module Metrics = Sepsat_obs.Metrics
 module Progress = Sepsat_obs.Progress
 module Chrome_trace = Sepsat_obs.Chrome_trace
+module Prom = Sepsat_obs.Prom
+module Window = Sepsat_obs.Window
+module Log = Sepsat_obs.Log
 
 let fresh ?capacity () =
   Obs.disable ();
@@ -448,6 +451,310 @@ let test_metrics_json () =
   Alcotest.(check string) "empty registry after reset keeps shape" "{"
     (String.sub (Metrics.to_json ()) 0 1)
 
+let test_metrics_json_strict () =
+  fresh ();
+  let h = Metrics.histogram "strict.h" in
+  Metrics.observe h 1e-6;
+  Metrics.observe h 1e9;  (* lands in the +inf bin *)
+  let text = Metrics.to_json () in
+  (* The old non-finite encoding must be gone entirely... *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no 1e999 lexeme" false (contains text "1e999");
+  (* ...and a strict parser must accept the document with finite bounds
+     only; the +inf bin is implicit (count - listed bins). *)
+  let j = Json.parse text in
+  (match Json.member "strict.h" j with
+  | Json.Obj _ as hj ->
+    let count = int_of_float (Json.num (Json.member "count" hj)) in
+    Alcotest.(check int) "count sees both" 2 count;
+    (match Json.member "buckets" hj with
+    | Json.Arr pairs ->
+      let listed =
+        List.map
+          (function
+            | Json.Arr [ ub; n ] -> (Json.num ub, int_of_float (Json.num n))
+            | _ -> Alcotest.fail "bucket pair shape")
+          pairs
+      in
+      List.iter
+        (fun (ub, _) ->
+          Alcotest.(check bool) "finite bound" true (Float.is_finite ub))
+        listed;
+      let binned = List.fold_left (fun acc (_, n) -> acc + n) 0 listed in
+      Alcotest.(check int) "implicit +inf bin = count - listed" 1
+        (count - binned)
+    | _ -> Alcotest.fail "buckets shape")
+  | _ -> Alcotest.fail "histogram shape")
+
+let test_metrics_always_on () =
+  Obs.disable ();
+  Obs.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_always_on false)
+    (fun () ->
+      let c = Metrics.counter "ao.count" in
+      let h = Metrics.histogram "ao.hist" in
+      Metrics.incr c;
+      Alcotest.(check int) "gated while obs off" 0 (Metrics.get c);
+      Metrics.set_always_on true;
+      Alcotest.(check bool) "flag readable" true (Metrics.always_on ());
+      Metrics.incr c;
+      Metrics.observe h 0.5;
+      Alcotest.(check int) "counter moves with obs off" 1 (Metrics.get c);
+      match List.assoc "ao.hist" (Metrics.snapshot ()) with
+      | Metrics.Histogram { count; _ } ->
+        Alcotest.(check int) "histogram moves with obs off" 1 count
+      | _ -> Alcotest.fail "hist kind")
+
+(* A reader racing [reset] against concurrent [observe]s must never see a
+   snapshot claiming observations it cannot locate in the buckets: the
+   count is derived from the bins, so count = sum(bins) by construction. *)
+let test_metrics_reset_observe_race () =
+  fresh ();
+  let h = Metrics.histogram "race.h" in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Metrics.observe h 0.01
+        done)
+  in
+  for _ = 1 to 200 do
+    Metrics.reset ();
+    match List.assoc "race.h" (Metrics.snapshot ()) with
+    | Metrics.Histogram { count; buckets; _ } ->
+      let binned = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+      Alcotest.(check int) "count = sum of bins" binned count;
+      if count > 0 then
+        Alcotest.(check bool) "count > 0 implies a non-zero bucket" true
+          (List.exists (fun (_, n) -> n > 0) buckets)
+    | _ -> Alcotest.fail "hist kind"
+  done;
+  Atomic.set stop true;
+  Domain.join writer
+
+(* -- Prometheus exposition ------------------------------------------------- *)
+
+let test_prom_sanitize () =
+  Alcotest.(check string) "dots" "serve_request_s"
+    (Prom.sanitize_name "serve.request_s");
+  Alcotest.(check string) "digit first" "_0abc" (Prom.sanitize_name "0abc");
+  Alcotest.(check string) "empty" "_" (Prom.sanitize_name "");
+  Alcotest.(check string) "colon kept" "a:b" (Prom.sanitize_name "a:b");
+  Alcotest.(check string) "label escapes" "a\\\\b\\\"c\\nd"
+    (Prom.escape_label "a\\b\"c\nd");
+  Alcotest.(check string) "help escapes quotes unchanged" "a\\\\b\"c\\nd"
+    (Prom.escape_help "a\\b\"c\nd");
+  Alcotest.(check string) "inf" "+Inf" (Prom.number infinity);
+  Alcotest.(check string) "neg inf" "-Inf" (Prom.number neg_infinity);
+  Alcotest.(check string) "NaN" "NaN" (Prom.number nan);
+  Alcotest.(check string) "integral" "42" (Prom.number 42.)
+
+(* Parse an exposition document into (comment lines, sample lines). *)
+let prom_samples text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map (fun l ->
+         match String.rindex_opt l ' ' with
+         | Some i ->
+           ( String.sub l 0 i,
+             float_of_string (String.sub l (i + 1) (String.length l - i - 1))
+           )
+         | None -> Alcotest.fail ("unparsable sample line: " ^ l))
+
+let test_prom_render_conformance () =
+  fresh ();
+  Metrics.add (Metrics.counter "serve.requests") 7;
+  Metrics.set (Metrics.gauge "serve.queue_depth") 3.;
+  let h = Metrics.histogram "serve.request_s" in
+  Metrics.observe h 1e-6;
+  Metrics.observe h 0.5;
+  Metrics.observe h 1e12;
+  let text = Prom.current () in
+  let samples = prom_samples text in
+  let find name =
+    match List.assoc_opt name samples with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing sample " ^ name)
+  in
+  Alcotest.(check (float 1e-9)) "counter value" 7. (find "serve_requests");
+  Alcotest.(check (float 1e-9)) "gauge value" 3. (find "serve_queue_depth");
+  Alcotest.(check (float 1e-9)) "histogram count" 3.
+    (find "serve_request_s_count");
+  Alcotest.(check bool) "histogram sum" true
+    (find "serve_request_s_sum" > 0.5);
+  (* TYPE lines name the sanitized metric with the right kind. *)
+  let has_line l = List.mem l (String.split_on_char '\n' text) in
+  Alcotest.(check bool) "counter TYPE" true
+    (has_line "# TYPE serve_requests counter");
+  Alcotest.(check bool) "gauge TYPE" true
+    (has_line "# TYPE serve_queue_depth gauge");
+  Alcotest.(check bool) "histogram TYPE" true
+    (has_line "# TYPE serve_request_s histogram");
+  (* Buckets: cumulative, monotone, ending at le="+Inf" = _count. *)
+  let buckets =
+    List.filter
+      (fun (name, _) ->
+        String.length name > 24
+        && String.sub name 0 24 = "serve_request_s_bucket{l")
+      samples
+  in
+  Alcotest.(check bool) "has buckets" true (buckets <> []);
+  let values = List.map snd buckets in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative buckets are monotone" true
+    (monotone values);
+  Alcotest.(check (float 1e-9)) "+Inf bucket equals count" 3.
+    (find "serve_request_s_bucket{le=\"+Inf\"}")
+
+let test_prom_escaped_help () =
+  let text =
+    Prom.render [ ("weird\nname", Metrics.Counter 1) ]
+  in
+  (* The original name survives, escaped, in HELP; the sample line uses the
+     sanitized name. *)
+  Alcotest.(check bool) "escaped HELP" true
+    (List.mem "# HELP weird_name sepsat metric weird\\nname"
+       (String.split_on_char '\n' text));
+  Alcotest.(check (float 1e-9)) "sample" 1.
+    (List.assoc "weird_name" (prom_samples text))
+
+(* -- Rolling window quantiles ---------------------------------------------- *)
+
+let test_window_basic () =
+  let w = Window.create ~capacity:4 () in
+  Alcotest.(check int) "empty length" 0 (Window.length w);
+  Alcotest.(check (float 1e-9)) "empty quantile" 0. (Window.quantile w 0.5);
+  List.iter (Window.add w) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check (float 1e-9)) "p0 = min" 1. (Window.quantile w 0.);
+  Alcotest.(check (float 1e-9)) "p100 = max" 4. (Window.quantile w 1.);
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 2.5 (Window.quantile w 0.5);
+  (* Ring wrap: the window slides to the newest [capacity] values. *)
+  List.iter (Window.add w) [ 10.; 20.; 30.; 40. ];
+  Alcotest.(check int) "length capped" 4 (Window.length w);
+  Alcotest.(check int) "total keeps counting" 8 (Window.total w);
+  Alcotest.(check (float 1e-9)) "old values evicted" 10.
+    (Window.quantile w 0.);
+  Window.clear w;
+  Alcotest.(check int) "clear empties" 0 (Window.length w)
+
+let prop_window_quantiles =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 1 64)
+        (list_size (int_range 1 200) (float_bound_inclusive 1000.)))
+  in
+  QCheck2.Test.make ~name:"window quantiles bounded and ordered" ~count:100
+    gen (fun (capacity, values) ->
+      let w = Window.create ~capacity () in
+      List.iter (Window.add w) values;
+      let contents = Array.to_list (Window.snapshot w) in
+      let lo = List.fold_left min infinity contents in
+      let hi = List.fold_left max neg_infinity contents in
+      match Window.quantiles w [ 0.5; 0.9; 0.99 ] with
+      | [ p50; p90; p99 ] ->
+        lo <= p50 && p50 <= p90 && p90 <= p99 && p99 <= hi
+      | _ -> false)
+
+(* -- Structured logging ---------------------------------------------------- *)
+
+(* Capture sink + cleanup; Log state is process-global like Obs. *)
+let with_log_capture f =
+  let lines = ref [] in
+  Log.enable ~sink:(fun l -> lines := l :: !lines) ();
+  Fun.protect ~finally:Log.disable (fun () -> f lines)
+
+let test_log_event_shape () =
+  with_log_capture (fun lines ->
+      Log.event "unit.test"
+        [ ("s", Log.S "a\"b"); ("i", Log.I 42); ("f", Log.F 1.5);
+          ("b", Log.B true); ("nf", Log.F infinity) ];
+      match !lines with
+      | [ line ] ->
+        let j = Json.parse line in
+        Alcotest.(check string) "event" "unit.test"
+          (Json.str (Json.member "event" j));
+        Alcotest.(check string) "level" "info"
+          (Json.str (Json.member "level" j));
+        Alcotest.(check bool) "ts present" true
+          (Json.num (Json.member "ts" j) > 0.);
+        Alcotest.(check string) "escaped string" "a\"b"
+          (Json.str (Json.member "s" j));
+        Alcotest.(check (float 1e-9)) "int" 42. (Json.num (Json.member "i" j));
+        Alcotest.(check bool) "non-finite is null" true
+          (Json.member "nf" j = Json.Null)
+      | ls -> Alcotest.fail (Printf.sprintf "expected 1 line, got %d" (List.length ls)))
+
+let test_log_ambient_fields () =
+  with_log_capture (fun lines ->
+      Log.with_fields [ ("rid", Log.S "rq-test") ] (fun () ->
+          Log.event "inner" [ ("k", Log.I 1) ];
+          (* explicit fields shadow ambient ones *)
+          Log.event "shadow" [ ("rid", Log.S "explicit") ]);
+      (try
+         Log.with_fields [ ("rid", Log.S "doomed") ] (fun () ->
+             failwith "boom")
+       with Failure _ -> ());
+      Log.event "outside" [];
+      match List.rev !lines with
+      | [ inner; shadow; outside ] ->
+        Alcotest.(check string) "ambient rid" "rq-test"
+          (Json.str (Json.member "rid" (Json.parse inner)));
+        Alcotest.(check string) "explicit shadows ambient" "explicit"
+          (Json.str (Json.member "rid" (Json.parse shadow)));
+        (match Json.parse outside with
+        | Json.Obj kvs ->
+          Alcotest.(check bool) "context restored after exception" false
+            (List.mem_assoc "rid" kvs)
+        | _ -> Alcotest.fail "not an object")
+      | ls -> Alcotest.fail (Printf.sprintf "expected 3 lines, got %d" (List.length ls)))
+
+let test_log_sink_raises () =
+  let lines = ref [] in
+  let mode = ref `Raise in
+  Log.enable
+    ~sink:(fun l ->
+      match !mode with `Raise -> failwith "sink down" | `Ok -> lines := l :: !lines)
+    ();
+  Fun.protect ~finally:Log.disable (fun () ->
+      (try Log.event "lost" [ ("k", Log.I 1) ]
+       with Failure _ -> ());
+      mode := `Ok;
+      Log.event "kept" [ ("k", Log.I 2) ];
+      match !lines with
+      | [ line ] ->
+        (* The failed event must not leak half-formatted bytes into this
+           one: the line parses and is the second event alone. *)
+        let j = Json.parse line in
+        Alcotest.(check string) "second event intact" "kept"
+          (Json.str (Json.member "event" j));
+        Alcotest.(check (float 1e-9)) "field" 2.
+          (Json.num (Json.member "k" j))
+      | ls -> Alcotest.fail (Printf.sprintf "expected 1 line, got %d" (List.length ls)))
+
+let test_log_disabled_and_levels () =
+  let lines = ref [] in
+  Log.enable ~level:Obs.Info ~sink:(fun l -> lines := l :: !lines) ();
+  Fun.protect ~finally:Log.disable (fun () ->
+      Log.event ~level:Obs.Debug "too.detailed" [];
+      Log.event ~level:Obs.Quiet "never" [];
+      Alcotest.(check int) "debug filtered at info" 0 (List.length !lines);
+      Log.set_level Obs.Debug;
+      Log.event ~level:Obs.Debug "now.visible" [];
+      Alcotest.(check int) "debug passes at debug" 1 (List.length !lines));
+  Log.event "after.disable" [];
+  Alcotest.(check int) "disabled drops" 1 (List.length !lines);
+  let a = Log.mint "t" and b = Log.mint "t" in
+  Alcotest.(check bool) "minted ids unique" true (a <> b)
+
 (* -- Progress ------------------------------------------------------------- *)
 
 let test_progress_tick () =
@@ -531,6 +838,35 @@ let () =
           Alcotest.test_case "counters, gauges, histograms" `Quick
             test_metrics_basic;
           Alcotest.test_case "json snapshot" `Quick test_metrics_json;
+          Alcotest.test_case "strict json: finite bounds only" `Quick
+            test_metrics_json_strict;
+          Alcotest.test_case "always-on bypasses the obs gate" `Quick
+            test_metrics_always_on;
+          Alcotest.test_case "reset/observe race keeps count consistent"
+            `Quick test_metrics_reset_observe_race;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "name/label/number rendering" `Quick
+            test_prom_sanitize;
+          Alcotest.test_case "exposition conformance" `Quick
+            test_prom_render_conformance;
+          Alcotest.test_case "HELP escaping" `Quick test_prom_escaped_help;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "ring, quantiles, wrap" `Quick test_window_basic;
+          QCheck_alcotest.to_alcotest prop_window_quantiles;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "event shape" `Quick test_log_event_shape;
+          Alcotest.test_case "ambient correlation fields" `Quick
+            test_log_ambient_fields;
+          Alcotest.test_case "raising sink does not corrupt later events"
+            `Quick test_log_sink_raises;
+          Alcotest.test_case "levels, disable, mint" `Quick
+            test_log_disabled_and_levels;
         ] );
       ( "progress",
         [ Alcotest.test_case "tick" `Quick test_progress_tick ] );

@@ -589,6 +589,267 @@ let test_serve_unix_end_to_end () =
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: metrics op, HTTP scrape, stats quantiles, correlation    *)
+
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+module Log = Sepsat_obs.Log
+
+let test_protocol_metrics_roundtrip () =
+  (* request *)
+  let line = Protocol.request_to_line (Protocol.Metrics_req "m1") in
+  (match Protocol.request_of_line line with
+  | Ok (Protocol.Metrics_req id) -> Alcotest.(check string) "req id" "m1" id
+  | Ok _ -> Alcotest.fail "wrong request"
+  | Error e -> Alcotest.failf "parse: %s" e);
+  (* reply carries the exposition body and its content type *)
+  let body = "# TYPE serve_requests counter\nserve_requests 3\n" in
+  let rline = Protocol.reply_to_line (Protocol.Metrics ("m1", body)) in
+  (match Protocol.reply_of_line rline with
+  | Ok (Protocol.Metrics (id, b)) ->
+    Alcotest.(check string) "reply id" "m1" id;
+    Alcotest.(check string) "body survives the wire" body b
+  | Ok _ -> Alcotest.fail "wrong reply"
+  | Error e -> Alcotest.failf "parse: %s" e);
+  Alcotest.(check string) "reply_id" "m1"
+    (Protocol.reply_id (Protocol.Metrics ("m1", body)));
+  (* the wire object advertises the scrape content type *)
+  match Json.parse rline with
+  | Ok j ->
+    Alcotest.(check bool) "content_type on the wire" true
+      (match Json.member "content_type" j with
+      | Some (Json.Str s) -> s = Sepsat_obs.Prom.content_type
+      | _ -> false)
+  | Error e -> Alcotest.failf "reply not json: %s" e
+
+let test_engine_metrics_always_on () =
+  (* Operational counters move even with the observability layer off —
+     [Engine.create] arms [Metrics.set_always_on]. *)
+  Obs.disable ();
+  Metrics.reset ();
+  let engine = Engine.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.shutdown engine;
+      Metrics.set_always_on false)
+    (fun () ->
+      Alcotest.(check bool) "create armed always-on" true
+        (Metrics.always_on ());
+      ignore (Engine.solve ~block:true engine (Engine.job "(= x x)"));
+      ignore (Engine.solve ~block:true engine (Engine.job "(= x x)"));
+      Alcotest.(check int) "requests counted with obs off" 2
+        (Metrics.get (Metrics.counter "serve.requests"));
+      Alcotest.(check int) "cache hit counted" 1
+        (Metrics.get (Metrics.counter "serve.cache.hits"));
+      (* ...and the scrape body reflects them *)
+      let body = Sepsat_obs.Prom.current () in
+      let has_line l = List.mem l (String.split_on_char '\n' body) in
+      Alcotest.(check bool) "scrape sees the counter" true
+        (has_line "serve_requests 2"))
+
+let test_engine_stats_quantiles () =
+  Obs.disable ();
+  let engine = Engine.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      for i = 1 to 5 do
+        ignore
+          (Engine.solve ~block:true engine
+             (Engine.job (Printf.sprintf "(= x%d x%d)" i i)))
+      done;
+      let s = Engine.stats engine in
+      Alcotest.(check int) "window saw every request" 5 s.Engine.st_lat_count;
+      Alcotest.(check bool) "p50 positive" true (s.Engine.st_p50_ms > 0.);
+      Alcotest.(check bool) "quantiles ordered" true
+        (s.Engine.st_p50_ms <= s.Engine.st_p90_ms
+        && s.Engine.st_p90_ms <= s.Engine.st_p99_ms);
+      (* stats_json exports them *)
+      let j = Engine.stats_json engine in
+      Alcotest.(check bool) "latency_ms object" true
+        (match Json.member "latency_ms" j with
+        | Some (Json.Obj kvs) ->
+          List.mem_assoc "p50" kvs && List.mem_assoc "p90" kvs
+          && List.mem_assoc "p99" kvs && List.mem_assoc "count" kvs
+        | _ -> false))
+
+(* The acceptance property: every served request is reconstructible from
+   the JSON log stream by correlation id. *)
+let test_engine_log_correlation () =
+  let lines = ref [] in
+  let mu = Mutex.create () in
+  Log.enable ~sink:(fun l -> Mutex.protect mu (fun () -> lines := l :: !lines)) ();
+  let engine = Engine.create ~workers:2 () in
+  let ids = List.init 4 (fun i -> Printf.sprintf "rq-corr-%d" i) in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.shutdown engine;
+      Log.disable ())
+    (fun () ->
+      List.iteri
+        (fun i id ->
+          let text =
+            if i = 3 then "(= broken" (* errors must correlate too *)
+            else Printf.sprintf "(= c%d c%d)" i i
+          in
+          ignore (Engine.solve ~block:true engine (Engine.job ~id text)))
+        ids);
+  let parsed =
+    List.map
+      (fun l ->
+        match Json.parse l with
+        | Ok (Json.Obj kvs) -> kvs
+        | _ -> Alcotest.failf "log line is not a json object: %s" l)
+      !lines
+  in
+  let str k kvs =
+    match List.assoc_opt k kvs with Some (Json.Str s) -> Some s | _ -> None
+  in
+  List.iter
+    (fun id ->
+      let mine = List.filter (fun kvs -> str "id" kvs = Some id) parsed in
+      Alcotest.(check bool) (id ^ " has log lines") true (mine <> []);
+      let events = List.filter_map (str "event") mine in
+      Alcotest.(check bool) (id ^ " has serve.request") true
+        (List.mem "serve.request" events);
+      Alcotest.(check bool) (id ^ " has a terminal event") true
+        (List.mem "serve.reply" events || List.mem "serve.error" events);
+      (* one rid per request, present on every line of that request *)
+      match List.filter_map (str "rid") mine with
+      | [] -> Alcotest.fail (id ^ " lines carry no rid")
+      | rid :: rest as rids ->
+        Alcotest.(check int) (id ^ " rid on every line") (List.length mine)
+          (List.length rids);
+        List.iter (Alcotest.(check string) (id ^ " single rid") rid) rest)
+    ids
+
+let test_serve_channels_metrics_op () =
+  let requests =
+    String.concat "\n"
+      [
+        Protocol.request_to_line (Protocol.Solve
+          {
+            Protocol.sq_id = "warm";
+            sq_lang = Protocol.Suf;
+            sq_text = "(= m m)";
+            sq_method = Decide.Hybrid_default;
+            sq_timeout_s = Some 10.;
+          });
+        Protocol.request_to_line (Protocol.Metrics_req "m");
+        Protocol.request_to_line (Protocol.Shutdown "q");
+      ]
+    ^ "\n"
+  in
+  let in_path = Filename.temp_file "sufmetrics" ".in" in
+  let out_path = Filename.temp_file "sufmetrics" ".out" in
+  let oc = open_out in_path in
+  output_string oc requests;
+  close_out oc;
+  let engine = Engine.create ~workers:1 () in
+  (* the registry is process-global: zero it so the scrape value below is
+     this test's traffic alone *)
+  Metrics.reset ();
+  let ic = open_in in_path in
+  let oc = open_out out_path in
+  ignore (Server.serve_channels engine ic oc);
+  close_in ic;
+  close_out oc;
+  Engine.shutdown engine;
+  let ic = open_in out_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  let metrics_reply =
+    List.find_map
+      (fun l ->
+        match Protocol.reply_of_line l with
+        | Ok (Protocol.Metrics (id, body)) -> Some (id, body)
+        | _ -> None)
+      !lines
+  in
+  match metrics_reply with
+  | None -> Alcotest.fail "no metrics reply"
+  | Some (id, body) ->
+    Alcotest.(check string) "id echoed" "m" id;
+    let lines = String.split_on_char '\n' body in
+    Alcotest.(check bool) "typed exposition" true
+      (List.mem "# TYPE serve_requests counter" lines);
+    (* solves are answered asynchronously, so no exact value here — just a
+       well-formed sample (the deterministic value check is the always-on
+       test above) *)
+    let sample =
+      List.find_opt
+        (fun l ->
+          String.length l > 15 && String.sub l 0 15 = "serve_requests ")
+        lines
+    in
+    match sample with
+    | None -> Alcotest.fail "no serve_requests sample"
+    | Some l ->
+      let v = String.sub l 15 (String.length l - 15) in
+      Alcotest.(check bool) "sample value parses" true
+        (Float.is_finite (float_of_string v))
+
+let test_serve_metrics_http () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sufmetrics-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  Metrics.set_always_on true;
+  Metrics.incr (Metrics.counter "serve.requests");
+  Metrics.set_always_on false;
+  let stop = Atomic.make false in
+  let th = Server.serve_metrics ~path ~stop in
+  let scrape target =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let req = Printf.sprintf "GET %s HTTP/1.0\r\nHost: x\r\n\r\n" target in
+    ignore (Unix.write_substring fd req 0 (String.length req));
+    let buf = Buffer.create 1024 in
+    let chunk = Bytes.create 1024 in
+    let rec drain () =
+      match Unix.read fd chunk 0 1024 with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    in
+    drain ();
+    Unix.close fd;
+    Buffer.contents buf
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join th)
+    (fun () ->
+      let resp = scrape "/metrics" in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "200" true (contains resp "HTTP/1.0 200 OK");
+      Alcotest.(check bool) "prometheus content type" true
+        (contains resp "Content-Type: text/plain; version=0.0.4");
+      Alcotest.(check bool) "content length framed" true
+        (contains resp "Content-Length: ");
+      Alcotest.(check bool) "typed body" true
+        (contains resp "# TYPE serve_requests counter");
+      let missing = scrape "/nope" in
+      Alcotest.(check bool) "404 elsewhere" true
+        (contains missing "HTTP/1.0 404 Not Found"));
+  Alcotest.(check bool) "socket removed on stop" false (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
 (* Load generator                                                      *)
 
 let test_loadgen_smoke () =
@@ -656,6 +917,21 @@ let () =
         [
           Alcotest.test_case "channels" `Quick test_serve_channels;
           Alcotest.test_case "unix socket" `Quick test_serve_unix_end_to_end;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics op roundtrip" `Quick
+            test_protocol_metrics_roundtrip;
+          Alcotest.test_case "always-on serve metrics" `Quick
+            test_engine_metrics_always_on;
+          Alcotest.test_case "stats rolling quantiles" `Quick
+            test_engine_stats_quantiles;
+          Alcotest.test_case "logs correlate every request" `Quick
+            test_engine_log_correlation;
+          Alcotest.test_case "metrics over the protocol" `Quick
+            test_serve_channels_metrics_op;
+          Alcotest.test_case "GET /metrics over http" `Quick
+            test_serve_metrics_http;
         ] );
       ("loadgen", [ Alcotest.test_case "smoke" `Quick test_loadgen_smoke ]);
     ]
