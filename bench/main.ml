@@ -10,6 +10,7 @@
      main.exe --json OUT.json write every recorded run as JSON
      main.exe --strict        exit 1 if any run ended Unknown
      main.exe --repeat 3      run the selected figure(s) K times (min-of-k)
+     main.exe --no-simplify   turn off SAT pre/inprocessing (A/B the simplifier)
      main.exe --baseline-out B.json   record a perf baseline
      main.exe --compare B.json        diff against a baseline; exit 4 on a
                                       noise/drift-adjusted regression
@@ -45,6 +46,8 @@ let log_level = ref "quiet"
 
 let repeat = ref 1
 
+let no_simplify = ref false
+
 let baseline_out = ref ""
 
 let compare_path = ref ""
@@ -78,6 +81,9 @@ let spec =
       " write a Chrome trace_event JSON timeline to PATH" );
     ("--stats", Arg.Set stats, " print span rollup and metrics tables at exit");
     ("--log-level", Arg.Set_string log_level, " quiet (default), info or debug");
+    ( "--no-simplify",
+      Arg.Set no_simplify,
+      " disable the SAT core's pre/inprocessing for every run" );
     ( "--repeat",
       Arg.Set_int repeat,
       " run the selected figure(s) K times; baselines keep the min" );
@@ -162,6 +168,7 @@ let () =
   | None -> raise (Arg.Bad ("unknown log level: " ^ !log_level)));
   if !trace_path <> "" || !stats || Obs.get_level () <> Obs.Quiet then
     Obs.enable ();
+  if !no_simplify then Decide.set_simplify_default false;
   let ppf = Format.std_formatter in
   let d = !deadline_s in
   Runner.reset_recorded ();

@@ -65,6 +65,18 @@ let timeout_arg =
     & info [ "timeout" ] ~docv:"SECONDS"
         ~doc:"CPU-time budget of each individual decide call.")
 
+let simplify_modes = [ ("on", `On); ("off", `Off); ("vary", `Vary) ]
+
+let simplify_arg =
+  Arg.(
+    value
+    & opt (enum simplify_modes) `Vary
+    & info [ "simplify" ] ~docv:"MODE"
+        ~doc:
+          "SAT-core pre/inprocessing: $(b,on) or $(b,off) for every \
+           iteration, or $(b,vary) (default) to alternate per iteration and \
+           fuzz the simplifier against the plain core.")
+
 let no_shrink_arg =
   Arg.(
     value & flag
@@ -94,7 +106,7 @@ let log_level_arg =
     value & opt string "quiet"
     & info [ "log-level" ] ~docv:"LEVEL" ~doc:"quiet (default), info or debug.")
 
-let run iters seed gen timeout no_shrink quiet trace stats log_level =
+let run iters seed gen timeout simplify no_shrink quiet trace stats log_level =
   (match Obs.level_of_string log_level with
   | Some l -> Obs.set_level l
   | None ->
@@ -104,10 +116,16 @@ let run iters seed gen timeout no_shrink quiet trace stats log_level =
   if trace <> None || stats || Obs.get_level () <> Obs.Quiet then
     Obs.enable ();
   let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
+  let vary_simplify =
+    match simplify with
+    | `On -> Sepsat.Decide.set_simplify_default true; false
+    | `Off -> Sepsat.Decide.set_simplify_default false; false
+    | `Vary -> true
+  in
   let summary =
     Differential.fuzz
       ~procedures:(Differential.default_procedures ~timeout ())
-      ~gen ~shrink_failures:(not no_shrink) ~log ~iters ~seed ()
+      ~gen ~shrink_failures:(not no_shrink) ~vary_simplify ~log ~iters ~seed ()
   in
   Format.printf "%a" Differential.pp_summary summary;
   (match trace with
@@ -130,6 +148,7 @@ let () =
   let term =
     Term.(
       const run $ iters_arg $ seed_arg $ profile_arg $ timeout_arg
-      $ no_shrink_arg $ quiet_arg $ trace_arg $ stats_flag $ log_level_arg)
+      $ simplify_arg $ no_shrink_arg $ quiet_arg $ trace_arg $ stats_flag
+      $ log_level_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

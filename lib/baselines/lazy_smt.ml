@@ -26,7 +26,7 @@ type stats = {
 
 let no_p _ = false
 
-let decide ?(deadline = Deadline.none) ctx formula =
+let decide ?(simplify = false) ?(deadline = Deadline.none) ctx formula =
   let formula = Normal.normalize ctx formula in
   let pctx = F.create_ctx () in
   (* The per-predicate Boolean abstraction is exactly EIJ's atom encoding —
@@ -75,6 +75,7 @@ let decide ?(deadline = Deadline.none) ctx formula =
   in
   let f_bvar = abstract formula in
   let solver = Solver.create () in
+  Solver.set_simplify solver simplify;
   let tseitin = Tseitin.create solver in
   Tseitin.assert_root tseitin (F.not_ pctx f_bvar);
   (* Activation literal guarding the theory lemmas — the incremental-SMT

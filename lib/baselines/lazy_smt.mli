@@ -20,7 +20,11 @@ type stats = {
 }
 
 val decide :
+  ?simplify:bool ->
   ?deadline:Sepsat_util.Deadline.t ->
   Ast.ctx ->
   Ast.formula ->
   Sepsat_sep.Verdict.t * stats
+(** [simplify] (default [false]) turns on the SAT core's pre/inprocessing;
+    the activation variable guarding theory lemmas is frozen automatically
+    because it is assumed on every refinement call. *)

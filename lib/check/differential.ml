@@ -165,14 +165,23 @@ type summary = {
 }
 
 let fuzz ?procedures ?(gen = Random_formula.small) ?(shrink_failures = true)
-    ?(log = fun _ -> ()) ~iters ~seed () =
+    ?(vary_simplify = false) ?(log = fun _ -> ()) ~iters ~seed () =
   let procedures =
     match procedures with Some ps -> ps | None -> default_procedures ()
   in
   let tally = ref no_answers in
   let failures = ref [] in
+  let saved_simplify = Decide.simplify_default () in
+  Fun.protect
+    ~finally:(fun () -> Decide.set_simplify_default saved_simplify)
+  @@ fun () ->
   for i = 0 to iters - 1 do
     let gen_seed = (seed * 1_000_003) + i in
+    (* Alternate the SAT core's pre/inprocessing across iterations so the
+       cross-procedure verdict comparison also covers simplified-vs-plain
+       search on the same formula stream (shrinking inherits the iteration's
+       setting, so reproducers stay deterministic). *)
+    if vary_simplify then Decide.set_simplify_default (gen_seed land 1 = 0);
     let ctx = Ast.create_ctx () in
     let f = Random_formula.generate gen ctx ~seed:gen_seed in
     (match check_formula ~procedures ctx f with

@@ -82,14 +82,18 @@ val fuzz :
   ?procedures:procedure list ->
   ?gen:Random_formula.config ->
   ?shrink_failures:bool ->
+  ?vary_simplify:bool ->
   ?log:(string -> unit) ->
   iters:int ->
   seed:int ->
   unit ->
   summary
 (** Deterministic: iteration [i] decides the formula generated from seed
-    [seed * 1_000_003 + i] in a fresh context. [log] receives one-line
-    progress messages (default: silent). *)
+    [seed * 1_000_003 + i] in a fresh context. [vary_simplify] (default
+    [false]) toggles {!Decide.set_simplify_default} per iteration (by seed
+    parity, restored afterwards) so both the simplified and the plain SAT
+    core face the same formula stream. [log] receives one-line progress
+    messages (default: silent). *)
 
 val pp_counterexample : Format.formatter -> counterexample -> unit
 

@@ -76,7 +76,22 @@ let eager_config = function
   | Svc_baseline | Lazy_baseline | Portfolio ->
     invalid_arg "Decide.eager_config: not an eager method"
 
-let decide_eager ?stop ~config ~deadline ~certify ctx formula =
+(* Process-wide default for SatELite-style pre/inprocessing in every
+   procedure that bottoms out in [Solver]. A mutable default rather than a
+   parameter threaded through every call chain, so the bench harness and the
+   differential fuzzer can toggle the whole pipeline per run; [Atomic]
+   because the portfolio reads it from racing domains. *)
+let simplify_flag = Atomic.make true
+
+let set_simplify_default on = Atomic.set simplify_flag on
+
+let simplify_default () = Atomic.get simplify_flag
+
+let want_simplify = function
+  | Some b -> b
+  | None -> Atomic.get simplify_flag
+
+let decide_eager ?stop ?simplify ~config ~deadline ~certify ctx formula =
   let deadline =
     match stop with
     | Some flag -> Deadline.with_stop deadline flag
@@ -120,6 +135,7 @@ let decide_eager ?stop ~config ~deadline ~certify ctx formula =
   | encoded ->
     let t_enc = Deadline.now () in
     let solver = Solver.create () in
+    Solver.set_simplify solver (want_simplify simplify);
     (match stop with Some flag -> Solver.set_stop solver flag | None -> ());
     let proof = if certify then Some (Solver.start_proof solver) else None in
     (* DRUP certification replays against the exact clause stream, so it
@@ -203,9 +219,10 @@ let decide_svc ~deadline ctx formula =
     ~decide_fn:(fun ~deadline ctx f -> Svc.decide ~deadline ctx f)
     ctx formula
 
-let decide_lazy ~deadline ctx formula =
+let decide_lazy ?simplify ~deadline ctx formula =
+  let simplify = want_simplify simplify in
   decide_baseline ~span_name:"lazy.search" ~deadline
-    ~decide_fn:(fun ~deadline ctx f -> Lazy_smt.decide ~deadline ctx f)
+    ~decide_fn:(fun ~deadline ctx f -> Lazy_smt.decide ~simplify ~deadline ctx f)
     ctx formula
 
 (* -- Multicore portfolio -------------------------------------------------- *)
@@ -220,7 +237,7 @@ let portfolio_members = [ Sd; Eij; Hybrid_default ]
    encoders mutate shared state, so each domain re-parses the formula
    (print/parse round-trips are stable) into a context of its own instead of
    sharing nodes across domains. *)
-let decide_portfolio ~deadline ~certify ctx formula =
+let decide_portfolio ?simplify ~deadline ~certify ctx formula =
   ignore ctx;
   let t0 = Deadline.wall_now () in
   let printed = Format.asprintf "%a" Ast.pp formula in
@@ -243,8 +260,8 @@ let decide_portfolio ~deadline ~certify ctx formula =
         let ctx' = Ast.create_ctx () in
         let formula' = Parse.formula ctx' printed in
         let r =
-          decide_eager ~stop ~config:(eager_config m) ~deadline ~certify ctx'
-            formula'
+          decide_eager ~stop ?simplify ~config:(eager_config m) ~deadline
+            ~certify ctx' formula'
         in
         (match r.verdict with
         | Verdict.Valid | Verdict.Invalid _ ->
@@ -272,13 +289,14 @@ let decide_portfolio ~deadline ~certify ctx formula =
   { r with total_time = t1 -. t0; winner = Some m }
 
 let decide ?(method_ = Hybrid_default) ?(deadline = Deadline.none)
-    ?(certify = false) ctx formula =
+    ?(certify = false) ?simplify ctx formula =
   match method_ with
   | Sd | Eij | Hybrid_default | Hybrid_at _ ->
-    decide_eager ~config:(eager_config method_) ~deadline ~certify ctx formula
+    decide_eager ?simplify ~config:(eager_config method_) ~deadline ~certify
+      ctx formula
   | Svc_baseline -> decide_svc ~deadline ctx formula
-  | Lazy_baseline -> decide_lazy ~deadline ctx formula
-  | Portfolio -> decide_portfolio ~deadline ~certify ctx formula
+  | Lazy_baseline -> decide_lazy ?simplify ~deadline ctx formula
+  | Portfolio -> decide_portfolio ?simplify ~deadline ~certify ctx formula
 
 (* -- Incremental SEP_THOLD sweep ------------------------------------------ *)
 
@@ -300,7 +318,7 @@ type sweep = {
 let default_sweep_thresholds = [ 0; 50; 200; 400; 700; 2000; max_int ]
 
 let decide_sweep ?(thresholds = default_sweep_thresholds)
-    ?(deadline = Deadline.none) ctx formula =
+    ?(deadline = Deadline.none) ?simplify ctx formula =
   let t0 = Deadline.now () in
   let elim = Obs.span ~cat:"pipeline" "elim" (fun () -> Elim.eliminate ctx formula) in
   match
@@ -339,6 +357,7 @@ let decide_sweep ?(thresholds = default_sweep_thresholds)
     }
   | enc ->
     let solver = Solver.create () in
+    Solver.set_simplify solver (want_simplify simplify);
     let tseitin = Tseitin.create solver in
     Obs.span ~cat:"pipeline" "cnf" (fun () ->
         Tseitin.assert_root tseitin
@@ -349,6 +368,9 @@ let decide_sweep ?(thresholds = default_sweep_thresholds)
         (fun sel -> Tseitin.lit_of_var tseitin (F.var_index sel))
         enc.Hybrid.selectors
     in
+    (* Every sweep point re-assumes the full selector vector, so the
+       simplifier must never resolve these variables away between calls. *)
+    Array.iter (fun l -> Solver.freeze solver (Lit.var l)) sel_lits;
     let points =
       List.map
         (fun th ->

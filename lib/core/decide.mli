@@ -73,13 +73,24 @@ val decide :
   ?method_:method_ ->
   ?deadline:Sepsat_util.Deadline.t ->
   ?certify:bool ->
+  ?simplify:bool ->
   Ast.ctx ->
   Ast.formula ->
   result
 (** Validity of a SUF formula; defaults to [Hybrid_default]. An [Invalid]
     verdict carries a falsifying assignment of the eliminated formula; use
     {!Countermodel.lift} (with {!eliminate}'s output) to obtain a first-order
-    interpretation falsifying the original formula. *)
+    interpretation falsifying the original formula. [simplify] enables the
+    SAT core's SatELite-style pre/inprocessing; it defaults to
+    {!simplify_default} (initially on). *)
+
+val set_simplify_default : bool -> unit
+(** Sets the process-wide default for the [?simplify] arguments of {!decide}
+    and {!decide_sweep} (and everything layered on them: {!Portfolio}, the
+    bench harness, the differential fuzzer). Initially [true]. Atomic, so a
+    toggle is visible to portfolio domains spawned afterwards. *)
+
+val simplify_default : unit -> bool
 
 val eliminate : Ast.ctx -> Ast.formula -> Sepsat_suf.Elim.result
 (** Re-export of {!Sepsat_suf.Elim.eliminate}. Note that each call draws
@@ -125,7 +136,10 @@ val default_sweep_thresholds : int list
 val decide_sweep :
   ?thresholds:int list ->
   ?deadline:Sepsat_util.Deadline.t ->
+  ?simplify:bool ->
   Ast.ctx ->
   Ast.formula ->
   sweep
-(** Verdicts agree point-for-point with [decide ~method_:(Hybrid_at t)]. *)
+(** Verdicts agree point-for-point with [decide ~method_:(Hybrid_at t)].
+    [simplify] defaults to {!simplify_default}; the selector variables are
+    frozen so inprocessing never eliminates them between sweep points. *)

@@ -9,7 +9,8 @@ type member = Decide.method_ =
 
 let members = Decide.portfolio_members
 
-let decide ?deadline ?certify ctx formula =
-  Decide.decide ~method_:Decide.Portfolio ?deadline ?certify ctx formula
+let decide ?deadline ?certify ?simplify ctx formula =
+  Decide.decide ~method_:Decide.Portfolio ?deadline ?certify ?simplify ctx
+    formula
 
 let winner (r : Decide.result) = r.Decide.winner

@@ -27,6 +27,7 @@ val members : member list
 val decide :
   ?deadline:Sepsat_util.Deadline.t ->
   ?certify:bool ->
+  ?simplify:bool ->
   Sepsat_suf.Ast.ctx ->
   Sepsat_suf.Ast.formula ->
   Decide.result

@@ -216,21 +216,21 @@ let rup e lits =
 let check steps =
   let e = create () in
   let empty_seen = ref false in
-  let rec go = function
+  let rec go i = function
     | [] ->
       if !empty_seen || e.contradiction then Certified else Incomplete
     | step :: rest -> (
       match step with
       | Proof.Input c ->
         add_clause e c;
-        go rest
+        go (i + 1) rest
       | Proof.Deleted c ->
         delete_clause e c;
-        go rest
+        go (i + 1) rest
       | Proof.Learned c ->
         if not (rup e c) then
           Bogus
-            (Format.asprintf "clause {%a} is not RUP"
+            (Format.asprintf "step %d: clause {%a} is not RUP" i
                (Format.pp_print_list
                   ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
                   Lit.pp)
@@ -238,9 +238,9 @@ let check steps =
         else begin
           if c = [] then empty_seen := true;
           add_clause e c;
-          go rest
+          go (i + 1) rest
         end)
   in
-  go steps
+  go 1 steps
 
 let certified p = check (Proof.steps p) = Certified

@@ -14,7 +14,9 @@
 type result =
   | Certified  (** every step RUP-valid and the empty clause derived *)
   | Incomplete  (** steps valid, but no empty clause: proves nothing *)
-  | Bogus of string  (** some learned clause is not RUP *)
+  | Bogus of string
+      (** some learned clause is not RUP; the message carries the 1-based
+          index of the offending step *)
 
 val check : Proof.step list -> result
 

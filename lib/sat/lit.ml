@@ -1,22 +1,22 @@
-type t = int
+type t = int [@@ocaml.immediate]
 
-let make v sign =
+let[@inline] make v sign =
   assert (v >= 0);
   (2 * v) + if sign then 0 else 1
 
-let pos v = make v true
+let[@inline] pos v = make v true
 
-let neg_of v = make v false
+let[@inline] neg_of v = make v false
 
-let var l = l lsr 1
+let[@inline] var l = l lsr 1
 
-let sign l = l land 1 = 0
+let[@inline] sign l = l land 1 = 0
 
-let neg l = l lxor 1
+let[@inline] neg l = l lxor 1
 
-let to_int l = l
+let[@inline] to_int l = l
 
-let of_int i =
+let[@inline] of_int i =
   assert (i >= 0);
   i
 

@@ -4,7 +4,7 @@
     sign. The representation is the MiniSat packing [2*var + (negated ? 1 : 0)]
     so literals index arrays directly. *)
 
-type t = private int
+type t = private int [@@immediate]
 
 val make : int -> bool -> t
 (** [make v sign] is the literal over variable [v]; [sign = true] gives the

@@ -12,6 +12,8 @@ let deleted t c = t.rev_steps <- Deleted c :: t.rev_steps
 
 let steps t = List.rev t.rev_steps
 
+let n_steps t = List.length t.rev_steps
+
 let pp_dimacs ppf t =
   let pp_lits ppf c =
     List.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_dimacs l)) c;

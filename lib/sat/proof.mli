@@ -25,6 +25,9 @@ val deleted : t -> Lit.t list -> unit
 val steps : t -> step list
 (** In logging order. *)
 
+val n_steps : t -> int
+(** Number of recorded steps, without materialising the list. *)
+
 val pp_dimacs : Format.formatter -> t -> unit
 (** The standard textual DRUP format ([d] lines for deletions); inputs are
     emitted as comments, since DRUP files accompany a separate CNF. *)

@@ -1,16 +1,18 @@
-module Vec = Sepsat_util.Vec
 module Deadline = Sepsat_util.Deadline
 module Obs = Sepsat_obs.Obs
 module Metrics = Sepsat_obs.Metrics
 module Progress = Sepsat_obs.Progress
+module Iv = Db.Iv
 
-(* Truth values: 0 = undefined, 1 = true, -1 = false. *)
+(* The CDCL search and public API over the data-oriented core in [Db]:
+   clauses live in a flat int arena, watches are flat (cref, blocker) int
+   vectors, and all literals inside the hot path are raw ints in the [Lit]
+   packing. [Simplifier] provides SatELite-style pre/inprocessing; this module
+   schedules it before a solve and between restarts.
 
-type clause = {
-  mutable lits : Lit.t array;
-  learnt : bool;
-  mutable activity : float;
-}
+   Truth values: 0 = undefined, 1 = true, -1 = false. *)
+
+type t = Db.t
 
 type result = Sat | Unsat | Unknown
 
@@ -23,526 +25,206 @@ type stats = {
   learnts : int;
   max_vars : int;
   eliminated : int;
+  simp_rounds : int;
+  simp_subsumed : int;
+  simp_strengthened : int;
+  simp_vars_eliminated : int;
+  simp_blocked : int;
+  simp_restored : int;
 }
 
-let dummy_lit = Lit.pos 0
+let create () = Db.create ()
 
-let dummy_clause = { lits = [||]; learnt = false; activity = 0. }
+let set_stop (s : t) flag = s.Db.stop <- flag
 
-type t = {
-  (* Clause database *)
-  clauses : clause Vec.t;
-  learnts : clause Vec.t;
-  watches : clause Vec.t Vec.t;  (* literal -> clauses watching it *)
-  (* Assignment *)
-  assigns : int Vec.t;  (* var -> -1/0/1 *)
-  level : int Vec.t;
-  reason : clause Vec.t;  (* dummy_clause = no reason *)
-  trail : Lit.t Vec.t;
-  trail_lim : int Vec.t;
-  mutable qhead : int;
-  (* Branching *)
-  var_act : float Vec.t;
-  polarity : bool Vec.t;
-  heap : int Vec.t;
-  heap_index : int Vec.t;  (* var -> position in heap, -1 if absent *)
-  mutable var_inc : float;
-  mutable cla_inc : float;
-  (* Analysis scratch *)
-  seen : bool Vec.t;
-  (* Incremental interface *)
-  assumptions : Lit.t Vec.t;  (* placed as pseudo-decisions below the search *)
-  mutable conflict_core : Lit.t list;  (* failed assumptions of the last solve *)
-  mutable stop : bool Atomic.t;  (* external cancellation (portfolio racing) *)
-  (* State *)
-  mutable ok : bool;
-  mutable model : bool array option;
-  mutable proof : Proof.t option;
-  (* Statistics *)
-  mutable n_conflicts : int;
-  mutable n_decisions : int;
-  mutable n_props : int;
-  mutable n_restarts : int;
-  mutable n_eliminated : int;
-  mutable solve_started : float;  (* wall clock at the current solve's start *)
-}
+let interrupted (s : t) = Atomic.get s.Db.stop
 
-let var_decay = 1. /. 0.95
-
-let cla_decay = 1. /. 0.999
-
-let create () =
-  {
-    clauses = Vec.create ~dummy:dummy_clause;
-    learnts = Vec.create ~dummy:dummy_clause;
-    watches = Vec.create ~dummy:(Vec.create ~dummy:dummy_clause);
-    assigns = Vec.create ~dummy:0;
-    level = Vec.create ~dummy:0;
-    reason = Vec.create ~dummy:dummy_clause;
-    trail = Vec.create ~dummy:dummy_lit;
-    trail_lim = Vec.create ~dummy:0;
-    qhead = 0;
-    var_act = Vec.create ~dummy:0.;
-    polarity = Vec.create ~dummy:false;
-    heap = Vec.create ~dummy:(-1);
-    heap_index = Vec.create ~dummy:(-1);
-    var_inc = 1.;
-    cla_inc = 1.;
-    seen = Vec.create ~dummy:false;
-    assumptions = Vec.create ~dummy:dummy_lit;
-    conflict_core = [];
-    stop = Atomic.make false;
-    ok = true;
-    model = None;
-    proof = None;
-    n_conflicts = 0;
-    n_decisions = 0;
-    n_props = 0;
-    n_restarts = 0;
-    n_eliminated = 0;
-    solve_started = 0.;
-  }
-
-let set_stop s flag = s.stop <- flag
-
-let interrupted s = Atomic.get s.stop
-
-let start_proof s =
+let start_proof (s : t) =
   let p = Proof.create () in
-  s.proof <- Some p;
+  s.Db.proof <- Some p;
   p
 
-let log_learned s lits =
-  match s.proof with None -> () | Some p -> Proof.learned p lits
+let set_simplify (s : t) on = s.Db.simp_enabled <- on
 
-let log_input s lits =
-  match s.proof with None -> () | Some p -> Proof.input p lits
+let freeze (s : t) v = if v < s.Db.nvars then s.Db.frozen.(v) <- true
 
-let log_deleted s lits =
-  match s.proof with None -> () | Some p -> Proof.deleted p lits
+let is_eliminated (s : t) v = v < s.Db.nvars && s.Db.elimed.(v)
 
-let nvars s = Vec.size s.assigns
+let nvars (s : t) = s.Db.nvars
 
-let decision_level s = Vec.size s.trail_lim
+let new_var = Db.new_var
 
-(* Value of a literal under the current partial assignment. *)
-let value s l =
-  let a = Vec.get s.assigns (Lit.var l) in
-  if Lit.sign l then a else -a
+let add_clause = Db.add_clause
 
-(* -- Variable order heap (max-heap on activity) ----------------------- *)
+(* -- Conflict analysis (first UIP) --------------------------------------- *)
 
-let heap_lt s v w = Vec.get s.var_act v > Vec.get s.var_act w
-
-let heap_percolate_up s i =
-  let x = Vec.get s.heap i in
-  let i = ref i in
-  let continue = ref true in
-  while !continue && !i > 0 do
-    let p = (!i - 1) / 2 in
-    let px = Vec.get s.heap p in
-    if heap_lt s x px then begin
-      Vec.set s.heap !i px;
-      Vec.set s.heap_index px !i;
-      i := p
-    end
-    else continue := false
-  done;
-  Vec.set s.heap !i x;
-  Vec.set s.heap_index x !i
-
-let heap_percolate_down s i =
-  let x = Vec.get s.heap i in
-  let sz = Vec.size s.heap in
-  let i = ref i in
-  let continue = ref true in
-  while !continue && (2 * !i) + 1 < sz do
-    let l = (2 * !i) + 1 in
-    let r = l + 1 in
-    let child =
-      if r < sz && heap_lt s (Vec.get s.heap r) (Vec.get s.heap l) then r
-      else l
-    in
-    let cx = Vec.get s.heap child in
-    if heap_lt s cx x then begin
-      Vec.set s.heap !i cx;
-      Vec.set s.heap_index cx !i;
-      i := child
-    end
-    else continue := false
-  done;
-  Vec.set s.heap !i x;
-  Vec.set s.heap_index x !i
-
-let heap_in s v = Vec.get s.heap_index v >= 0
-
-let heap_insert s v =
-  if not (heap_in s v) then begin
-    Vec.push s.heap v;
-    Vec.set s.heap_index v (Vec.size s.heap - 1);
-    heap_percolate_up s (Vec.size s.heap - 1)
-  end
-
-let heap_pop s =
-  let x = Vec.get s.heap 0 in
-  let last = Vec.pop s.heap in
-  Vec.set s.heap_index x (-1);
-  if Vec.size s.heap > 0 then begin
-    Vec.set s.heap 0 last;
-    Vec.set s.heap_index last 0;
-    heap_percolate_down s 0
-  end;
-  x
-
-let heap_bump s v = if heap_in s v then heap_percolate_up s (Vec.get s.heap_index v)
-
-(* -- Activities -------------------------------------------------------- *)
-
-let var_bump s v =
-  Vec.set s.var_act v (Vec.get s.var_act v +. s.var_inc);
-  if Vec.get s.var_act v > 1e100 then begin
-    for u = 0 to nvars s - 1 do
-      Vec.set s.var_act u (Vec.get s.var_act u *. 1e-100)
-    done;
-    s.var_inc <- s.var_inc *. 1e-100
-  end;
-  heap_bump s v
-
-let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
-
-let cla_bump s c =
-  c.activity <- c.activity +. s.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun cl -> cl.activity <- cl.activity *. 1e-20) s.learnts;
-    s.cla_inc <- s.cla_inc *. 1e-20
-  end
-
-let cla_decay_activity s = s.cla_inc <- s.cla_inc *. cla_decay
-
-(* -- Variables --------------------------------------------------------- *)
-
-let new_var s =
-  let v = nvars s in
-  Vec.push s.assigns 0;
-  Vec.push s.level 0;
-  Vec.push s.reason dummy_clause;
-  Vec.push s.var_act 0.;
-  Vec.push s.polarity false;
-  Vec.push s.seen false;
-  Vec.push s.heap_index (-1);
-  Vec.push s.watches (Vec.create ~dummy:dummy_clause);
-  Vec.push s.watches (Vec.create ~dummy:dummy_clause);
-  heap_insert s v;
-  v
-
-(* -- Assignment trail -------------------------------------------------- *)
-
-let unchecked_enqueue s p reason =
-  assert (value s p = 0);
-  let v = Lit.var p in
-  Vec.set s.assigns v (if Lit.sign p then 1 else -1);
-  Vec.set s.level v (decision_level s);
-  Vec.set s.reason v reason;
-  Vec.push s.trail p
-
-let cancel_until s lvl =
-  if decision_level s > lvl then begin
-    let bound = Vec.get s.trail_lim lvl in
-    for i = Vec.size s.trail - 1 downto bound do
-      let p = Vec.get s.trail i in
-      let v = Lit.var p in
-      Vec.set s.assigns v 0;
-      Vec.set s.polarity v (Lit.sign p);
-      Vec.set s.reason v dummy_clause;
-      heap_insert s v
-    done;
-    Vec.shrink s.trail bound;
-    Vec.shrink s.trail_lim lvl;
-    s.qhead <- Vec.size s.trail
-  end
-
-(* -- Clause attachment -------------------------------------------------- *)
-
-let attach s c =
-  assert (Array.length c.lits >= 2);
-  Vec.push (Vec.get s.watches (Lit.to_int (Lit.neg c.lits.(0)))) c;
-  Vec.push (Vec.get s.watches (Lit.to_int (Lit.neg c.lits.(1)))) c
-
-let detach s c =
-  let remove l =
-    Vec.remove_if (fun c' -> c' == c) (Vec.get s.watches (Lit.to_int (Lit.neg l)))
-  in
-  remove c.lits.(0);
-  remove c.lits.(1)
-
-(* -- Propagation -------------------------------------------------------- *)
-
-(* Visits the watch list of the literal [neg p] after [p] became true.
-   Returns the conflicting clause, if any. *)
-let propagate s =
-  let confl = ref dummy_clause in
-  let stopped = ref false in
-  while (not !stopped) && !confl == dummy_clause && s.qhead < Vec.size s.trail do
-    (* Cheap cancellation poll: a masked atomic load keeps the hot loop hot
-       while letting a portfolio peer abort a propagation-heavy search.
-       Breaking before the queue head advances keeps the state consistent. *)
-    if s.n_props land 255 = 0 && Atomic.get s.stop then stopped := true
-    else begin
-    let p = Vec.get s.trail s.qhead in
-    s.qhead <- s.qhead + 1;
-    s.n_props <- s.n_props + 1;
-    let false_lit = Lit.neg p in
-    let ws = Vec.get s.watches (Lit.to_int p) in
-    (* [ws] holds clauses in which [false_lit] is watched: a clause watching
-       literal l is registered under index (neg l). *)
-    let i = ref 0 in
-    let j = ref 0 in
-    let n = Vec.size ws in
-    while !i < n do
-      let c = Vec.get ws !i in
-      incr i;
-      (* Make sure the false literal is at position 1. *)
-      if Lit.equal c.lits.(0) false_lit then begin
-        c.lits.(0) <- c.lits.(1);
-        c.lits.(1) <- false_lit
-      end;
-      let first = c.lits.(0) in
-      if value s first = 1 then begin
-        (* Clause already satisfied; keep the watch. *)
-        Vec.set ws !j c;
-        incr j
-      end
-      else begin
-        (* Look for a new literal to watch. *)
-        let len = Array.length c.lits in
-        let k = ref 2 in
-        while !k < len && value s c.lits.(!k) = -1 do
-          incr k
-        done;
-        if !k < len then begin
-          c.lits.(1) <- c.lits.(!k);
-          c.lits.(!k) <- false_lit;
-          Vec.push (Vec.get s.watches (Lit.to_int (Lit.neg c.lits.(1)))) c
-          (* watch moved: do not keep in this list *)
-        end
-        else if value s first = -1 then begin
-          (* Conflict: keep remaining watches and stop. *)
-          confl := c;
-          s.qhead <- Vec.size s.trail;
-          while !i < n do
-            Vec.set ws !j (Vec.get ws !i);
-            incr j;
-            incr i
-          done;
-          Vec.set ws !j c;
-          incr j
-        end
-        else begin
-          unchecked_enqueue s first c;
-          Vec.set ws !j c;
-          incr j
-        end
-      end
-    done;
-    Vec.shrink ws !j
-    end
-  done;
-  if !confl == dummy_clause then None else Some !confl
-
-(* -- Conflict analysis (first UIP) -------------------------------------- *)
-
-let litredundant s l =
+let litredundant (s : t) l =
   (* Basic minimization: a literal is redundant if it has a reason clause all
      of whose other literals are already seen or at level 0. *)
-  let c = Vec.get s.reason (Lit.var l) in
-  c != dummy_clause
-  && Array.for_all
-       (fun q ->
-         Lit.var q = Lit.var l
-         || Vec.get s.seen (Lit.var q)
-         || Vec.get s.level (Lit.var q) = 0)
-       c.lits
+  let r = s.Db.reason.(l lsr 1) in
+  r <> Db.cref_undef
+  &&
+  let ok = ref true in
+  for k = 0 to Db.clause_size s r - 1 do
+    let q = Db.clause_lit s r k in
+    let v = q lsr 1 in
+    if v <> l lsr 1 && (not s.Db.seen.(v)) && s.Db.level.(v) <> 0 then
+      ok := false
+  done;
+  !ok
 
-let analyze s confl =
-  let out = Vec.create ~dummy:dummy_lit in
-  Vec.push out dummy_lit (* slot for the asserting literal *);
-  let to_clear = Vec.create ~dummy:0 in
+let analyze (s : t) confl =
+  let out = s.Db.tmp_out in
+  Iv.clear out;
+  Iv.push out 0 (* slot for the asserting literal *);
+  let to_clear = s.Db.tmp_clear in
+  Iv.clear to_clear;
   let path = ref 0 in
-  let p = ref dummy_lit in
+  let p = ref 0 in
   let first = ref true in
   let c = ref confl in
-  let index = ref (Vec.size s.trail - 1) in
+  let index = ref (Iv.size s.Db.trail - 1) in
   let continue = ref true in
   while !continue do
-    if !c.learnt then cla_bump s !c;
+    if Db.clause_learnt s !c then Db.cla_bump s !c;
     let start = if !first then 0 else 1 in
-    for k = start to Array.length !c.lits - 1 do
-      let q = !c.lits.(k) in
-      let v = Lit.var q in
-      if (not (Vec.get s.seen v)) && Vec.get s.level v > 0 then begin
-        var_bump s v;
-        Vec.set s.seen v true;
-        Vec.push to_clear v;
-        if Vec.get s.level v >= decision_level s then incr path
-        else Vec.push out q
+    for k = start to Db.clause_size s !c - 1 do
+      let q = Db.clause_lit s !c k in
+      let v = q lsr 1 in
+      if (not s.Db.seen.(v)) && s.Db.level.(v) > 0 then begin
+        Db.var_bump s v;
+        s.Db.seen.(v) <- true;
+        Iv.push to_clear v;
+        if s.Db.level.(v) >= Db.decision_level s then incr path
+        else Iv.push out q
       end
     done;
     (* Select the next trail literal to expand. *)
-    while not (Vec.get s.seen (Lit.var (Vec.get s.trail !index))) do
+    while not s.Db.seen.(Iv.get s.Db.trail !index lsr 1) do
       decr index
     done;
-    p := Vec.get s.trail !index;
+    p := Iv.get s.Db.trail !index;
     decr index;
-    c := Vec.get s.reason (Lit.var !p);
-    Vec.set s.seen (Lit.var !p) false;
+    c := s.Db.reason.(!p lsr 1);
+    s.Db.seen.(!p lsr 1) <- false;
     decr path;
     first := false;
     if !path <= 0 then continue := false
   done;
-  Vec.set out 0 (Lit.neg !p);
+  Iv.set out 0 (!p lxor 1);
   (* Minimize. *)
-  let keep = Vec.create ~dummy:dummy_lit in
-  Vec.push keep (Vec.get out 0);
-  for k = 1 to Vec.size out - 1 do
-    let l = Vec.get out k in
-    if not (litredundant s l) then Vec.push keep l
+  let keep = s.Db.tmp_keep in
+  Iv.clear keep;
+  Iv.push keep (Iv.get out 0);
+  for k = 1 to Iv.size out - 1 do
+    let l = Iv.get out k in
+    if not (litredundant s l) then Iv.push keep l
   done;
   (* Find backtrack level: highest level among keep[1..]. *)
   let btlevel = ref 0 in
-  if Vec.size keep > 1 then begin
+  if Iv.size keep > 1 then begin
     let maxi = ref 1 in
-    for k = 2 to Vec.size keep - 1 do
-      if Vec.get s.level (Lit.var (Vec.get keep k))
-         > Vec.get s.level (Lit.var (Vec.get keep !maxi))
+    for k = 2 to Iv.size keep - 1 do
+      if s.Db.level.(Iv.get keep k lsr 1) > s.Db.level.(Iv.get keep !maxi lsr 1)
       then maxi := k
     done;
-    btlevel := Vec.get s.level (Lit.var (Vec.get keep !maxi));
-    Vec.swap keep 1 !maxi
+    btlevel := s.Db.level.(Iv.get keep !maxi lsr 1);
+    let a = Iv.get keep 1 and b = Iv.get keep !maxi in
+    Iv.set keep 1 b;
+    Iv.set keep !maxi a
   end;
-  Vec.iter (fun v -> Vec.set s.seen v false) to_clear;
-  (Vec.to_list keep, !btlevel)
+  for k = 0 to Iv.size to_clear - 1 do
+    s.Db.seen.(Iv.get to_clear k) <- false
+  done;
+  (keep, !btlevel)
 
-(* -- Final-conflict analysis (failed-assumption core) -------------------- *)
+(* -- Final-conflict analysis (failed-assumption core) --------------------- *)
 
 (* [p] is an assumption found false at placement time. Walks the implication
    graph backwards from [p]; every pseudo-decision reached is an assumption
    that participated in falsifying [p]. Returns the failed core: a subset
    [core] of the current assumptions (including [p]) such that the clause
    database conjoined with [core] is unsatisfiable. *)
-let analyze_final s p =
-  let core = ref [ p ] in
-  if decision_level s > 0 && Vec.get s.level (Lit.var p) > 0 then begin
-    Vec.set s.seen (Lit.var p) true;
-    let bound = Vec.get s.trail_lim 0 in
-    for i = Vec.size s.trail - 1 downto bound do
-      let q = Vec.get s.trail i in
-      let v = Lit.var q in
-      if Vec.get s.seen v then begin
-        let r = Vec.get s.reason v in
-        if r == dummy_clause then
+let analyze_final (s : t) p =
+  let core = ref [ Lit.of_int p ] in
+  if Db.decision_level s > 0 && s.Db.level.(p lsr 1) > 0 then begin
+    s.Db.seen.(p lsr 1) <- true;
+    let bound = Iv.get s.Db.trail_lim 0 in
+    for i = Iv.size s.Db.trail - 1 downto bound do
+      let q = Iv.get s.Db.trail i in
+      let v = q lsr 1 in
+      if s.Db.seen.(v) then begin
+        let r = s.Db.reason.(v) in
+        if r = Db.cref_undef then
           (* A pseudo-decision: an assumption placed earlier. Note that this
              is [¬p] itself when the assumptions are directly contradictory,
              in which case the core rightly lists both polarities. *)
-          core := q :: !core
+          core := Lit.of_int q :: !core
         else
-          Array.iter
-            (fun l ->
-              if Vec.get s.level (Lit.var l) > 0 then
-                Vec.set s.seen (Lit.var l) true)
-            r.lits;
-        Vec.set s.seen v false
+          for k = 0 to Db.clause_size s r - 1 do
+            let x = Db.clause_lit s r k in
+            if s.Db.level.(x lsr 1) > 0 then s.Db.seen.(x lsr 1) <- true
+          done;
+        s.Db.seen.(v) <- false
       end
     done
   end;
   !core
 
-(* -- Learnt clause management ------------------------------------------- *)
+(* -- Learnt clause management --------------------------------------------- *)
 
-let locked s c =
-  Array.length c.lits > 0
-  && Vec.get s.reason (Lit.var c.lits.(0)) == c
-  && value s c.lits.(0) = 1
+let locked (s : t) cr =
+  Db.clause_size s cr > 0
+  &&
+  let l0 = Db.clause_lit s cr 0 in
+  s.Db.reason.(l0 lsr 1) = cr && Db.value_lit s l0 = 1
 
-let reduce_db s =
-  Vec.sort (fun a b -> compare b.activity a.activity) s.learnts;
-  let keep_count = Vec.size s.learnts / 2 in
-  let kept = Vec.create ~dummy:dummy_clause in
-  Vec.iteri
-    (fun i c ->
-      if i < keep_count || locked s c || Array.length c.lits <= 2 then
-        Vec.push kept c
+let reduce_db (s : t) =
+  let n = Iv.size s.Db.learnts in
+  let arr = Array.init n (fun i -> Iv.get s.Db.learnts i) in
+  Array.sort (fun a b -> compare (Db.clause_act s b) (Db.clause_act s a)) arr;
+  let keep_count = n / 2 in
+  Iv.clear s.Db.learnts;
+  Array.iteri
+    (fun i cr ->
+      if i < keep_count || locked s cr || Db.clause_size s cr <= 2 then
+        Iv.push s.Db.learnts cr
       else begin
-        log_deleted s (Array.to_list c.lits);
-        detach s c
+        Db.log_deleted s (Db.clause_lits_list s cr);
+        Db.detach s cr;
+        Db.mark_dead s cr
       end)
-    s.learnts;
-  Vec.clear s.learnts;
-  Vec.iter (Vec.push s.learnts) kept
+    arr;
+  Db.maybe_gc s
 
-(* -- Clause addition ----------------------------------------------------- *)
+(* -- Search ---------------------------------------------------------------- *)
 
-let add_clause s lits =
-  if s.ok then begin
-    cancel_until s 0;
-    s.model <- None;
-    (* Sort, dedupe, drop false-at-root literals, detect tautology. *)
-    let lits = List.sort_uniq Lit.compare lits in
-    log_input s lits;
-    let taut =
-      List.exists (fun l -> List.exists (Lit.equal (Lit.neg l)) lits) lits
-      || List.exists (fun l -> value s l = 1 && Vec.get s.level (Lit.var l) = 0)
-           lits
-    in
-    if taut then s.n_eliminated <- s.n_eliminated + 1
-    else begin
-      let live =
-        List.filter
-          (fun l -> not (value s l = -1 && Vec.get s.level (Lit.var l) = 0))
-          lits
-      in
-      (* Removing root-falsified literals is itself a RUP inference. *)
-      if live <> lits then log_learned s live;
-      match live with
-      | [] -> s.ok <- false
-      | [ l ] ->
-        if value s l = -1 then begin
-          log_learned s [];
-          s.ok <- false
-        end
-        else if value s l = 0 then unchecked_enqueue s l dummy_clause
-      | _ :: _ :: _ ->
-        let c =
-          { lits = Array.of_list live; learnt = false; activity = 0. }
-        in
-        Vec.push s.clauses c;
-        attach s c
-    end
-  end
-
-(* -- Search -------------------------------------------------------------- *)
-
-let all_assigned s = Vec.size s.trail = nvars s
-
-let pick_branch_var s =
+let pick_branch_var (s : t) =
   let rec loop () =
-    if Vec.size s.heap = 0 then -1
+    if Iv.size s.Db.heap = 0 then -1
     else
-      let v = heap_pop s in
-      if Vec.get s.assigns v = 0 then v else loop ()
+      let v = Db.heap_pop s in
+      if s.Db.assigns.(v) = 0 && not s.Db.elimed.(v) then v else loop ()
   in
   loop ()
 
-let record_learnt s lits =
-  log_learned s lits;
+let record_learnt (s : t) (keep : Iv.t) =
+  let lits =
+    let rec go i acc = if i < 0 then acc else go (i - 1) (Iv.get keep i :: acc) in
+    go (Iv.size keep - 1) []
+  in
+  Db.log_learned s lits;
   match lits with
-  | [] -> s.ok <- false
-  | [ l ] -> unchecked_enqueue s l dummy_clause
+  | [] -> s.Db.ok <- false
+  | [ l ] -> Db.unchecked_enqueue s l Db.cref_undef
   | l :: _ ->
-    let c = { lits = Array.of_list lits; learnt = true; activity = 0. } in
-    Vec.push s.learnts c;
-    attach s c;
-    cla_bump s c;
-    unchecked_enqueue s l c
+    let cr =
+      Db.alloc_clause s (Array.init (Iv.size keep) (Iv.get keep)) ~learnt:true
+    in
+    Iv.push s.Db.learnts cr;
+    Db.attach s cr;
+    Db.cla_bump s cr;
+    Db.unchecked_enqueue s l cr
 
 let luby y x =
   (* Finite-subsequence Luby restart sequence. *)
@@ -565,52 +247,61 @@ exception Assumptions_failed
 (* Unsatisfiable only under the current assumptions; [conflict_core] holds
    the failed subset and the solver stays usable. *)
 
-(* Records the satisfying assignment and feeds it back into the branching
-   phases, so the next (incremental) call re-converges on a nearby model. *)
-let save_model s =
-  let m = Array.init (nvars s) (fun v -> Vec.get s.assigns v = 1) in
-  s.model <- Some m;
-  for v = 0 to nvars s - 1 do
-    Vec.set s.polarity v m.(v)
+(* Records the satisfying assignment — extended over the simplifier's
+   elimination stack to a total model of the input — and feeds it back into
+   the branching phases, so the next (incremental) call re-converges on a
+   nearby model. *)
+let save_model (s : t) =
+  let m =
+    Array.init s.Db.nvars (fun v ->
+        match s.Db.assigns.(v) with
+        | 1 -> true
+        | -1 -> false
+        | _ -> s.Db.polarity.(v))
+  in
+  Db.extend_model s m;
+  s.Db.model <- Some m;
+  for v = 0 to s.Db.nvars - 1 do
+    s.Db.polarity.(v) <- m.(v)
   done
 
 (* Places pending assumptions as pseudo-decisions, one per level, below any
    heuristic decision — the MiniSat assumption discipline. *)
-type placement = Placed | All_placed | Failed of Lit.t
+type placement = Placed | All_placed | Failed of int
 
-let place_assumptions s =
+let place_assumptions (s : t) =
   let rec go () =
-    if decision_level s >= Vec.size s.assumptions then All_placed
+    if Db.decision_level s >= Iv.size s.Db.assumptions then All_placed
     else
-      let p = Vec.get s.assumptions (decision_level s) in
-      match value s p with
+      let p = Iv.get s.Db.assumptions (Db.decision_level s) in
+      match Db.value_lit s p with
       | 1 ->
         (* Already entailed: open an empty pseudo-level to keep the
            level-to-assumption correspondence. *)
-        Vec.push s.trail_lim (Vec.size s.trail);
+        Iv.push s.Db.trail_lim (Iv.size s.Db.trail);
         go ()
       | -1 ->
-        s.conflict_core <- analyze_final s p;
+        s.Db.conflict_core <- analyze_final s p;
         Failed p
       | _ ->
-        Vec.push s.trail_lim (Vec.size s.trail);
-        unchecked_enqueue s p dummy_clause;
+        Iv.push s.Db.trail_lim (Iv.size s.Db.trail);
+        Db.unchecked_enqueue s p Db.cref_undef;
         Placed
   in
   go ()
 
-let search s ~nof_conflicts ~deadline ~budget =
+let search (s : t) ~nof_conflicts ~deadline ~budget =
   let conflict_count = ref 0 in
   let rec loop () =
-    match propagate s with
-    | Some confl ->
-      s.n_conflicts <- s.n_conflicts + 1;
+    let confl = Db.propagate s in
+    if confl <> Db.cref_undef then begin
+      s.Db.n_conflicts <- s.Db.n_conflicts + 1;
       incr conflict_count;
-      if Atomic.get s.stop then raise (Solved Unknown);
-      if decision_level s = 0 then begin
-        log_learned s [];
-        s.conflict_core <- [];
-        s.ok <- false;
+      if Atomic.get s.Db.stop then raise (Solved Unknown);
+      if Db.decision_level s = 0 then begin
+        Db.log_learned s [];
+        s.Db.conflict_core <- [];
+        s.Db.ok <- false;
         raise (Solved Unsat)
       end;
       (* Conflicts at assumption levels need no special casing: first-UIP
@@ -618,31 +309,32 @@ let search s ~nof_conflicts ~deadline ~budget =
          consequence of the database alone and the backjump may legally land
          inside the assumption prefix — [place_assumptions] re-places the
          rest. Assumption failure is detected at placement time instead. *)
-      let learnt, btlevel = analyze s confl in
-      cancel_until s btlevel;
-      record_learnt s learnt;
-      var_decay_activity s;
-      cla_decay_activity s;
+      let keep, btlevel = analyze s confl in
+      Db.cancel_until s btlevel;
+      record_learnt s keep;
+      Db.var_decay_activity s;
+      Db.cla_decay_activity s;
       (* The periodic poll doubles as the progress-snapshot point: no new
          branches in propagation, one mask test per conflict. *)
-      if s.n_conflicts land 1023 = 0 then begin
+      if s.Db.n_conflicts land 1023 = 0 then begin
         if Deadline.exceeded deadline then raise (Solved Unknown);
-        Progress.tick ~conflicts:s.n_conflicts ~decisions:s.n_decisions
-          ~propagations:s.n_props ~learnts:(Vec.size s.learnts)
-          ~trail:(Vec.size s.trail) ~vars:(nvars s)
-          ~level:(decision_level s) ~started:s.solve_started
+        Progress.tick ~conflicts:s.Db.n_conflicts ~decisions:s.Db.n_decisions
+          ~propagations:s.Db.n_props ~learnts:(Iv.size s.Db.learnts)
+          ~trail:(Iv.size s.Db.trail) ~vars:s.Db.nvars
+          ~level:(Db.decision_level s) ~started:s.Db.solve_started
       end;
-      if budget > 0 && s.n_conflicts >= budget then raise (Solved Unknown);
+      if budget > 0 && s.Db.n_conflicts >= budget then raise (Solved Unknown);
       loop ()
-    | None ->
-      if Atomic.get s.stop then raise (Solved Unknown);
+    end
+    else begin
+      if Atomic.get s.Db.stop then raise (Solved Unknown);
       if !conflict_count >= nof_conflicts then begin
-        s.n_restarts <- s.n_restarts + 1;
-        cancel_until s 0
-        (* restart *)
+        s.Db.n_restarts <- s.Db.n_restarts + 1;
+        Db.cancel_until s 0
+        (* restart: return to [solve], which may inprocess before re-entry *)
       end
       else if
-        Vec.size s.learnts >= (Vec.size s.clauses / 2) + 5000 + nvars s
+        Iv.size s.Db.learnts >= (Iv.size s.Db.clauses / 2) + 5000 + s.Db.nvars
       then begin
         reduce_db s;
         loop ()
@@ -652,35 +344,38 @@ let search s ~nof_conflicts ~deadline ~budget =
         | Failed _ -> raise Assumptions_failed
         | Placed -> loop ()
         | All_placed ->
-          if all_assigned s then begin
+          let v = pick_branch_var s in
+          if v < 0 then begin
             save_model s;
             raise (Solved Sat)
-          end
-          else begin
-            let v = pick_branch_var s in
-            if v < 0 then begin
-              save_model s;
-              raise (Solved Sat)
-            end;
-            s.n_decisions <- s.n_decisions + 1;
-            Vec.push s.trail_lim (Vec.size s.trail);
-            unchecked_enqueue s (Lit.make v (Vec.get s.polarity v)) dummy_clause;
-            loop ()
-          end
+          end;
+          s.Db.n_decisions <- s.Db.n_decisions + 1;
+          Iv.push s.Db.trail_lim (Iv.size s.Db.trail);
+          Db.unchecked_enqueue s
+            ((2 * v) + if s.Db.polarity.(v) then 0 else 1)
+            Db.cref_undef;
+          loop ()
       end
+    end
   in
   loop ()
 
-let stats s =
+let stats (s : t) =
   {
-    conflicts = s.n_conflicts;
-    decisions = s.n_decisions;
-    propagations = s.n_props;
-    restarts = s.n_restarts;
-    clauses = Vec.size s.clauses;
-    learnts = Vec.size s.learnts;
-    max_vars = nvars s;
-    eliminated = s.n_eliminated;
+    conflicts = s.Db.n_conflicts;
+    decisions = s.Db.n_decisions;
+    propagations = s.Db.n_props;
+    restarts = s.Db.n_restarts;
+    clauses = Iv.size s.Db.clauses;
+    learnts = Iv.size s.Db.learnts;
+    max_vars = s.Db.nvars;
+    eliminated = s.Db.n_eliminated;
+    simp_rounds = s.Db.n_simp_rounds;
+    simp_subsumed = s.Db.n_subsumed;
+    simp_strengthened = s.Db.n_strengthened;
+    simp_vars_eliminated = s.Db.n_elim_vars;
+    simp_blocked = s.Db.n_blocked;
+    simp_restored = s.Db.n_restored;
   }
 
 (* Metric handles are shared across every solver instance; [lazy] defers
@@ -706,42 +401,77 @@ let publish_deltas before after elapsed =
   Metrics.add (Lazy.force m_restarts) (after.restarts - before.restarts);
   Metrics.observe (Lazy.force m_solve_seconds) elapsed
 
+(* Inprocessing cadence: first pass after [simp_base] conflicts, then backing
+   off linearly with the number of rounds already run. *)
+let simp_base = 3000
+
+(* Whether eager preprocessing pays depends on how conflict-heavy the search
+   turns out to be, which cannot be known up front.  On a small database a
+   full SatELite pass costs a few milliseconds either way; on a large one it
+   can cost multiples of an easy solve (the wide EIJ encodings finish in a few
+   hundred conflicts), so above this many problem clauses all simplification
+   is deferred to conflict-triggered inprocessing, which fires only once the
+   search has proven the instance hard. *)
+let preprocess_clause_limit = 5000
+
+let maybe_inprocess (s : t) ~deadline =
+  if s.Db.simp_enabled && s.Db.n_conflicts >= s.Db.next_simp then begin
+    Simplifier.simplify s ~deadline ~max_rounds:1;
+    s.Db.next_simp <-
+      s.Db.n_conflicts + simp_base + (1000 * s.Db.n_simp_rounds)
+  end
+
 let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) ?(assumptions = [])
-    s =
-  s.conflict_core <- [];
-  if not s.ok then Unsat
+    (s : t) =
+  s.Db.conflict_core <- [];
+  if not s.Db.ok then Unsat
   else begin
-    cancel_until s 0;
-    s.model <- None;
-    Vec.clear s.assumptions;
-    List.iter (Vec.push s.assumptions) assumptions;
-    s.solve_started <- Deadline.wall_now ();
+    Db.cancel_until s 0;
+    s.Db.model <- None;
+    Iv.clear s.Db.assumptions;
+    let il = List.map Lit.to_int assumptions in
+    List.iter (Iv.push s.Db.assumptions) il;
+    s.Db.solve_started <- Deadline.wall_now ();
     let before = if Obs.enabled () then Some (stats s) else None in
     let finish r =
       (* Pop the assumption levels so the solver is immediately reusable;
          phase saving in [cancel_until] retains the branching state. *)
-      cancel_until s 0;
-      Vec.clear s.assumptions;
+      Db.cancel_until s 0;
+      Iv.clear s.Db.assumptions;
       (match before with
       | Some b ->
-        publish_deltas b (stats s) (Deadline.wall_now () -. s.solve_started)
+        publish_deltas b (stats s) (Deadline.wall_now () -. s.Db.solve_started)
       | None -> ());
       r
     in
     try
-      (match propagate s with
-      | Some _ ->
-        log_learned s [];
-        s.conflict_core <- [];
-        s.ok <- false;
-        raise (Solved Unsat)
-      | None -> ());
+      (* Assumption variables must survive elimination: restore any stack
+         entries they touch, then freeze them for good. *)
+      Db.restore_touching s il;
+      List.iter (fun l -> freeze s (l lsr 1)) il;
+      if not s.Db.ok then raise (Solved Unsat);
+      (if Db.propagate s <> Db.cref_undef then begin
+         Db.log_learned s [];
+         s.Db.conflict_core <- [];
+         s.Db.ok <- false;
+         raise (Solved Unsat)
+       end);
+      if s.Db.simp_enabled then begin
+        if s.Db.dirty > 0 && Iv.size s.Db.clauses <= preprocess_clause_limit
+        then begin
+          Simplifier.simplify s ~deadline ~max_rounds:3;
+          if not s.Db.ok then raise (Solved Unsat)
+        end;
+        s.Db.next_simp <- s.Db.n_conflicts + simp_base
+      end;
       let restart = ref 0 in
       while true do
         let nof_conflicts = int_of_float (100. *. luby 2. !restart) in
         incr restart;
         search s ~nof_conflicts ~deadline ~budget:conflict_budget;
-        if Deadline.exceeded deadline then raise (Solved Unknown)
+        if Deadline.exceeded deadline then raise (Solved Unknown);
+        maybe_inprocess s ~deadline;
+        if not s.Db.ok then raise (Solved Unsat)
       done;
       assert false
     with
@@ -749,39 +479,55 @@ let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) ?(assumptions = [])
     | Assumptions_failed -> finish Unsat
   end
 
-let unsat_core s = s.conflict_core
+let simplify (s : t) =
+  if s.Db.ok then begin
+    Db.cancel_until s 0;
+    s.Db.model <- None;
+    if Db.propagate s <> Db.cref_undef then Db.confirm_unsat s
+    else Simplifier.simplify s ~deadline:Deadline.none ~max_rounds:3
+  end
 
-let model s =
-  match s.model with
+let unsat_core (s : t) = s.Db.conflict_core
+
+let model (s : t) =
+  match s.Db.model with
   | Some m -> Array.copy m
   | None -> invalid_arg "Solver.model: no model available"
 
-let warm_start s phases =
-  let n = min (Array.length phases) (nvars s) in
+let warm_start (s : t) phases =
+  let n = min (Array.length phases) s.Db.nvars in
   for v = 0 to n - 1 do
-    Vec.set s.polarity v phases.(v)
+    s.Db.polarity.(v) <- phases.(v)
   done
 
-let value s l =
-  match s.model with
+let value (s : t) l =
+  match s.Db.model with
   | Some m ->
     let b = m.(Lit.var l) in
     if Lit.sign l then b else not b
   | None -> invalid_arg "Solver.value: no model available"
 
-let export_cnf s =
-  let clauses = ref [] in
-  Vec.iter (fun c -> clauses := Array.to_list c.lits :: !clauses) s.clauses;
+let export_cnf (s : t) =
+  let units = ref [] in
   (* Root-level facts live on the trail, not in the clause database. *)
-  for i = 0 to Vec.size s.trail - 1 do
-    let p = Vec.get s.trail i in
-    if Vec.get s.level (Lit.var p) = 0 then clauses := [ p ] :: !clauses
+  for i = Iv.size s.Db.trail - 1 downto 0 do
+    let p = Iv.get s.Db.trail i in
+    if s.Db.level.(p lsr 1) = 0 then units := [ Lit.of_int p ] :: !units
   done;
-  (nvars s, List.rev !clauses)
+  let clauses = ref !units in
+  for i = Iv.size s.Db.clauses - 1 downto 0 do
+    let cr = Iv.get s.Db.clauses i in
+    if not (Db.clause_dead s cr) then
+      clauses := List.map Lit.of_int (Db.clause_lits_list s cr) :: !clauses
+  done;
+  (s.Db.nvars, !clauses)
 
 let pp_stats ppf st =
   Format.fprintf ppf
     "vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d \
-     learnts=%d eliminated=%d"
+     learnts=%d eliminated=%d simp_rounds=%d subsumed=%d strengthened=%d \
+     vars_eliminated=%d blocked=%d restored=%d"
     st.max_vars st.clauses st.conflicts st.decisions st.propagations
-    st.restarts st.learnts st.eliminated
+    st.restarts st.learnts st.eliminated st.simp_rounds st.simp_subsumed
+    st.simp_strengthened st.simp_vars_eliminated st.simp_blocked
+    st.simp_restored

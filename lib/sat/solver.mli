@@ -31,9 +31,42 @@ type stats = {
   eliminated : int;
       (** clauses dropped at [add_clause] time (tautological or already
           satisfied at the root level) *)
+  simp_rounds : int;  (** simplification rounds run (pre- and inprocessing) *)
+  simp_subsumed : int;  (** clauses removed by backward subsumption *)
+  simp_strengthened : int;  (** clauses shrunk by self-subsumption *)
+  simp_vars_eliminated : int;  (** variables removed by bounded elimination *)
+  simp_blocked : int;  (** clauses removed by blocked-clause elimination *)
+  simp_restored : int;
+      (** extension-stack clauses restored because a later increment touched
+          their variables *)
 }
 
 val create : unit -> t
+
+val set_simplify : t -> bool -> unit
+(** Enables SatELite-style pre/inprocessing (subsumption, self-subsumption,
+    bounded variable elimination, blocked-clause elimination) for subsequent
+    [solve] calls: a preprocessing pass runs when new clauses are pending and
+    further rounds are scheduled between restarts. Off by default. Sound with
+    proofs (the DRUP trace stays checkable) and with the incremental API:
+    assumption variables are frozen, and clauses parked by elimination are
+    restored automatically when later additions touch their variables. *)
+
+val simplify : t -> unit
+(** Runs a full simplification pass immediately (regardless of the
+    [set_simplify] setting). Mainly for tests and tooling; [solve] schedules
+    simplification itself when enabled. *)
+
+val freeze : t -> int -> unit
+(** Marks a variable untouchable by the simplifier (never eliminated, never a
+    blocking witness). [solve] freezes assumption variables automatically;
+    freeze manually when a variable's semantics must survive, e.g. selector
+    variables looked up in models without being assumed every call. *)
+
+val is_eliminated : t -> int -> bool
+(** Whether the simplifier currently has this variable eliminated. Eliminated
+    variables still receive model values (via the reconstruction stack) but
+    are never decided on. *)
 
 val start_proof : t -> Proof.t
 (** Enables DRUP proof logging (from a fresh solver, before any clause is

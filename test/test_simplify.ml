@@ -1,0 +1,478 @@
+(* Tests for the SatELite-style simplifier: equisatisfiability of the
+   simplified database, totality of reconstructed models, DRUP soundness of
+   elimination, and the freeze/restore rules the incremental API depends
+   on. *)
+
+module Solver = Sepsat_sat.Solver
+module Lit = Sepsat_sat.Lit
+module Proof = Sepsat_sat.Proof
+module Drup_check = Sepsat_sat.Drup_check
+module Deadline = Sepsat_util.Deadline
+module Ast = Sepsat_suf.Ast
+module Verdict = Sepsat_sep.Verdict
+module Decide = Sepsat.Decide
+module Suite = Sepsat_workloads.Suite
+module Random_formula = Sepsat_workloads.Random_formula
+
+let result_t =
+  Alcotest.testable
+    (fun ppf r ->
+      Format.pp_print_string ppf
+        (match r with
+        | Solver.Sat -> "sat"
+        | Solver.Unsat -> "unsat"
+        | Solver.Unknown -> "unknown"))
+    ( = )
+
+let fresh_vars s n = Array.init n (fun _ -> Solver.new_var s)
+
+(* -- Unit tests: each elimination rule, observable through stats ---------- *)
+
+let test_subsumption () =
+  let s = Solver.create () in
+  let v = fresh_vars s 4 in
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(1) ];
+  (* strictly subsumed by the clause above *)
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(1); Lit.pos v.(2) ];
+  Solver.add_clause s [ Lit.pos v.(2); Lit.pos v.(3) ];
+  Solver.simplify s;
+  let st = Solver.stats s in
+  Alcotest.(check bool) "subsumed something" true (st.Solver.simp_subsumed > 0);
+  Alcotest.check result_t "still sat" Solver.Sat (Solver.solve s)
+
+let test_self_subsumption () =
+  let s = Solver.create () in
+  let v = fresh_vars s 3 in
+  (* (a or b) and (a or -b or c): resolving on b strengthens the second
+     clause to (a or c) which then survives as the strengthened form *)
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(1) ];
+  Solver.add_clause s [ Lit.pos v.(0); Lit.neg_of v.(1); Lit.pos v.(2) ];
+  Solver.simplify s;
+  let st = Solver.stats s in
+  Alcotest.(check bool) "strengthened something" true
+    (st.Solver.simp_strengthened > 0);
+  Alcotest.check result_t "still sat" Solver.Sat (Solver.solve s)
+
+let test_bve_eliminates_and_reconstructs () =
+  let s = Solver.create () in
+  let v = fresh_vars s 4 in
+  let clauses =
+    [
+      [ Lit.pos v.(0); Lit.pos v.(1) ];
+      [ Lit.neg_of v.(0); Lit.pos v.(2) ];
+      [ Lit.neg_of v.(0); Lit.pos v.(3) ];
+      [ Lit.pos v.(2); Lit.pos v.(3) ];
+    ]
+  in
+  List.iter (Solver.add_clause s) clauses;
+  Solver.simplify s;
+  let st = Solver.stats s in
+  Alcotest.(check bool) "eliminated a variable" true
+    (st.Solver.simp_vars_eliminated > 0);
+  Alcotest.check result_t "sat" Solver.Sat (Solver.solve s);
+  (* the reconstructed model must satisfy every ORIGINAL clause, including
+     those parked on the extension stack *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "original clause satisfied" true
+        (List.exists (fun l -> Solver.value s l) c))
+    clauses
+
+let test_blocked_clause () =
+  let s = Solver.create () in
+  let v = fresh_vars s 3 in
+  (* (a or b) is blocked on a: its only resolution partner on -a is
+     (-a or -b), and the resolvent (b or -b) is tautological *)
+  let clauses =
+    [
+      [ Lit.pos v.(0); Lit.pos v.(1) ];
+      [ Lit.neg_of v.(0); Lit.neg_of v.(1) ];
+      [ Lit.pos v.(1); Lit.pos v.(2) ];
+    ]
+  in
+  List.iter (Solver.add_clause s) clauses;
+  Solver.simplify s;
+  Alcotest.check result_t "sat" Solver.Sat (Solver.solve s);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "original clause satisfied" true
+        (List.exists (fun l -> Solver.value s l) c))
+    clauses
+
+let test_frozen_never_eliminated () =
+  let s = Solver.create () in
+  let v = fresh_vars s 4 in
+  (* v0 has exactly one positive and one negative occurrence — the easiest
+     possible elimination — but freezing must protect it *)
+  Solver.freeze s v.(0);
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(1) ];
+  Solver.add_clause s [ Lit.neg_of v.(0); Lit.pos v.(2) ];
+  Solver.add_clause s [ Lit.pos v.(3); Lit.pos v.(1) ];
+  Solver.simplify s;
+  Alcotest.(check bool) "frozen var survives" false (Solver.is_eliminated s v.(0));
+  Alcotest.check result_t "sat" Solver.Sat (Solver.solve s)
+
+let test_assumption_vars_not_eliminated () =
+  let s = Solver.create () in
+  Solver.set_simplify s true;
+  let v = fresh_vars s 4 in
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(1) ];
+  Solver.add_clause s [ Lit.neg_of v.(0); Lit.pos v.(2) ];
+  Solver.add_clause s [ Lit.neg_of v.(1); Lit.pos v.(3) ];
+  Alcotest.check result_t "sat under assumption" Solver.Sat
+    (Solver.solve ~assumptions:[ Lit.pos v.(0) ] s);
+  Alcotest.(check bool) "assumption var not eliminated" false
+    (Solver.is_eliminated s v.(0));
+  (* the assumption held in the model *)
+  Alcotest.(check bool) "assumption honoured" true
+    (Solver.value s (Lit.pos v.(0)))
+
+let test_restore_on_add () =
+  let s = Solver.create () in
+  let v = fresh_vars s 3 in
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(1) ];
+  Solver.add_clause s [ Lit.neg_of v.(0); Lit.pos v.(2) ];
+  Solver.simplify s;
+  Alcotest.(check bool) "v0 eliminated" true (Solver.is_eliminated s v.(0));
+  (* a later increment mentions the eliminated variable: its defining
+     clauses must come back before the new clause constrains it *)
+  Solver.add_clause s [ Lit.neg_of v.(1) ];
+  Solver.add_clause s [ Lit.pos v.(0) ];
+  Alcotest.(check bool) "v0 restored" false (Solver.is_eliminated s v.(0));
+  Alcotest.(check bool) "restore counted" true
+    ((Solver.stats s).Solver.simp_restored > 0);
+  Alcotest.check result_t "sat" Solver.Sat (Solver.solve s);
+  (* v0 forces v2 through the restored clause (-v0 or v2) *)
+  Alcotest.(check bool) "restored clause propagates" true
+    (Solver.value s (Lit.pos v.(2)))
+
+let test_warm_start_no_resurrection () =
+  let s = Solver.create () in
+  let v = fresh_vars s 3 in
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(1) ];
+  Solver.add_clause s [ Lit.neg_of v.(0); Lit.pos v.(2) ];
+  Solver.simplify s;
+  Alcotest.(check bool) "v0 eliminated" true (Solver.is_eliminated s v.(0));
+  (* seeding phases for every variable must not bring v0 back as a
+     decision variable, and solving must still extend the model over it *)
+  Solver.warm_start s [| true; false; true |];
+  Alcotest.(check bool) "still eliminated" true (Solver.is_eliminated s v.(0));
+  Alcotest.check result_t "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "eliminated var has a model value" true
+    (let m = Solver.model s in
+     Array.length m > v.(0)
+     && List.exists (fun l -> Solver.value s l)
+          [ Lit.pos v.(0); Lit.pos v.(1) ])
+
+let test_unsat_core_under_inprocessing () =
+  let s = Solver.create () in
+  Solver.set_simplify s true;
+  let v = fresh_vars s 4 in
+  Solver.add_clause s [ Lit.neg_of v.(0); Lit.neg_of v.(1) ];
+  Solver.add_clause s [ Lit.pos v.(2); Lit.pos v.(3) ];
+  let assumptions = [ Lit.pos v.(3); Lit.pos v.(0); Lit.pos v.(1) ] in
+  Alcotest.check result_t "unsat" Solver.Unsat (Solver.solve ~assumptions s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core non-empty" true (core <> []);
+  Alcotest.(check bool) "core within assumptions" true
+    (List.for_all (fun l -> List.exists (Lit.equal l) assumptions) core);
+  Alcotest.(check bool) "irrelevant assumption dropped" false
+    (List.exists (Lit.equal (Lit.pos v.(3))) core);
+  Alcotest.check result_t "core re-solves unsat" Solver.Unsat
+    (Solver.solve ~assumptions:core s);
+  Alcotest.check result_t "still sat alone" Solver.Sat (Solver.solve s)
+
+(* -- DRUP soundness of every elimination rule ----------------------------- *)
+
+let pigeonhole ~simplify ~proof holes =
+  let s = Solver.create () in
+  Solver.set_simplify s simplify;
+  let p = if proof then Some (Solver.start_proof s) else None in
+  let pigeons = holes + 1 in
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s))
+  in
+  for pg = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos v.(pg).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg_of v.(p1).(h); Lit.neg_of v.(p2).(h) ]
+      done
+    done
+  done;
+  (s, p)
+
+let test_proof_with_simplification () =
+  let s, proof = pigeonhole ~simplify:true ~proof:true 5 in
+  Alcotest.check result_t "unsat" Solver.Unsat (Solver.solve s);
+  Alcotest.(check bool) "simplification actually ran" true
+    ((Solver.stats s).Solver.simp_rounds > 0);
+  match proof with
+  | None -> assert false
+  | Some p -> Alcotest.(check bool) "certified" true (Drup_check.certified p)
+
+let test_proof_with_bve_and_subsumption () =
+  (* an instance built so that subsumption, strengthening and BVE all fire
+     before the UNSAT conclusion; the trace must still replay *)
+  let s = Solver.create () in
+  Solver.set_simplify s true;
+  let proof = Solver.start_proof s in
+  let v = fresh_vars s 6 in
+  List.iter (Solver.add_clause s)
+    [
+      [ Lit.pos v.(0); Lit.pos v.(1) ];
+      [ Lit.pos v.(0); Lit.pos v.(1); Lit.pos v.(2) ] (* subsumed *);
+      [ Lit.pos v.(0); Lit.neg_of v.(1); Lit.pos v.(2) ] (* strengthens *);
+      [ Lit.neg_of v.(0); Lit.pos v.(3) ] (* BVE candidate on v0 *);
+      [ Lit.neg_of v.(2); Lit.pos v.(4) ];
+      [ Lit.neg_of v.(3); Lit.pos v.(5) ];
+      [ Lit.neg_of v.(4); Lit.neg_of v.(5) ];
+      [ Lit.pos v.(2) ];
+      [ Lit.pos v.(3) ];
+    ];
+  Alcotest.check result_t "unsat" Solver.Unsat (Solver.solve s);
+  Alcotest.(check bool) "certified" true (Drup_check.certified proof)
+
+(* -- Fig. 2 benchmarks, certified with simplification (the CI gate) ------- *)
+
+let test_figure2_certified () =
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> Alcotest.fail ("unknown benchmark " ^ name)
+      | Some b ->
+        let ctx = Ast.create_ctx () in
+        let f = b.Suite.build ctx in
+        let r =
+          Decide.decide ~deadline:(Deadline.after 60.) ~certify:true
+            ~simplify:true ctx f
+        in
+        (match r.Decide.verdict with
+        | Verdict.Valid -> ()
+        | Verdict.Invalid _ -> Alcotest.fail (name ^ ": expected valid")
+        | Verdict.Unknown why -> Alcotest.fail (name ^ ": unknown: " ^ why));
+        Alcotest.(check (option bool))
+          (name ^ " DRUP-certified")
+          (Some true) r.Decide.certified)
+    [ "pipe.3"; "cache.5"; "tv.1" ]
+
+(* -- Sweep and warm-start product paths under inprocessing ---------------- *)
+
+let test_sweep_verdicts_simplify_invariant () =
+  List.iter
+    (fun (name, bug) ->
+      match Suite.find name with
+      | None -> Alcotest.fail ("unknown benchmark " ^ name)
+      | Some b ->
+        let sweep_with simplify =
+          let ctx = Ast.create_ctx () in
+          let f = b.Suite.build ?bug ctx in
+          let sw =
+            Decide.decide_sweep ~deadline:(Deadline.after 60.) ~simplify ctx f
+          in
+          List.map
+            (fun p ->
+              ( p.Decide.sw_threshold,
+                match p.Decide.sw_verdict with
+                | Verdict.Valid -> "valid"
+                | Verdict.Invalid _ -> "invalid"
+                | Verdict.Unknown _ -> "unknown" ))
+            sw.Decide.points
+        in
+        Alcotest.(check (list (pair int string)))
+          (name ^ " sweep agrees on/off")
+          (sweep_with false) (sweep_with true))
+    [ ("drv.1", None); ("drv.1", Some true); ("cache.3", None) ]
+
+(* -- Properties ----------------------------------------------------------- *)
+
+let brute_force_sat nvars clauses =
+  let rec loop assignment v =
+    if v = nvars then
+      List.for_all
+        (List.exists (fun l ->
+             if Lit.sign l then assignment.(Lit.var l)
+             else not assignment.(Lit.var l)))
+        clauses
+    else begin
+      assignment.(v) <- true;
+      loop assignment (v + 1)
+      ||
+      (assignment.(v) <- false;
+       loop assignment (v + 1))
+    end
+  in
+  loop (Array.make nvars false) 0
+
+let gen_cnf ~nvars ~nclauses ~width =
+  QCheck2.Gen.(
+    list_size (int_bound nclauses)
+      (list_size (int_range 1 width)
+         (map2 (fun v s -> Lit.make v s) (int_bound (nvars - 1)) bool)))
+
+let solve_with ~simplify nvars clauses =
+  let s = Solver.create () in
+  Solver.set_simplify s simplify;
+  for _ = 1 to nvars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (Solver.add_clause s) clauses;
+  (Solver.solve s, s)
+
+(* Equisatisfiability: simplified and plain search agree, and a simplified
+   Sat answer's reconstructed model satisfies every ORIGINAL clause. *)
+let prop_equisat_random_cnf =
+  QCheck2.Test.make ~name:"simplified solver agrees with plain" ~count:400
+    (gen_cnf ~nvars:12 ~nclauses:55 ~width:3)
+    (fun clauses ->
+      let plain, _ = solve_with ~simplify:false 12 clauses in
+      let simplified, s = solve_with ~simplify:true 12 clauses in
+      plain = simplified
+      &&
+      match simplified with
+      | Solver.Sat ->
+        List.for_all (List.exists (fun l -> Solver.value s l)) clauses
+      | Solver.Unsat | Solver.Unknown -> true)
+
+(* A forced preprocessing pass (Solver.simplify) preserves the verdict even
+   when [solve] would not have scheduled one. *)
+let prop_forced_simplify_equisat =
+  QCheck2.Test.make ~name:"forced simplify preserves verdict" ~count:300
+    (gen_cnf ~nvars:10 ~nclauses:40 ~width:4)
+    (fun clauses ->
+      let s = Solver.create () in
+      for _ = 1 to 10 do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      Solver.simplify s;
+      match Solver.solve s with
+      | Solver.Sat ->
+        List.for_all (List.exists (fun l -> Solver.value s l)) clauses
+      | Solver.Unsat -> not (brute_force_sat 10 clauses)
+      | Solver.Unknown -> false)
+
+(* Every UNSAT answer under simplification carries a certifiable DRUP
+   trace — elimination must not punch holes in the proof. *)
+let prop_unsat_simplified_certifies =
+  QCheck2.Test.make ~name:"simplified unsat proofs certify" ~count:300
+    (gen_cnf ~nvars:10 ~nclauses:55 ~width:3)
+    (fun clauses ->
+      let s = Solver.create () in
+      Solver.set_simplify s true;
+      let proof = Solver.start_proof s in
+      for _ = 1 to 10 do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      Solver.simplify s;
+      match Solver.solve s with
+      | Solver.Unsat -> Drup_check.certified proof
+      | Solver.Sat | Solver.Unknown -> true)
+
+(* Incremental discipline: assumptions agree with the brute-force oracle
+   across two solve calls on one simplifying solver, and assumption
+   variables are never left eliminated. *)
+let gen_cnf_with_assumptions ~nvars ~nclauses ~width ~nassum =
+  QCheck2.Gen.(
+    triple
+      (gen_cnf ~nvars ~nclauses ~width)
+      (list_size (int_bound nassum)
+         (map2 (fun v s -> Lit.make v s) (int_bound (nvars - 1)) bool))
+      (list_size (int_bound nassum)
+         (map2 (fun v s -> Lit.make v s) (int_bound (nvars - 1)) bool)))
+
+let prop_incremental_assumptions_simplified =
+  QCheck2.Test.make
+    ~name:"assumptions under inprocessing agree with oracle" ~count:300
+    (gen_cnf_with_assumptions ~nvars:10 ~nclauses:40 ~width:3 ~nassum:6)
+    (fun (clauses, assum1, assum2) ->
+      let s = Solver.create () in
+      Solver.set_simplify s true;
+      for _ = 1 to 10 do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      let agrees assumptions =
+        let reference =
+          not
+            (brute_force_sat 10
+               (clauses @ List.map (fun l -> [ l ]) assumptions))
+        in
+        (match Solver.solve ~assumptions s with
+        | Solver.Sat -> not reference
+        | Solver.Unsat -> reference
+        | Solver.Unknown -> false)
+        && List.for_all
+             (fun l -> not (Solver.is_eliminated s (Lit.var l)))
+             assumptions
+      in
+      agrees assum1 && agrees assum2)
+
+(* The full SUF pipeline: verdicts with and without simplification agree on
+   the same random formula (the differential fuzzer's core check, kept here
+   as a fast deterministic battery). *)
+let prop_suf_verdicts_agree =
+  QCheck2.Test.make ~name:"SUF verdicts agree simplify on/off" ~count:200
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let decide simplify =
+        let ctx = Ast.create_ctx () in
+        let f = Random_formula.generate Random_formula.small ctx ~seed in
+        (Decide.decide ~deadline:(Deadline.after 10.) ~simplify ctx f)
+          .Decide.verdict
+      in
+      match (decide false, decide true) with
+      | Verdict.Valid, Verdict.Valid -> true
+      | Verdict.Invalid _, Verdict.Invalid _ -> true
+      | Verdict.Unknown _, _ | _, Verdict.Unknown _ -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "subsumption" `Quick test_subsumption;
+          Alcotest.test_case "self-subsumption" `Quick test_self_subsumption;
+          Alcotest.test_case "bve + reconstruction" `Quick
+            test_bve_eliminates_and_reconstructs;
+          Alcotest.test_case "blocked clause" `Quick test_blocked_clause;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "frozen never eliminated" `Quick
+            test_frozen_never_eliminated;
+          Alcotest.test_case "assumption vars protected" `Quick
+            test_assumption_vars_not_eliminated;
+          Alcotest.test_case "restore on add" `Quick test_restore_on_add;
+          Alcotest.test_case "warm start no resurrection" `Quick
+            test_warm_start_no_resurrection;
+          Alcotest.test_case "unsat core under inprocessing" `Quick
+            test_unsat_core_under_inprocessing;
+          QCheck_alcotest.to_alcotest prop_incremental_assumptions_simplified;
+        ] );
+      ( "proof",
+        [
+          Alcotest.test_case "pigeonhole certifies" `Slow
+            test_proof_with_simplification;
+          Alcotest.test_case "bve + subsumption certify" `Quick
+            test_proof_with_bve_and_subsumption;
+          QCheck_alcotest.to_alcotest prop_unsat_simplified_certifies;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "fig2 certified with simplification" `Slow
+            test_figure2_certified;
+          Alcotest.test_case "sweep verdicts invariant" `Slow
+            test_sweep_verdicts_simplify_invariant;
+          QCheck_alcotest.to_alcotest prop_suf_verdicts_agree;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_equisat_random_cnf;
+          QCheck_alcotest.to_alcotest prop_forced_simplify_equisat;
+        ] );
+    ]
