@@ -59,7 +59,7 @@ let compare_rel = ref 0.25
 let compare_abs = ref 0.05
 
 let usage =
-  "main.exe [--figure 2|3|threshold|4|5|6|portfolio|all] [--deadline S] \
+  "main.exe [--figure 2|3|threshold|4|5|6|portfolio|parallel|all] [--deadline S] \
    [--no-micro] [--json PATH] [--strict] [--trace PATH] [--stats] \
    [--log-level quiet|info|debug] [--repeat K] [--baseline-out PATH] \
    [--compare PATH] [--compare-rel R] [--compare-abs S] \
@@ -181,6 +181,7 @@ let () =
     | "5" -> Experiments.figure5 ~deadline_s:d ppf
     | "6" -> Experiments.figure6 ~deadline_s:d ppf
     | "portfolio" -> Experiments.figure_portfolio ~deadline_s:d ppf
+    | "parallel" -> Experiments.figure_parallel ~deadline_s:d ppf
     | "all" -> Experiments.all ~deadline_s:d ppf
     | other -> raise (Arg.Bad ("unknown figure: " ^ other))
   in

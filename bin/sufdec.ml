@@ -60,7 +60,7 @@ let method_conv =
         (`Msg
           (Printf.sprintf
              "unknown method %S (expected sd, eij, hybrid, hybrid:<n>, svc, \
-              lazy, portfolio)"
+              lazy, portfolio, components, cube)"
              s))
   in
   let print ppf m = Decide.pp_method ppf m in
@@ -78,8 +78,8 @@ let method_arg =
     & opt method_conv Decide.Hybrid_default
     & info [ "m"; "method" ] ~docv:"METHOD"
         ~doc:
-          "Decision method: sd, eij, hybrid, hybrid:N, svc, lazy or \
-           portfolio.")
+          "Decision method: sd, eij, hybrid, hybrid:N, svc, lazy, \
+           portfolio, components or cube.")
 
 let portfolio_arg =
   Arg.(
@@ -311,7 +311,7 @@ let family_conv =
         (fun f -> Suite.family_name f = s)
         [
           Suite.Pipeline; Suite.Load_store; Suite.Ooo_invariant; Suite.Cache;
-          Suite.Trans_valid; Suite.Device_driver;
+          Suite.Trans_valid; Suite.Device_driver; Suite.Batch;
         ]
     with
     | Some f -> Ok f
@@ -334,6 +334,8 @@ let gen_cmd =
         Sepsat_workloads.Trans_valid.formula ~bug ctx ~n_blocks:size ~seed
       | Suite.Device_driver ->
         Sepsat_workloads.Device_driver.formula ~bug ctx ~n_steps:size ~seed
+      | Suite.Batch ->
+        Sepsat_workloads.Batch.formula ~bug ctx ~n_units:4 ~n_ops:size
     in
     Format.printf "%a@." Ast.pp formula
   in
@@ -372,6 +374,8 @@ let bench_cmd =
     | "6" -> Sepsat_harness.Experiments.figure6 ~deadline_s:timeout ppf
     | "portfolio" ->
       Sepsat_harness.Experiments.figure_portfolio ~deadline_s:timeout ppf
+    | "parallel" ->
+      Sepsat_harness.Experiments.figure_parallel ~deadline_s:timeout ppf
     | "all" -> Sepsat_harness.Experiments.all ~deadline_s:timeout ppf
     | other ->
       Format.eprintf "unknown figure %S@." other;
@@ -382,7 +386,7 @@ let bench_cmd =
     Arg.(
       value & opt string "all"
       & info [ "figure" ] ~docv:"ID"
-          ~doc:"2, 3, threshold, 4, 5, 6, portfolio or all.")
+          ~doc:"2, 3, threshold, 4, 5, 6, portfolio, parallel or all.")
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
@@ -402,7 +406,8 @@ let cnf_cmd =
         | Decide.Eij -> Sepsat_encode.Hybrid.eij_only
         | Decide.Hybrid_default -> Sepsat_encode.Hybrid.default
         | Decide.Hybrid_at t -> Sepsat_encode.Hybrid.hybrid ~threshold:t ()
-        | Decide.Svc_baseline | Decide.Lazy_baseline | Decide.Portfolio ->
+        | Decide.Svc_baseline | Decide.Lazy_baseline | Decide.Portfolio
+        | Decide.Components | Decide.Cube_and_conquer ->
           Format.eprintf "cnf export requires a single eager method@.";
           exit 2
       in

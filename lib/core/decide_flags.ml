@@ -1,0 +1,8 @@
+(* Process-wide pipeline defaults shared by Decide and Parallel (which must
+   not depend on Decide — Decide orchestrates it). [Atomic] because racing
+   domains read them. *)
+
+(* Default for SatELite-style pre/inprocessing in every procedure that
+   bottoms out in [Solver]; toggled whole-pipeline by the bench harness and
+   the differential fuzzer via [Decide.set_simplify_default]. *)
+let simplify = Atomic.make true

@@ -1,0 +1,505 @@
+module Ast = Sepsat_suf.Ast
+module Parse = Sepsat_suf.Parse
+module Sset = Sepsat_util.Sset
+module Brute = Sepsat_sep.Brute
+module Component = Sepsat_sep.Component
+module Verdict = Sepsat_sep.Verdict
+module Hybrid = Sepsat_encode.Hybrid
+module F = Sepsat_prop.Formula
+module Tseitin = Sepsat_prop.Tseitin
+module Solver = Sepsat_sat.Solver
+module Lit = Sepsat_sat.Lit
+module Deadline = Sepsat_util.Deadline
+module Obs = Sepsat_obs.Obs
+module Metrics = Sepsat_obs.Metrics
+
+let m_components = lazy (Metrics.counter "parallel.components")
+
+let m_cubes = lazy (Metrics.counter "parallel.cubes")
+
+let m_cubes_pruned = lazy (Metrics.counter "parallel.cubes_pruned")
+
+let default_pool () =
+  max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+(* -- Component pool -------------------------------------------------------- *)
+
+type components_result = {
+  cr_verdict : Verdict.t;
+  cr_assignment : Brute.assignment option;
+  cr_certified : bool option;
+  cr_n_components : int;
+  cr_pool : int;
+  cr_cnf_clauses : int;
+  cr_sat_stats : Solver.stats option;
+}
+
+(* Outcome of one component's satisfiability check, stored by workers. *)
+type comp_res = {
+  k_verdict : Verdict.t;  (** [Valid] = goal unsatisfiable *)
+  k_assignment : Brute.assignment option;
+  k_certified : bool option;
+  k_cnf : int;
+  k_stats : Solver.stats option;
+}
+
+(* Components own disjoint g-constants and Boolean constants, and every
+   component decodes all p-constants at the same injected values, so the
+   union of their models is a function; a duplicate name with two values
+   means the split was wrong — fail loudly rather than return a witness the
+   certifier would reject for unclear reasons. *)
+let merge_assignments asgs =
+  let dedup l =
+    let l = List.sort_uniq compare l in
+    let rec dup = function
+      | (n1, _) :: ((n2, _) :: _ as tl) ->
+        if String.equal n1 n2 then
+          invalid_arg
+            (Printf.sprintf
+               "Parallel: components disagree on witness value of %S" n1)
+        else dup tl
+      | _ -> ()
+    in
+    dup l;
+    l
+  in
+  {
+    Brute.ints = dedup (List.concat_map (fun a -> a.Brute.ints) asgs);
+    bools = dedup (List.concat_map (fun a -> a.Brute.bools) asgs);
+  }
+
+let solve_components ?pool ?simplify ?stop ?p_value ~config ~deadline ~certify
+    _ctx ~p_consts (split : Component.split) =
+  let pool = match pool with Some p -> max 1 p | None -> default_pool () in
+  let simplify =
+    match simplify with Some b -> b | None -> Atomic.get Decide_flags.simplify
+  in
+  let comps = Array.of_list split.Component.components in
+  let n = Array.length comps in
+  if Obs.enabled () then Metrics.add (Lazy.force m_components) n;
+  let printed =
+    Array.map (fun c -> Format.asprintf "%a" Ast.pp c.Component.goal) comps
+  in
+  let p_value_table =
+    match p_value with
+    | Some t -> t
+    | None -> Hybrid.p_values_of split.Component.classes ~p_consts
+  in
+  (* Short-circuit flag for the pool itself; the parent's [stop] (if any) is
+     folded into the deadline so translation loops and the CDCL deadline
+     poll observe it too — [Solver.set_stop] holds only one flag. *)
+  let pool_stop = Atomic.make false in
+  let deadline =
+    let d =
+      match stop with
+      | Some flag -> Deadline.with_stop deadline flag
+      | None -> deadline
+    in
+    Deadline.with_stop d pool_stop
+  in
+  let next = Atomic.make 0 in
+  let results : comp_res option array = Array.make n None in
+  let winner : (int * comp_res) option Atomic.t = Atomic.make None in
+  let run_component i =
+    let r =
+      Obs.span ~cat:"parallel"
+        (Printf.sprintf "component:%d" i)
+        (fun () ->
+        let ctx' = Ast.create_ctx () in
+        let goal = Parse.formula ctx' printed.(i) in
+        (* The component goal is a conjunctive factor of ¬f: it is
+           unsatisfiable exactly when ¬goal is valid, so the standard
+           pipeline applies to ¬goal. *)
+        let target = Ast.not_ ctx' goal in
+        let p_tbl = Hashtbl.create 16 in
+        List.iter (fun (k, v) -> Hashtbl.replace p_tbl k v) p_value_table;
+        let p_value name =
+          match Hashtbl.find_opt p_tbl name with
+          | Some v -> v
+          | None ->
+            invalid_arg (Printf.sprintf "Parallel: unknown p-constant %S" name)
+        in
+        match Hybrid.encode ~config ~deadline ~p_value ctx' ~p_consts target with
+        | exception Hybrid.Translation_blowup ->
+          {
+            k_verdict = Verdict.Unknown "translation blowup";
+            k_assignment = None;
+            k_certified = None;
+            k_cnf = 0;
+            k_stats = None;
+          }
+        | exception Deadline.Timeout ->
+          {
+            k_verdict =
+              Verdict.Unknown
+                (if Deadline.interrupted deadline then "cancelled"
+                 else "timeout");
+            k_assignment = None;
+            k_certified = None;
+            k_cnf = 0;
+            k_stats = None;
+          }
+        | encoded ->
+          let solver = Solver.create () in
+          Solver.set_simplify solver simplify;
+          Solver.set_stop solver pool_stop;
+          let proof =
+            if certify then Some (Solver.start_proof solver) else None
+          in
+          let mode = if certify then Tseitin.Full else Tseitin.Polarity in
+          let tseitin = Tseitin.create ~mode solver in
+          Tseitin.assert_root tseitin
+            (F.not_ encoded.Hybrid.prop_ctx encoded.Hybrid.f_bool);
+          let outcome = Solver.solve ~deadline solver in
+          let verdict, assignment =
+            match outcome with
+            | Solver.Unsat -> (Verdict.Valid, None)
+            | Solver.Unknown ->
+              ( Verdict.Unknown
+                  (if Atomic.get pool_stop || Deadline.interrupted deadline
+                   then "cancelled"
+                   else "timeout"),
+                None )
+            | Solver.Sat ->
+              let assign v =
+                match Tseitin.find_var tseitin v with
+                | Some lit -> Solver.value solver lit
+                | None -> false
+              in
+              let a = encoded.Hybrid.decode assign in
+              (Verdict.Invalid a, Some a)
+          in
+          let certified =
+            match (verdict, proof) with
+            | Verdict.Valid, Some p -> Some (Sepsat_sat.Drup_check.certified p)
+            | (Verdict.Invalid _ | Verdict.Unknown _), Some _ | _, None -> None
+          in
+          let res =
+            {
+              k_verdict = verdict;
+              k_assignment = assignment;
+              k_certified = certified;
+              k_cnf = Tseitin.clauses_added tseitin;
+              k_stats = Some (Solver.stats solver);
+            }
+          in
+          (match verdict with
+          | Verdict.Valid ->
+            if Atomic.compare_and_set winner None (Some (i, res)) then begin
+              Atomic.set pool_stop true;
+              Obs.instant ~cat:"parallel" "shortcircuit"
+            end
+          | Verdict.Invalid _ | Verdict.Unknown _ -> ());
+          res)
+    in
+    results.(i) <- Some r
+  in
+  let worker w () =
+    Obs.name_thread (Printf.sprintf "components:w%d" w);
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        if Atomic.get pool_stop then
+          results.(i) <-
+            Some
+              {
+                k_verdict = Verdict.Unknown "cancelled";
+                k_assignment = None;
+                k_certified = None;
+                k_cnf = 0;
+                k_stats = None;
+              }
+        else run_component i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let n_domains = max 1 (min pool n) in
+  Obs.span ~cat:"parallel" "components.pool" (fun () ->
+      if n_domains = 1 then worker 0 ()
+      else
+        let domains =
+          List.init n_domains (fun w -> Domain.spawn (worker w))
+        in
+        List.iter Domain.join domains);
+  let results =
+    Array.map
+      (function
+        | Some r -> r
+        | None ->
+          {
+            k_verdict = Verdict.Unknown "cancelled";
+            k_assignment = None;
+            k_certified = None;
+            k_cnf = 0;
+            k_stats = None;
+          })
+      results
+  in
+  let cnf_clauses = Array.fold_left (fun acc r -> acc + r.k_cnf) 0 results in
+  let verdict, assignment, certified, stats =
+    match Atomic.get winner with
+    | Some (_, r) -> (Verdict.Valid, None, r.k_certified, r.k_stats)
+    | None -> (
+      let unknown =
+        Array.fold_left
+          (fun acc r ->
+            match (acc, r.k_verdict) with
+            | Some _, _ -> acc
+            | None, Verdict.Unknown why -> Some why
+            | None, _ -> None)
+          None results
+      in
+      match unknown with
+      | Some why -> (Verdict.Unknown why, None, None, None)
+      | None ->
+        let asgs =
+          Array.to_list results
+          |> List.filter_map (fun r -> r.k_assignment)
+        in
+        let merged = merge_assignments asgs in
+        ( Verdict.Invalid merged,
+          Some merged,
+          None,
+          if n > 0 then results.(0).k_stats else None ))
+  in
+  {
+    cr_verdict = verdict;
+    cr_assignment = assignment;
+    cr_certified = certified;
+    cr_n_components = n;
+    cr_pool = n_domains;
+    cr_cnf_clauses = cnf_clauses;
+    cr_sat_stats = stats;
+  }
+
+(* -- Cube-and-conquer ------------------------------------------------------ *)
+
+type cubes_result = {
+  qr_verdict : Verdict.t;
+  qr_assignment : Brute.assignment option;
+  qr_n_cubes : int;
+  qr_pruned : int;
+  qr_pool : int;
+  qr_cnf_clauses : int;
+  qr_sat_stats : Solver.stats option;
+  qr_encode_stats : Hybrid.stats option;
+  qr_phases : (string * float) list;
+}
+
+(* A cube containing every literal of a failed-assumption core is
+   unsatisfiable by subsumption — the sibling that produced the core already
+   did the work. *)
+let cube_subsumed cores cube =
+  List.exists
+    (fun core ->
+      List.for_all (fun l -> Array.exists (Lit.equal l) cube) core)
+    cores
+
+let solve_cubes ?pool ?simplify ?stop ?(k = 4) ?(probe_budget = 2000) ~config
+    ~deadline ctx ~p_consts formula =
+  let pool = match pool with Some p -> max 1 p | None -> default_pool () in
+  let simplify =
+    match simplify with Some b -> b | None -> Atomic.get Decide_flags.simplify
+  in
+  let pool_stop = Atomic.make false in
+  let deadline =
+    let d =
+      match stop with
+      | Some flag -> Deadline.with_stop deadline flag
+      | None -> deadline
+    in
+    Deadline.with_stop d pool_stop
+  in
+  let t0 = Deadline.wall_now () in
+  let unknown ~phases why =
+    {
+      qr_verdict = Verdict.Unknown why;
+      qr_assignment = None;
+      qr_n_cubes = 0;
+      qr_pruned = 0;
+      qr_pool = 0;
+      qr_cnf_clauses = 0;
+      qr_sat_stats = None;
+      qr_encode_stats = None;
+      qr_phases = phases;
+    }
+  in
+  match
+    Obs.span ~cat:"parallel" "cube.encode" (fun () ->
+        Hybrid.encode ~config ~deadline ctx ~p_consts formula)
+  with
+  | exception Hybrid.Translation_blowup ->
+    unknown
+      ~phases:[ ("encode", Deadline.wall_now () -. t0) ]
+      "translation blowup"
+  | exception Deadline.Timeout ->
+    unknown
+      ~phases:[ ("encode", Deadline.wall_now () -. t0) ]
+      (if Deadline.interrupted deadline then "cancelled" else "timeout")
+  | encoded ->
+    let t_enc = Deadline.wall_now () in
+    (* The master stays unsimplified so [export_cnf] hands workers the exact
+       problem clauses under the original numbering — worker models then
+       index master variables directly and [Tseitin.find_var] decodes them. *)
+    let master = Solver.create () in
+    Solver.set_simplify master false;
+    Solver.set_stop master pool_stop;
+    let tseitin = Tseitin.create ~mode:Tseitin.Polarity master in
+    Obs.span ~cat:"parallel" "cube.cnf" (fun () ->
+        Tseitin.assert_root tseitin
+          (F.not_ encoded.Hybrid.prop_ctx encoded.Hybrid.f_bool));
+    let t_cnf = Deadline.wall_now () in
+    let decode_with model =
+      let assign v =
+        match Tseitin.find_var tseitin v with
+        | Some lit ->
+          let b = model.(Lit.var lit) in
+          if Lit.sign lit then b else not b
+        | None -> false
+      in
+      encoded.Hybrid.decode assign
+    in
+    let probe =
+      Obs.span ~cat:"parallel" "cube.probe" (fun () ->
+          Solver.solve ~deadline ~conflict_budget:probe_budget master)
+    in
+    let t_probe = Deadline.wall_now () in
+    let phases_upto t =
+      [
+        ("encode", t_enc -. t0);
+        ("cnf", t_cnf -. t_enc);
+        ("probe", t_probe -. t_cnf);
+        ("cube", t -. t_probe);
+      ]
+    in
+    let finish ?assignment ?(n_cubes = 0) ?(pruned = 0) ?(pool = 0) verdict =
+      {
+        qr_verdict = verdict;
+        qr_assignment = assignment;
+        qr_n_cubes = n_cubes;
+        qr_pruned = pruned;
+        qr_pool = pool;
+        qr_cnf_clauses = Tseitin.clauses_added tseitin;
+        qr_sat_stats = Some (Solver.stats master);
+        qr_encode_stats = Some encoded.Hybrid.stats;
+        qr_phases = phases_upto (Deadline.wall_now ());
+      }
+    in
+    (match probe with
+    | Solver.Unsat -> finish Verdict.Valid
+    | Solver.Sat ->
+      let a = decode_with (Solver.model master) in
+      finish ~assignment:a (Verdict.Invalid a)
+    | Solver.Unknown when Deadline.exceeded deadline ->
+      finish
+        (Verdict.Unknown
+           (if Deadline.interrupted deadline then "cancelled" else "timeout"))
+    | Solver.Unknown ->
+      (* Budget exhausted: the probe seeded VSIDS — branch on its favorites. *)
+      let vars = Solver.top_vars master k in
+      if vars = [] then finish (Verdict.Unknown "no split variables")
+      else begin
+        let vars = Array.of_list vars in
+        let k' = Array.length vars in
+        let n_cubes = 1 lsl k' in
+        if Obs.enabled () then Metrics.add (Lazy.force m_cubes) n_cubes;
+        let nvars, clauses = Solver.export_cnf master in
+        let cube_of ix =
+          Array.init k' (fun j ->
+              Lit.make vars.(j) (ix land (1 lsl j) <> 0))
+        in
+        let next = Atomic.make 0 in
+        let sat_model : bool array option Atomic.t = Atomic.make None in
+        let db_unsat = Atomic.make false in
+        let any_unknown = Atomic.make false in
+        let pruned = Atomic.make 0 in
+        let cores_mu = Mutex.create () in
+        let cores : Lit.t list list ref = ref [] in
+        let worker w () =
+          Obs.name_thread (Printf.sprintf "cubes:w%d" w);
+          let solver = Solver.create () in
+          Solver.set_simplify solver simplify;
+          Solver.set_stop solver pool_stop;
+          for _ = 1 to nvars do
+            ignore (Solver.new_var solver)
+          done;
+          List.iter (Solver.add_clause solver) clauses;
+          let rec loop () =
+            let ix = Atomic.fetch_and_add next 1 in
+            if ix < n_cubes && not (Atomic.get pool_stop) then begin
+              let cube = cube_of ix in
+              let known_cores =
+                Mutex.lock cores_mu;
+                let cs = !cores in
+                Mutex.unlock cores_mu;
+                cs
+              in
+              if cube_subsumed known_cores cube then begin
+                Atomic.incr pruned;
+                if Obs.enabled () then
+                  Metrics.incr (Lazy.force m_cubes_pruned)
+              end
+              else
+                Obs.span ~cat:"parallel"
+                  (Printf.sprintf "cube:%d" ix)
+                  (fun () ->
+                    match
+                      Solver.solve ~deadline
+                        ~assumptions:(Array.to_list cube) solver
+                    with
+                    | Solver.Sat ->
+                      if
+                        Atomic.compare_and_set sat_model None
+                          (Some (Solver.model solver))
+                      then begin
+                        Atomic.set pool_stop true;
+                        Obs.instant ~cat:"parallel" "cube.sat"
+                      end
+                    | Solver.Unsat -> (
+                      match Solver.unsat_core solver with
+                      | [] ->
+                        (* The database alone is unsatisfiable — every
+                           sibling cube is moot. *)
+                        Atomic.set db_unsat true;
+                        Atomic.set pool_stop true;
+                        Obs.instant ~cat:"parallel" "cube.db_unsat"
+                      | core ->
+                        Mutex.lock cores_mu;
+                        cores := core :: !cores;
+                        Mutex.unlock cores_mu)
+                    | Solver.Unknown -> Atomic.set any_unknown true);
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let n_domains = max 1 (min pool n_cubes) in
+        Obs.span ~cat:"parallel" "cube.pool" (fun () ->
+            if n_domains = 1 then worker 0 ()
+            else
+              let domains =
+                List.init n_domains (fun w -> Domain.spawn (worker w))
+              in
+              List.iter Domain.join domains);
+        let pruned = Atomic.get pruned in
+        match Atomic.get sat_model with
+        | Some model ->
+          let a = decode_with model in
+          finish ~assignment:a ~n_cubes ~pruned ~pool:n_domains
+            (Verdict.Invalid a)
+        | None ->
+          if Atomic.get db_unsat then
+            finish ~n_cubes ~pruned ~pool:n_domains Verdict.Valid
+          else if Atomic.get any_unknown || Atomic.get next < n_cubes then
+            finish ~n_cubes ~pruned ~pool:n_domains
+              (Verdict.Unknown
+                 (if Deadline.interrupted deadline then "cancelled"
+                  else "timeout"))
+          else
+            (* Every cube came back unsatisfiable (or was pruned by a core,
+               which implies the same): the cubes are a tautology over the
+               split variables, so the database is unsatisfiable. *)
+            finish ~n_cubes ~pruned ~pool:n_domains Verdict.Valid
+      end)

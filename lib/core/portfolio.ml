@@ -6,6 +6,8 @@ type member = Decide.method_ =
   | Svc_baseline
   | Lazy_baseline
   | Portfolio
+  | Components
+  | Cube_and_conquer
 
 let members = Decide.portfolio_members
 

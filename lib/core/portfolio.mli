@@ -1,13 +1,14 @@
 (** Multicore method portfolio.
 
-    Races the eager methods (SD, EIJ, HYBRID at the default [SEP_THOLD]) on
-    separate OCaml domains over the same formula. The first member to reach a
-    decisive verdict wins: it flips a shared atomic stop flag that every
-    competing CDCL solver polls from its propagation loop, so the losers
-    abandon their searches within a few hundred propagations. Because the
-    methods' strengths are complementary (the motivation for HYBRID in the
-    first place), the portfolio tracks the best single method per benchmark
-    at the cost of cores instead of tuning.
+    Races the eager methods (SD, EIJ, HYBRID at the default [SEP_THOLD]) and
+    the structural COMPONENTS strategy on separate OCaml domains over the
+    same formula. The first member to reach a decisive verdict wins: it
+    flips a shared atomic stop flag that every competing CDCL solver polls
+    from its propagation loop, so the losers abandon their searches within a
+    few hundred propagations. Because the methods' strengths are
+    complementary (the motivation for HYBRID in the first place), the
+    portfolio tracks the best single method per benchmark at the cost of
+    cores instead of tuning.
 
     This is a thin facade over {!Decide.Portfolio}; use [Decide.decide
     ~method_:Portfolio] for the full option surface. *)
@@ -20,9 +21,11 @@ type member = Decide.method_ =
   | Svc_baseline
   | Lazy_baseline
   | Portfolio
+  | Components
+  | Cube_and_conquer
 
 val members : member list
-(** The raced methods: SD, EIJ, HYBRID(default). *)
+(** The raced methods: SD, EIJ, HYBRID(default), COMPONENTS. *)
 
 val decide :
   ?deadline:Sepsat_util.Deadline.t ->

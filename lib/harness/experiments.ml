@@ -191,6 +191,25 @@ let figure_portfolio ?(deadline_s = default_deadline) ppf =
     (Runner.recorded_rows ());
   Format.fprintf ppf "@."
 
+let parallel_benchmarks =
+  [
+    "pipe.3"; "pipe.5"; "cache.5"; "lsu.3"; "tv.1";
+    (* the multi-component instances carrying the speedup claim *)
+    "batch.1"; "batch.3"; "batch.4";
+  ]
+
+let figure_parallel ?(deadline_s = default_deadline) ppf =
+  comparison
+    ~title:
+      "Structure-parallel: sequential HYBRID vs COMPONENTS and CUBE \
+       (wall-clock; multi-component benchmarks should sit below the \
+       diagonal in the COMPONENTS column)"
+    ~benchmarks:(List.filter_map Suite.find parallel_benchmarks)
+    ~base_method:Decide.Hybrid_default ~base_name:"HYBRID"
+    ~others:
+      [ ("COMPONENTS", Decide.Components); ("CUBE", Decide.Cube_and_conquer) ]
+    ~deadline_s ppf
+
 let figure5 ?(deadline_s = default_deadline) ppf =
   comparison
     ~title:
@@ -312,5 +331,6 @@ let all ?(deadline_s = default_deadline) ppf =
   figure5 ~deadline_s ppf;
   figure6 ~deadline_s ppf;
   figure_portfolio ~deadline_s ppf;
+  figure_parallel ~deadline_s ppf;
   ablation_threshold ~deadline_s ppf;
   ablation_positive_equality ~deadline_s ppf

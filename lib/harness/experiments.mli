@@ -35,6 +35,16 @@ val figure_portfolio : ?deadline_s:float -> Format.formatter -> unit
     against each member on a representative benchmark subset, with the
     winning method and wall-clock time per benchmark. *)
 
+val parallel_benchmarks : string list
+(** Benchmarks of {!figure_parallel}: representative single-component
+    suite instances plus three multi-component [batch.N] instances. *)
+
+val figure_parallel : ?deadline_s:float -> Format.formatter -> unit
+(** The structure-parallel strategies (COMPONENTS, CUBE) against the
+    sequential HYBRID lane: unchanged verdicts on the single-component
+    suite instances, and the wall-clock speedup evidence on the
+    multi-component [batch.N] instances. *)
+
 val ablation_threshold : ?deadline_s:float -> Format.formatter -> unit
 (** Design-choice ablation: HYBRID search time across a SEP_THOLD sweep on
     representative benchmarks, run as assumption vectors against a single

@@ -1,0 +1,218 @@
+module Ast = Sepsat_suf.Ast
+module Sset = Sepsat_util.Sset
+
+type component = {
+  goal : Ast.formula;
+  n_conjuncts : int;
+  class_ids : int list;
+  n_consts : int;
+  comp_sep_cnt : int;
+  residue : bool;
+}
+
+type split = {
+  components : component list;
+  n_classes : int;
+  n_conjuncts : int;
+  normalized : Ast.formula;
+  classes : Classes.t;
+}
+
+(* Conjuncts of [¬f]: push the negation through Or and double negations,
+   split And spines of positive subtrees. The recursion mirrors NNF but
+   stops at the first node that is neither a conjunction (in the current
+   polarity) nor a negation, so conjuncts stay subformulas of [f] (possibly
+   under one Not) — their atoms are exactly atoms of [f], which is what
+   lets [Classes.atom_class] resolve them against the global classes. *)
+let conjuncts_of_negation ctx f =
+  let rec pos acc f =
+    match f.Ast.fnode with
+    | Ast.And (a, b) -> pos (pos acc a) b
+    | Ast.Not g -> neg acc g
+    | Ast.Ftrue -> acc
+    | _ -> f :: acc
+  and neg acc f =
+    match f.Ast.fnode with
+    | Ast.Or (a, b) -> neg (neg acc a) b
+    | Ast.Not g -> pos acc g
+    | Ast.Ffalse -> acc
+    | _ -> Ast.not_ ctx f :: acc
+  in
+  List.rev (neg [] f)
+
+(* Symbols through which a conjunct can interact with another: the
+   equivalence classes of its integer atoms and its symbolic Boolean
+   constants. Pure-p atoms touch no class — the p-constants' values are
+   fixed identically in every component, so they carry nothing across. *)
+type key = Class of int | Bool of string
+
+let keys_of_conjunct classes conj =
+  let ks = ref [] in
+  List.iter
+    (fun atom ->
+      match Classes.atom_class classes atom with
+      | Some ci -> ks := Class ci.Classes.id :: !ks
+      | None -> ())
+    (Ast.atoms conj);
+  List.iter
+    (fun (name, arity) -> if arity = 0 then ks := Bool name :: !ks)
+    (Ast.predicates conj);
+  List.sort_uniq compare !ks
+
+(* Small union-find over an index space assigned on first sight. *)
+module Uf = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+  let rec find t i =
+    let p = t.parent.(i) in
+    if p = i then i
+    else begin
+      let r = find t p in
+      t.parent.(i) <- r;
+      r
+    end
+
+  let union t i j =
+    let ri = find t i and rj = find t j in
+    if ri <> rj then
+      if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+      else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+      else begin
+        t.parent.(rj) <- ri;
+        t.rank.(ri) <- t.rank.(ri) + 1
+      end
+end
+
+let split ctx ~p_consts f =
+  if Ast.has_applications f then
+    invalid_arg "Component.split: formula has uninterpreted applications";
+  let nf = Normal.normalize ctx f in
+  let classes = Classes.build ~p_consts nf in
+  let conjs = conjuncts_of_negation ctx nf in
+  let conj_keys = List.map (keys_of_conjunct classes) conjs in
+  (* Index every distinct key, then union the keys of each conjunct. *)
+  let key_ix = Hashtbl.create 16 in
+  let n_keys = ref 0 in
+  let ix_of k =
+    match Hashtbl.find_opt key_ix k with
+    | Some i -> i
+    | None ->
+        let i = !n_keys in
+        incr n_keys;
+        Hashtbl.add key_ix k i;
+        i
+  in
+  List.iter (fun ks -> List.iter (fun k -> ignore (ix_of k)) ks) conj_keys;
+  let uf = Uf.create (max 1 !n_keys) in
+  List.iter
+    (fun ks ->
+      match List.map ix_of ks with
+      | [] -> ()
+      | i0 :: rest -> List.iter (fun i -> Uf.union uf i0 i) rest)
+    conj_keys;
+  (* Bucket conjuncts by the root of their first key; keyless conjuncts
+     form the residue. Buckets keep conjunct order, so each goal is the
+     original conjunction restricted to its group. *)
+  let buckets : (int, Ast.formula list) Hashtbl.t = Hashtbl.create 8 in
+  let bucket_order = ref [] in
+  let residue_conjs = ref [] in
+  List.iter2
+    (fun conj ks ->
+      match ks with
+      | [] -> residue_conjs := conj :: !residue_conjs
+      | k :: _ ->
+          let r = Uf.find uf (ix_of k) in
+          (match Hashtbl.find_opt buckets r with
+          | Some cs -> Hashtbl.replace buckets r (conj :: cs)
+          | None ->
+              bucket_order := r :: !bucket_order;
+              Hashtbl.add buckets r [ conj ]))
+    conjs conj_keys;
+  (* Per-root class ids, from the key table rather than the buckets so a
+     class joined only through a shared Boolean still counts once. *)
+  let root_classes : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun k i ->
+      match k with
+      | Bool _ -> ()
+      | Class cid ->
+          let r = Uf.find uf i in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt root_classes r) in
+          Hashtbl.replace root_classes r (cid :: prev))
+    key_ix;
+  let infos = Classes.classes classes in
+  let mk_component r =
+    let conjs = List.rev (Hashtbl.find buckets r) in
+    let class_ids =
+      List.sort_uniq compare
+        (Option.value ~default:[] (Hashtbl.find_opt root_classes r))
+    in
+    let n_consts, comp_sep_cnt =
+      List.fold_left
+        (fun (nc, sc) cid ->
+          let ci = infos.(cid) in
+          (nc + List.length ci.Classes.members, sc + ci.Classes.sep_cnt))
+        (0, 0) class_ids
+    in
+    {
+      goal = Ast.and_list ctx conjs;
+      n_conjuncts = List.length conjs;
+      class_ids;
+      n_consts;
+      comp_sep_cnt;
+      residue = false;
+    }
+  in
+  let components = List.rev_map mk_component !bucket_order in
+  let components =
+    List.sort
+      (fun a b ->
+        let c = compare b.comp_sep_cnt a.comp_sep_cnt in
+        if c <> 0 then c
+        else
+          let c = compare b.n_conjuncts a.n_conjuncts in
+          if c <> 0 then c else compare a.class_ids b.class_ids)
+      components
+  in
+  let components =
+    match !residue_conjs with
+    | [] -> components
+    | rs ->
+        components
+        @ [
+            {
+              goal = Ast.and_list ctx (List.rev rs);
+              n_conjuncts = List.length rs;
+              class_ids = [];
+              n_consts = 0;
+              comp_sep_cnt = 0;
+              residue = true;
+            };
+          ]
+  in
+  (* An empty negation (¬f ≡ true) still yields one trivially-true residue
+     component so downstream pools have something to decide. *)
+  let components =
+    match components with
+    | [] ->
+        [
+          {
+            goal = Ast.tru ctx;
+            n_conjuncts = 0;
+            class_ids = [];
+            n_consts = 0;
+            comp_sep_cnt = 0;
+            residue = true;
+          };
+        ]
+    | cs -> cs
+  in
+  {
+    components;
+    n_classes = Array.length infos;
+    n_conjuncts = List.length conjs;
+    normalized = nf;
+    classes;
+  }

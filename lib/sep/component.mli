@@ -1,0 +1,56 @@
+(** Conjunct-level decomposition of the negated validity goal into
+    independent components (the structure-parallel split of ROADMAP item 3).
+
+    Validity of an application-free formula [f] is unsatisfiability of [¬f].
+    After {!Normal.normalize}, [¬f] flattens into a conjunction of goal
+    conjuncts; two conjuncts interact only through the symbols they share —
+    the g-constant equivalence classes of {!Classes} and the symbolic
+    Boolean constants. p-constants do NOT connect conjuncts: by positive
+    equality they take the same fixed maximally diverse values in every
+    satisfiability check, so a shared p-constant never carries information
+    between components.
+
+    Grouping conjuncts by a union-find over their touched classes and
+    Boolean constants therefore yields sub-formulas [g_1 ∧ ... ∧ g_n = ¬f]
+    over pairwise disjoint free symbols (p-constants aside): [¬f] is
+    satisfiable iff every [g_i] is, and per-component models merge into one
+    model of [¬f]. Conjuncts touching nothing partitionable (ground facts,
+    pure-p atoms) gather into a single residue component. *)
+
+module Ast = Sepsat_suf.Ast
+module Sset = Sepsat_util.Sset
+
+type component = {
+  goal : Ast.formula;
+      (** conjunction of this component's goal conjuncts — a conjunctive
+          factor of [¬f]; the component is decided by checking [goal]'s
+          satisfiability, e.g. by running the standard validity pipeline on
+          [¬goal] *)
+  n_conjuncts : int;
+  class_ids : int list;  (** ids into {!Classes.classes}, sorted *)
+  n_consts : int;  (** g-constants owned by those classes *)
+  comp_sep_cnt : int;  (** sum of the owned classes' [SepCnt] *)
+  residue : bool;  (** the class-free leftover component *)
+}
+
+type split = {
+  components : component list;
+      (** heaviest ([comp_sep_cnt], then conjunct count) first, so a work
+          pool starts the longest poles earliest; the residue, if any, last *)
+  n_classes : int;  (** classes of the whole formula *)
+  n_conjuncts : int;
+  normalized : Ast.formula;  (** [Normal.normalize] of the input *)
+  classes : Classes.t;  (** classes of [normalized], global ids *)
+}
+
+val split : Ast.ctx -> p_consts:Sset.t -> Ast.formula -> split
+(** [split ctx ~p_consts f] decomposes the validity goal of [f]. The formula
+    must be application-free (the output of {!Sepsat_suf.Elim}); it is
+    normalized here. The conjunction of all component goals is logically
+    equivalent to [¬ normalized].
+    @raise Invalid_argument if the formula contains applications. *)
+
+val conjuncts_of_negation : Ast.ctx -> Ast.formula -> Ast.formula list
+(** The flattening [split] groups: conjuncts of [¬f], obtained by pushing
+    the negation through [Or] and double negations and splitting [And]
+    spines. Exposed for tests. *)

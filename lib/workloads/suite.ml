@@ -7,6 +7,7 @@ type family =
   | Cache
   | Trans_valid
   | Device_driver
+  | Batch
 
 let family_name = function
   | Pipeline -> "pipeline"
@@ -15,6 +16,7 @@ let family_name = function
   | Cache -> "cache"
   | Trans_valid -> "trans-valid"
   | Device_driver -> "device-driver"
+  | Batch -> "batch"
 
 type benchmark = {
   name : string;
@@ -94,6 +96,19 @@ let invariant_checking =
 
 let benchmarks = non_invariant @ invariant_checking
 
+(* Multi-component instances beyond the paper's 49: [benchmarks] keeps the
+   paper's population, [find] sees these too. *)
+let batch_entry i (u, m) =
+  {
+    name = Printf.sprintf "batch.%d" i;
+    family = Batch;
+    invariant_checking = false;
+    build = (fun ?bug ctx -> Batch.formula ?bug ctx ~n_units:u ~n_ops:m);
+  }
+
+let batch =
+  List.mapi batch_entry [ (4, 16); (8, 16); (10, 18); (12, 20); (20, 20) ]
+
 let sample16 =
   let pick names = List.filter (fun b -> List.mem b.name names) benchmarks in
   pick
@@ -106,4 +121,4 @@ let sample16 =
       "ooo.0";
     ]
 
-let find name = List.find_opt (fun b -> b.name = name) benchmarks
+let find name = List.find_opt (fun b -> b.name = name) (benchmarks @ batch)

@@ -5,7 +5,12 @@
     load-store units, cache coherence, translation validation, device
     drivers) and 10 out-of-order invariant-checking benchmarks. DAG sizes
     span roughly the paper's 100–7500 node range. Every benchmark also has an
-    invalid mutation used by the soundness tests. *)
+    invalid mutation used by the soundness tests.
+
+    A seventh family of {!batch} instances — scenario-generation batches
+    whose negation decomposes into independent constraint systems — sits
+    outside the paper's population: {!benchmarks} keeps the 49, {!find}
+    sees the batches too. *)
 
 module Ast = Sepsat_suf.Ast
 
@@ -16,6 +21,7 @@ type family =
   | Cache
   | Trans_valid
   | Device_driver
+  | Batch
 
 val family_name : family -> string
 
@@ -40,4 +46,11 @@ val sample16 : benchmark list
 (** A 16-benchmark sample with at least one per domain — the paper's §3
     sample used for Fig. 3 and the SEP_THOLD selection. *)
 
+val batch : benchmark list
+(** The {!Batch} instances ([batch.N]): healthy builds are {e invalid}
+    (the joint scenario exists; the countermodel merges per-unit
+    witnesses), [bug] builds are valid through one UNSAT unit. Not part of
+    {!benchmarks}. *)
+
 val find : string -> benchmark option
+(** Looks through {!benchmarks} and {!batch}. *)

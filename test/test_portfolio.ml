@@ -82,7 +82,7 @@ let test_portfolio_facade () =
       Alcotest.(check bool) "winner raced" true
         (List.mem m Portfolio.members)
     | None -> Alcotest.fail "no winner");
-    Alcotest.(check int) "three members" 3 (List.length Portfolio.members)
+    Alcotest.(check int) "four members" 4 (List.length Portfolio.members)
 
 (* -- Incremental sweep ----------------------------------------------------- *)
 
