@@ -48,6 +48,8 @@ let repeat = ref 1
 
 let no_simplify = ref false
 
+let flight = ref false
+
 let baseline_out = ref ""
 
 let compare_path = ref ""
@@ -61,7 +63,7 @@ let compare_abs = ref 0.05
 let usage =
   "main.exe [--figure 2|3|threshold|4|5|6|portfolio|parallel|all] [--deadline S] \
    [--no-micro] [--json PATH] [--strict] [--trace PATH] [--stats] \
-   [--log-level quiet|info|debug] [--repeat K] [--baseline-out PATH] \
+   [--log-level quiet|info|debug] [--repeat K] [--flight] [--baseline-out PATH] \
    [--compare PATH] [--compare-rel R] [--compare-abs S] \
    [--compare-current PATH]"
 
@@ -84,6 +86,10 @@ let spec =
     ( "--no-simplify",
       Arg.Set no_simplify,
       " disable the SAT core's pre/inprocessing for every run" );
+    ( "--flight",
+      Arg.Set flight,
+      " turn on the flight recorder for every run, as a server would — the \
+       perf gate uses this to price always-on recording" );
     ( "--repeat",
       Arg.Set_int repeat,
       " run the selected figure(s) K times; baselines keep the min" );
@@ -169,6 +175,7 @@ let () =
   if !trace_path <> "" || !stats || Obs.get_level () <> Obs.Quiet then
     Obs.enable ();
   if !no_simplify then Decide.set_simplify_default false;
+  if !flight then Sepsat_obs.Flight.enable ();
   let ppf = Format.std_formatter in
   let d = !deadline_s in
   Runner.reset_recorded ();

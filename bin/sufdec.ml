@@ -9,7 +9,9 @@
    sufdec bench [--figure 2|3|threshold|4|5|6|portfolio|all] [--timeout S]
    sufdec list
    sufdec serve [--socket PATH] [--workers N] [--queue N] [--cache N]
+                [--flight-dir DIR]
    sufdec submit --socket PATH [FILE...|--suite S] [--method M] [--json]
+   sufdec top --socket PATH [--interval S] [--frames N]
    sufdec loadgen [--clients N] [--repeats K] [--json FILE]
 
    FILE is '-' for stdin throughout. *)
@@ -488,8 +490,8 @@ let socket_arg =
         ~doc:"Unix-domain socket path (serve: listen; submit: connect).")
 
 let serve_cmd =
-  let run socket metrics_socket log_json workers queue_cap cache_cap
-      default_timeout obs_finish =
+  let run socket metrics_socket log_json flight_dir workers queue_cap
+      cache_cap default_timeout obs_finish =
     let log_close =
       match log_json with
       | None -> fun () -> ()
@@ -509,9 +511,14 @@ let serve_cmd =
           close_out_noerr oc
     in
     let engine =
-      Engine.create ?workers ~queue_capacity:queue_cap
+      Engine.create ?workers ?flight_dir ~queue_capacity:queue_cap
         ~cache_capacity:cache_cap ~default_timeout_s:default_timeout ()
     in
+    (* The engine turned the flight recorder on; wire up the on-demand
+       dumps: SIGUSR1 for a live server, the crash handler for everything
+       else. *)
+    Sepsat_obs.Flight.install_signal_dump ();
+    Sepsat_obs.Flight.install_crash_dump ();
     (match socket with
     | Some path -> Server.serve_unix ?metrics_path:metrics_socket engine ~path
     | None ->
@@ -549,6 +556,16 @@ let serve_cmd =
             "Write structured JSON-lines request logs (one object per \
              event, correlated by request id) to $(docv); '-' for stderr.")
   in
+  let flight_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for flight-recorder dumps (default: current \
+             directory). Also arms automatic dumps on per-request deadline \
+             expiry; SIGUSR1 and crash dumps are always armed.")
+  in
   let workers_arg =
     Arg.(
       value
@@ -585,11 +602,12 @@ let serve_cmd =
           protocol on stdin/stdout or a Unix-domain socket.")
     Term.(
       const run $ socket_arg $ metrics_socket_arg $ log_json_arg
-      $ workers_arg $ queue_arg $ cache_arg $ default_timeout_arg $ obs_term)
+      $ flight_dir_arg $ workers_arg $ queue_arg $ cache_arg
+      $ default_timeout_arg $ obs_term)
 
 let submit_cmd =
   let run socket files suite method_ timeout lang_s as_json do_ping
-      do_stats do_metrics do_shutdown =
+      do_stats do_metrics do_dump do_shutdown =
     let path =
       match socket with
       | Some p -> p
@@ -634,6 +652,9 @@ let submit_cmd =
         | Protocol.Metrics (_, body) ->
           (* The exposition document is already line-oriented text. *)
           print_string body
+        | Protocol.Dump (_, body) ->
+          (* One JSON document — pipe it to python3 -m json.tool or jq. *)
+          print_endline body
     in
     if do_ping then print_reply (Session.rpc session (Protocol.Ping "ping"));
     (* Benchmark-suite workloads, by name; files afterwards. *)
@@ -674,6 +695,8 @@ let submit_cmd =
       print_reply (Session.rpc session (Protocol.Stats_req "stats"));
     if do_metrics then
       print_reply (Session.rpc session (Protocol.Metrics_req "metrics"));
+    if do_dump then
+      print_reply (Session.rpc session (Protocol.Dump_req "dump"));
     if do_shutdown then print_reply (Session.rpc session (Protocol.Shutdown ""));
     Session.close session;
     if !failures > 0 then exit 3
@@ -718,6 +741,14 @@ let submit_cmd =
             "Fetch the server's Prometheus exposition document afterwards \
              (printed as text; with $(b,--json), as the raw reply line).")
   in
+  let dump_flag =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:
+            "Fetch the server's flight-recorder contents afterwards (one \
+             JSON document).")
+  in
   let shutdown_flag =
     Arg.(
       value & flag
@@ -731,7 +762,145 @@ let submit_cmd =
     Term.(
       const run $ socket_arg $ files_arg $ suite_arg $ method_arg
       $ timeout_arg $ lang_arg $ json_flag $ ping_flag $ stats_flag'
-      $ metrics_flag $ shutdown_flag)
+      $ metrics_flag $ dump_flag $ shutdown_flag)
+
+(* -- top: live terminal dashboard ----------------------------------------- *)
+
+module Sjson = Sepsat_serve.Json
+
+let top_cmd =
+  let run socket interval frames =
+    let path =
+      match socket with
+      | Some p -> p
+      | None ->
+        Format.eprintf "top requires --socket PATH@.";
+        exit 2
+    in
+    let session =
+      try Session.connect ~retries:50 path
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "cannot connect to %s: %s@." path (Unix.error_message e);
+        exit 2
+    in
+    let num k j = Option.value ~default:0. (Sjson.mem_num k j) in
+    let str k j = Option.value ~default:"" (Sjson.mem_str k j) in
+    let obj k j = Option.value ~default:(Sjson.Obj []) (Sjson.member k j) in
+    let arr k j =
+      match Sjson.member k j with Some (Sjson.Arr l) -> l | _ -> []
+    in
+    (* Rolling trend history, newest first; sparklines read oldest first. *)
+    let hist_qps = ref [] and hist_queue = ref [] and hist_p99 = ref [] in
+    let push h v = h := v :: !h in
+    let spark h =
+      Sepsat_harness.Ascii_plot.sparkline (Array.of_list (List.rev !h))
+    in
+    let prev = ref None in
+    let frame i =
+      match Session.stats session with
+      | None ->
+        Format.eprintf "server did not answer stats@.";
+        exit 3
+      | Some j ->
+        let now = Unix.gettimeofday () in
+        let completed = num "completed" j in
+        let qps =
+          match !prev with
+          | Some (c0, t0) when now -. t0 > 1e-3 -> (completed -. c0) /. (now -. t0)
+          | _ -> 0.
+        in
+        prev := Some (completed, now);
+        push hist_qps qps;
+        push hist_queue (num "queue_depth" j);
+        let lat = obj "latency_ms" j in
+        push hist_p99 (num "p99" lat);
+        let cache = obj "cache" j in
+        let hits = num "hits" cache and misses = num "misses" cache in
+        let hit_rate =
+          if hits +. misses > 0. then 100. *. hits /. (hits +. misses) else 0.
+        in
+        (* A single frame is a plain report (the CI mode); a live loop
+           repaints in place. *)
+        if frames <> 1 then print_string "\027[2J\027[H";
+        Format.printf "sufdec top — %s  frame %d%s  every %.1fs@." path i
+          (if frames = 0 then "" else Printf.sprintf "/%d" frames)
+          interval;
+        Format.printf
+          "requests  submitted %.0f  completed %.0f  shed %.0f  errors %.0f  \
+           workers %.0f@."
+          (num "submitted" j) completed (num "shed" j) (num "errors" j)
+          (num "workers" j);
+        Format.printf "qps       %8.1f  %s@." qps (spark hist_qps);
+        Format.printf "queue     %8.0f  %s@." (num "queue_depth" j)
+          (spark hist_queue);
+        Format.printf "p99 ms    %8.2f  %s@." (num "p99" lat) (spark hist_p99);
+        Format.printf
+          "latency   p50 %.2fms  p90 %.2fms  p99 %.2fms over %.0f reqs%s@."
+          (num "p50" lat) (num "p90" lat) (num "p99" lat) (num "count" lat)
+          (match str "p99_rid" lat with
+          | "" -> ""
+          | rid -> Printf.sprintf "  (p99 exemplar %s)" rid);
+        Format.printf
+          "cache     %.1f%% hit  (hits %.0f  misses %.0f  size %.0f/%.0f)@."
+          hit_rate hits misses (num "size" cache) (num "capacity" cache);
+        (match arr "exemplars" j with
+        | [] -> ()
+        | exes ->
+          Format.printf "slowest request per latency bucket:@.";
+          List.iter
+            (fun e ->
+              let le =
+                match Sjson.member "le" e with
+                | Some (Sjson.Num ub) -> Printf.sprintf "%g" ub
+                | _ -> "+Inf"
+              in
+              Format.printf "  le %-6s  %-12s %8.1fms@." le (str "rid" e)
+                (1000. *. num "value_s" e))
+            exes);
+        (match arr "lanes" j with
+        | [] -> Format.printf "lanes     (idle)@."
+        | lanes ->
+          Format.printf "lanes:@.";
+          Format.printf "  %-4s %-22s %-12s %10s %10s %9s@." "tid" "name"
+            "rid" "conflicts" "confl/s" "elapsed";
+          List.iter
+            (fun ln ->
+              Format.printf "  %-4.0f %-22s %-12s %10.0f %10.0f %8.1fs@."
+                (num "tid" ln) (str "name" ln) (str "rid" ln)
+                (num "conflicts" ln) (num "rate" ln) (num "elapsed_s" ln))
+            lanes)
+    in
+    let rec loop i =
+      frame i;
+      if frames = 0 || i < frames then begin
+        Unix.sleepf interval;
+        loop (i + 1)
+      end
+    in
+    loop 1;
+    Session.close session
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) refreshes; 0 (default) runs until \
+             interrupted. $(b,--frames 1) prints one plain report — the \
+             scriptable mode.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard for a running sufdec server: qps, queue \
+          depth, cache hit rate, latency quantiles with exemplar request \
+          ids, and per-lane solver progress, polled over the stats op.")
+    Term.(const run $ socket_arg $ interval_arg $ frames_arg)
 
 let loadgen_cmd =
   let run clients repeats workers method_ timeout json_out min_speedup =
@@ -830,5 +999,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; smt_cmd; stats_cmd; cnf_cmd; gen_cmd; bench_cmd;
-            list_cmd; serve_cmd; submit_cmd; loadgen_cmd;
+            list_cmd; serve_cmd; submit_cmd; top_cmd; loadgen_cmd;
           ]))

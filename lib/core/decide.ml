@@ -12,6 +12,7 @@ module Deadline = Sepsat_util.Deadline
 module Svc = Sepsat_baselines.Svc
 module Lazy_smt = Sepsat_baselines.Lazy_smt
 module Obs = Sepsat_obs.Obs
+module Trace_ctx = Sepsat_obs.Trace_ctx
 
 type method_ =
   | Sd
@@ -400,7 +401,14 @@ let decide_portfolio ?simplify ~deadline ~certify ctx formula =
         | Verdict.Unknown _ -> ());
         r)
   in
-  let domains = List.map (fun m -> Domain.spawn (fun () -> run m)) portfolio_members in
+  (* Hand the spawner's trace context across the domain boundary so every
+     lane's spans carry the originating request's rid. *)
+  let tctx = Trace_ctx.capture () in
+  let domains =
+    List.map
+      (fun m -> Domain.spawn (fun () -> Trace_ctx.with_ctx tctx (fun () -> run m)))
+      portfolio_members
+  in
   let results =
     Obs.span ~cat:"portfolio" "portfolio.race" (fun () ->
         List.map Domain.join domains)

@@ -12,6 +12,7 @@ module Lit = Sepsat_sat.Lit
 module Deadline = Sepsat_util.Deadline
 module Obs = Sepsat_obs.Obs
 module Metrics = Sepsat_obs.Metrics
+module Trace_ctx = Sepsat_obs.Trace_ctx
 
 let m_components = lazy (Metrics.counter "parallel.components")
 
@@ -21,6 +22,14 @@ let m_cubes_pruned = lazy (Metrics.counter "parallel.cubes_pruned")
 
 let default_pool () =
   max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+(* Successive pools in one process (every serve request builds one) get
+   distinct lane names — "components#3:w0", not a second "components:w0" —
+   so exported trace lanes and flight records never interleave two pools'
+   work under one label. *)
+let pool_gen = Atomic.make 0
+
+let next_pool_gen () = 1 + Atomic.fetch_and_add pool_gen 1
 
 (* -- Component pool -------------------------------------------------------- *)
 
@@ -194,8 +203,11 @@ let solve_components ?pool ?simplify ?stop ?p_value ~config ~deadline ~certify
     in
     results.(i) <- Some r
   in
-  let worker w () =
-    Obs.name_thread (Printf.sprintf "components:w%d" w);
+  let gen = next_pool_gen () in
+  (* Child domains start with an empty trace context; hand them the
+     spawner's so their spans carry the originating request's rid. *)
+  let tctx = Trace_ctx.capture () in
+  let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
@@ -217,10 +229,16 @@ let solve_components ?pool ?simplify ?stop ?p_value ~config ~deadline ~certify
   in
   let n_domains = max 1 (min pool n) in
   Obs.span ~cat:"parallel" "components.pool" (fun () ->
-      if n_domains = 1 then worker 0 ()
+      (* Inline on the calling domain when the pool is one wide (keep the
+         caller's lane name); otherwise spawn named worker lanes carrying
+         the caller's trace context. *)
+      if n_domains = 1 then worker ()
       else
         let domains =
-          List.init n_domains (fun w -> Domain.spawn (worker w))
+          List.init n_domains (fun w ->
+              Domain.spawn (fun () ->
+                  Obs.name_thread (Printf.sprintf "components#%d:w%d" gen w);
+                  Trace_ctx.with_ctx tctx worker))
         in
         List.iter Domain.join domains);
   let results =
@@ -417,8 +435,7 @@ let solve_cubes ?pool ?simplify ?stop ?(k = 4) ?(probe_budget = 2000) ~config
         let pruned = Atomic.make 0 in
         let cores_mu = Mutex.create () in
         let cores : Lit.t list list ref = ref [] in
-        let worker w () =
-          Obs.name_thread (Printf.sprintf "cubes:w%d" w);
+        let worker () =
           let solver = Solver.create () in
           Solver.set_simplify solver simplify;
           Solver.set_stop solver pool_stop;
@@ -476,11 +493,17 @@ let solve_cubes ?pool ?simplify ?stop ?(k = 4) ?(probe_budget = 2000) ~config
           loop ()
         in
         let n_domains = max 1 (min pool n_cubes) in
+        let gen = next_pool_gen () in
+        let tctx = Trace_ctx.capture () in
         Obs.span ~cat:"parallel" "cube.pool" (fun () ->
-            if n_domains = 1 then worker 0 ()
+            if n_domains = 1 then worker ()
             else
               let domains =
-                List.init n_domains (fun w -> Domain.spawn (worker w))
+                List.init n_domains (fun w ->
+                    Domain.spawn (fun () ->
+                        Obs.name_thread
+                          (Printf.sprintf "cubes#%d:w%d" gen w);
+                        Trace_ctx.with_ctx tctx worker))
               in
               List.iter Domain.join domains);
         let pruned = Atomic.get pruned in

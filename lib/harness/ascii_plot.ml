@@ -1,5 +1,32 @@
 type series = { label : string; glyph : char; points : (float * float) list }
 
+(* Eight block glyphs from U+2581 to U+2588, each 3 bytes of UTF-8. *)
+let spark_glyphs =
+  [| "\u{2581}"; "\u{2582}"; "\u{2583}"; "\u{2584}"; "\u{2585}"; "\u{2586}";
+     "\u{2587}"; "\u{2588}" |]
+
+let sparkline ?(width = 60) values =
+  let n = Array.length values in
+  if n = 0 then ""
+  else begin
+    (* Keep the most recent [width] points — a rolling dashboard shows the
+       newest history, not the oldest. *)
+    let first = max 0 (n - width) in
+    let shown = Array.sub values first (n - first) in
+    let lo = Array.fold_left Float.min infinity shown in
+    let hi = Array.fold_left Float.max neg_infinity shown in
+    let span = if hi -. lo < 1e-12 then 1. else hi -. lo in
+    let buf = Buffer.create (Array.length shown * 3) in
+    Array.iter
+      (fun v ->
+        let i =
+          int_of_float ((v -. lo) /. span *. 7.99)
+        in
+        Buffer.add_string buf spark_glyphs.(max 0 (min 7 i)))
+      shown;
+    Buffer.contents buf
+  end
+
 let scatter ?(width = 64) ?(height = 22) ?(diagonal = false) ~xlabel ~ylabel
     ppf series_list =
   let all_points = List.concat_map (fun s -> s.points) series_list in

@@ -15,3 +15,9 @@ val scatter :
 (** Both axes are log-scaled; non-positive values are clamped to the smallest
     positive value plotted. [diagonal] draws the y = x line (the paper's
     Figs. 4–6 reference). *)
+
+val sparkline : ?width:int -> float array -> string
+(** The last [width] (default 60) values as one line of ▁▂▃▄▅▆▇█ block
+    glyphs, scaled to the min/max of the shown range (a flat series renders
+    as all-▁). [""] on an empty array. The `sufdec top` dashboard's trend
+    lines. *)

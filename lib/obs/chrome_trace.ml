@@ -34,31 +34,37 @@ let emit o fmt =
 let emit_spans o ~tid spans =
   let spans =
     List.stable_sort
-      (fun (_, _, ts1, d1) (_, _, ts2, d2) ->
+      (fun (_, _, _, ts1, d1) (_, _, _, ts2, d2) ->
         match Float.compare ts1 ts2 with
         | 0 -> Float.compare d2 d1
         | c -> c)
       spans
   in
-  let emit_b (name, cat, ts, _) =
+  (* The rid rides in [args] so Perfetto's query/filter UI can isolate one
+     request's spans across every lane. *)
+  let rid_args rid =
+    if rid = "" then ""
+    else Printf.sprintf ", \"args\": {\"rid\": \"%s\"}" (escape rid)
+  in
+  let emit_b (name, cat, rid, ts, _) =
     emit o
       "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"B\", \"pid\": 0, \
-       \"tid\": %d, \"ts\": %.3f}"
+       \"tid\": %d, \"ts\": %.3f%s}"
       (escape name)
       (escape (if cat = "" then "sepsat" else cat))
-      tid ts
+      tid ts (rid_args rid)
   in
-  let emit_e ~at (name, _, _, _) =
+  let emit_e ~at (name, _, _, _, _) =
     emit o
       "{\"name\": \"%s\", \"ph\": \"E\", \"pid\": 0, \"tid\": %d, \"ts\": \
        %.3f}"
       (escape name) tid at
   in
-  let ends (_, _, ts, d) = ts +. d in
+  let ends (_, _, _, ts, d) = ts +. d in
   let contains p c = ends c <= ends p in
   let stack = ref [] in
   List.iter
-    (fun ((_, _, ts, _) as s) ->
+    (fun ((_, _, _, ts, _) as s) ->
       (* Close every stacked span that cannot contain [s] before opening it,
          clamping close times to be non-decreasing. *)
       let rec close_until last =
@@ -107,12 +113,13 @@ let to_buffer buf evs =
         tid (escape name))
     (Obs.thread_names ());
   (* Group spans per tid so each lane's B/E stream nests independently. *)
-  let by_tid : (int, (string * string * float * float) list ref) Hashtbl.t =
+  let by_tid :
+      (int, (string * string * string * float * float) list ref) Hashtbl.t =
     Hashtbl.create 8
   in
   List.iter
     (function
-      | Obs.Span { name; cat; ts; dur; tid } ->
+      | Obs.Span { name; cat; ts; dur; tid; rid } ->
         let r =
           match Hashtbl.find_opt by_tid tid with
           | Some r -> r
@@ -121,14 +128,16 @@ let to_buffer buf evs =
             Hashtbl.add by_tid tid r;
             r
         in
-        r := (name, cat, us ts, dur *. 1e6) :: !r
-      | Obs.Instant { name; cat; ts; tid } ->
+        r := (name, cat, rid, us ts, dur *. 1e6) :: !r
+      | Obs.Instant { name; cat; ts; tid; rid } ->
         emit o
           "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \
-           \"pid\": 0, \"tid\": %d, \"ts\": %.3f}"
+           \"pid\": 0, \"tid\": %d, \"ts\": %.3f%s}"
           (escape name)
           (escape (if cat = "" then "sepsat" else cat))
           tid (us ts)
+          (if rid = "" then ""
+           else Printf.sprintf ", \"args\": {\"rid\": \"%s\"}" (escape rid))
       | Obs.Sample { name; ts; value; tid } ->
         emit o
           "{\"name\": \"%s\", \"ph\": \"C\", \"pid\": 0, \"tid\": %d, \"ts\": \

@@ -1,0 +1,240 @@
+(* Always-on flight recorder: a bounded ring of recent span completions,
+   log lines and solver-progress snapshots per domain, kept even when full
+   tracing is off, so a wedged or slow server can be debugged *after the
+   fact* — dump on SIGUSR1, on crash, on deadline expiry, or via the
+   serve protocol's [dump] op.
+
+   Concurrency contract. Writers follow the Obs ring discipline: each
+   domain owns its ring through DLS, so recording is a plain array store
+   with no synchronization; only ring registration takes the global mutex.
+   Records are immutable OCaml blocks stored through a single pointer
+   write into an ['a option array], so a reader that races a writer sees
+   either the old record or the new one, never a torn mix — this is what
+   makes dumping a *live* server safe, and what test/test_flight.ml's
+   qcheck battery checks. The [count] field may lag the data array during
+   a race; readers only use it to bound how much they scan, so the worst
+   case is a dump missing the very newest records. *)
+
+type kind = Span | Log | Progress | Event
+
+let kind_name = function
+  | Span -> "span"
+  | Log -> "log"
+  | Progress -> "progress"
+  | Event -> "event"
+
+type record = {
+  fr_ts : float;  (* completion wall-clock time *)
+  fr_tid : int;
+  fr_rid : string;  (* "" when outside any request *)
+  fr_kind : kind;
+  fr_name : string;
+  fr_dur_ms : float;  (* 0 for point records *)
+  fr_data : (string * string) list;
+}
+
+type ring = {
+  r_tid : int;
+  r_gen : int;
+  data : record option array;
+  mutable count : int;  (* total records; the ring holds the last [cap] *)
+}
+
+let default_capacity = 4096
+
+let enabled_ = Atomic.make false
+
+let capacity_ = Atomic.make default_capacity
+
+let generation = Atomic.make 0
+
+let registry : ring list ref = ref []
+
+let registry_mu = Mutex.create ()
+
+let enabled () = Atomic.get enabled_
+
+let fresh_ring () =
+  let r =
+    {
+      r_tid = (Domain.self () :> int);
+      r_gen = Atomic.get generation;
+      data = Array.make (max 16 (Atomic.get capacity_)) None;
+      count = 0;
+    }
+  in
+  Mutex.protect registry_mu (fun () -> registry := r :: !registry);
+  r
+
+let key = Domain.DLS.new_key fresh_ring
+
+let ring () =
+  let r = Domain.DLS.get key in
+  if r.r_gen = Atomic.get generation then r
+  else begin
+    let r = fresh_ring () in
+    Domain.DLS.set key r;
+    r
+  end
+
+let enable ?(capacity = default_capacity) () =
+  Atomic.set capacity_ capacity;
+  Atomic.set enabled_ true
+
+let disable () = Atomic.set enabled_ false
+
+let reset () =
+  Mutex.protect registry_mu (fun () -> registry := []);
+  Atomic.incr generation
+
+let record ?rid ?(dur_ms = 0.) ?(data = []) kind name =
+  if Atomic.get enabled_ then begin
+    let rid = match rid with Some r -> r | None -> Trace_ctx.rid () in
+    let r = ring () in
+    let rec_ =
+      {
+        fr_ts = Unix.gettimeofday ();
+        fr_tid = r.r_tid;
+        fr_rid = rid;
+        fr_kind = kind;
+        fr_name = name;
+        fr_dur_ms = dur_ms;
+        fr_data = data;
+      }
+    in
+    r.data.(r.count mod Array.length r.data) <- Some rec_;
+    r.count <- r.count + 1
+  end
+
+(* -- Collection ----------------------------------------------------------- *)
+
+let ring_records r =
+  (* Scan the whole array rather than trusting [count]'s ordering: a live
+     writer may be mid-overwrite, and every slot holds either None or a
+     complete record. *)
+  Array.to_list r.data |> List.filter_map Fun.id
+
+let records () =
+  let rings = Mutex.protect registry_mu (fun () -> !registry) in
+  List.concat_map ring_records rings
+  |> List.stable_sort (fun a b ->
+         match Float.compare a.fr_ts b.fr_ts with
+         | 0 -> compare a.fr_tid b.fr_tid
+         | c -> c)
+
+let dropped () =
+  let rings = Mutex.protect registry_mu (fun () -> !registry) in
+  List.fold_left
+    (fun acc r -> acc + max 0 (r.count - Array.length r.data))
+    0 rings
+
+(* -- JSON dump ------------------------------------------------------------ *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_record buf r =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ts\": %.6f, \"tid\": %d, \"kind\": \"%s\", " r.fr_ts
+       r.fr_tid (kind_name r.fr_kind));
+  Buffer.add_string buf "\"name\": ";
+  add_json_string buf r.fr_name;
+  if r.fr_rid <> "" then begin
+    Buffer.add_string buf ", \"rid\": ";
+    add_json_string buf r.fr_rid
+  end;
+  if r.fr_dur_ms <> 0. then
+    Buffer.add_string buf (Printf.sprintf ", \"dur_ms\": %.6f" r.fr_dur_ms);
+  if r.fr_data <> [] then begin
+    Buffer.add_string buf ", \"data\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        add_json_string buf k;
+        Buffer.add_string buf ": ";
+        add_json_string buf v)
+      r.fr_data;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}'
+
+let to_json () =
+  let recs = records () in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\": \"sepsat-flight-1\", \"pid\": %d, \"dumped_at\": %.6f, \
+        \"dropped\": %d, \"records\": ["
+       (Unix.getpid ()) (Unix.gettimeofday ()) (dropped ()));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ", ";
+      add_record buf r)
+    recs;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_json ());
+      output_char oc '\n')
+
+(* -- Dump management ------------------------------------------------------ *)
+
+let dump_dir = Atomic.make "."
+
+let dump_seq = Atomic.make 0
+
+let set_dump_dir d = Atomic.set dump_dir d
+
+let sanitize_reason s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    s
+
+let dump ~reason () =
+  let path =
+    Filename.concat (Atomic.get dump_dir)
+      (Printf.sprintf "flight-%d-%d-%s.json" (Unix.getpid ())
+         (1 + Atomic.fetch_and_add dump_seq 1)
+         (sanitize_reason reason))
+  in
+  write path;
+  path
+
+let install_signal_dump ?(signal = Sys.sigusr1) () =
+  Sys.set_signal signal
+    (Sys.Signal_handle
+       (fun _ ->
+         (* Signal handlers run on the main domain at a safe point; dumping
+            takes only the registry mutex briefly and writes a fresh file,
+            so it cannot deadlock request processing. *)
+         try ignore (dump ~reason:"signal" ()) with _ -> ()))
+
+let install_crash_dump () =
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      (try
+         let path = dump ~reason:"crash" () in
+         Printf.eprintf "flight recorder dumped to %s\n%!" path
+       with _ -> ());
+      Printf.eprintf "Fatal error: exception %s\n%s%!" (Printexc.to_string exn)
+        (Printexc.raw_backtrace_to_string bt))

@@ -108,29 +108,57 @@ let level_name = function
   | Obs.Info -> "info"
   | Obs.Debug -> "debug"
 
+(* The rid the flight recorder should file a log record under: an explicit
+   "rid" field wins, then the ambient log context; otherwise Flight falls
+   back to Trace_ctx. *)
+let field_rid fields =
+  let pick fs =
+    match List.assoc_opt "rid" fs with Some (S r) -> Some r | _ -> None
+  in
+  match pick fields with
+  | Some _ as r -> r
+  | None -> pick (Domain.DLS.get ctx_key)
+
+let value_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | B b -> string_of_bool b
+  | F f -> Printf.sprintf "%.9g" f
+
 let event ?(level = Obs.Info) name fields =
-  if
+  (* Emitted lines also land in the flight recorder (when that is on) even
+     if the log sink itself is disabled — a server run without --log-json
+     still has its recent request history in a flight dump. *)
+  let to_sink =
     Atomic.get enabled_ && level <> Obs.Quiet
     && rank level <= rank (Atomic.get level_)
-  then begin
-    let buf = Domain.DLS.get buf_key in
-    Buffer.clear buf;
-    Fun.protect
-      ~finally:(fun () -> Buffer.clear buf)
-      (fun () ->
-        Buffer.add_string buf
-          (Printf.sprintf "{\"ts\": %.6f, \"level\": \"%s\", \"event\": "
-             (Unix.gettimeofday ()) (level_name level));
-        add_json_string buf name;
-        List.iter (add_field buf) fields;
-        (* Ambient context after the explicit fields; a context key shadowed
-           by an explicit field is dropped so lookups (first occurrence
-           wins) see the more specific value. *)
-        List.iter
-          (fun (k, v) ->
-            if not (List.mem_assoc k fields) then add_field buf (k, v))
-          (Domain.DLS.get ctx_key);
-        Buffer.add_char buf '}';
-        let line = Buffer.contents buf in
-        Mutex.protect sink_mu (fun () -> !sink line))
+  in
+  let to_flight = Flight.enabled () && level <> Obs.Quiet in
+  if to_sink || to_flight then begin
+    if to_flight then
+      Flight.record ?rid:(field_rid fields)
+        ~data:(List.map (fun (k, v) -> (k, value_string v)) fields)
+        Flight.Log name;
+    if to_sink then begin
+      let buf = Domain.DLS.get buf_key in
+      Buffer.clear buf;
+      Fun.protect
+        ~finally:(fun () -> Buffer.clear buf)
+        (fun () ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"ts\": %.6f, \"level\": \"%s\", \"event\": "
+               (Unix.gettimeofday ()) (level_name level));
+          add_json_string buf name;
+          List.iter (add_field buf) fields;
+          (* Ambient context after the explicit fields; a context key shadowed
+             by an explicit field is dropped so lookups (first occurrence
+             wins) see the more specific value. *)
+          List.iter
+            (fun (k, v) ->
+              if not (List.mem_assoc k fields) then add_field buf (k, v))
+            (Domain.DLS.get ctx_key);
+          Buffer.add_char buf '}';
+          let line = Buffer.contents buf in
+          Mutex.protect sink_mu (fun () -> !sink line))
+    end
   end

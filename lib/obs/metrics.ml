@@ -10,10 +10,18 @@ type gauge = float Atomic.t
    remaining reset race is benign (a concurrent [observe]'s bin increment
    and sum addition may land on opposite sides of the reset, skewing [sum]
    by at most that one in-flight observation). *)
+(* An exemplar is the concrete observation an operator chases: "bucket
+   (0.64, 2.56] has 31 requests" becomes "…and the slowest was rq-1042 at
+   1.93s". One slot per bin holds the max-valued observation that carried a
+   rid since the last reset, maintained by CAS on an immutable record so
+   readers never see a torn exemplar. *)
+type exemplar = { ex_rid : string; ex_value : float; ex_ts : float }
+
 type histogram = {
   bounds : float array;  (* upper bounds; the +inf bin is bounds-length *)
   bins : int Atomic.t array;  (* length = Array.length bounds + 1 *)
   sum : float Atomic.t;
+  exes : exemplar option Atomic.t array;  (* length = Array.length bins *)
 }
 
 type metric = C of counter | G of gauge | H of histogram
@@ -64,6 +72,8 @@ let histogram ?(buckets = default_buckets) name =
           bounds = Array.copy buckets;
           bins = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
           sum = Atomic.make 0.;
+          exes =
+            Array.init (Array.length buckets + 1) (fun _ -> Atomic.make None);
         })
     (function H h -> Some h | C _ | G _ -> None)
 
@@ -91,7 +101,7 @@ let add c k = if on () then ignore (Atomic.fetch_and_add c k)
 
 let set g v = if on () then Atomic.set g v
 
-let observe h v =
+let observe ?rid h v =
   if on () then begin
     let i = ref 0 in
     let nb = Array.length h.bounds in
@@ -99,8 +109,35 @@ let observe h v =
       i := !i + 1
     done;
     ignore (Atomic.fetch_and_add h.bins.(!i) 1);
-    atomic_add_float h.sum v
+    atomic_add_float h.sum v;
+    match rid with
+    | None -> ()
+    | Some rid ->
+      let cell = h.exes.(!i) in
+      let rec keep_max () =
+        let cur = Atomic.get cell in
+        let better =
+          match cur with None -> true | Some e -> v > e.ex_value
+        in
+        if
+          better
+          && not
+               (Atomic.compare_and_set cell cur
+                  (Some { ex_rid = rid; ex_value = v; ex_ts = Unix.gettimeofday () }))
+        then keep_max ()
+      in
+      keep_max ()
   end
+
+(* Per-bucket exemplars of a live histogram handle: (upper bound, exemplar)
+   for every bin that has one, +inf bin last. *)
+let exemplars h =
+  List.init (Array.length h.exes) (fun i ->
+      match Atomic.get h.exes.(i) with
+      | None -> None
+      | Some e ->
+        Some ((if i < Array.length h.bounds then h.bounds.(i) else infinity), e))
+  |> List.filter_map Fun.id
 
 let get c = Atomic.get c
 
@@ -109,7 +146,12 @@ let get c = Atomic.get c
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+  | Histogram of {
+      count : int;
+      sum : float;
+      buckets : (float * int) list;
+      exemplars : (float * exemplar) list;
+    }
 
 let read = function
   | C c -> Counter (Atomic.get c)
@@ -125,7 +167,7 @@ let read = function
     (* Derived, not stored: count always equals the bucket total, even when
        this read races a [reset]. *)
     let count = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
-    Histogram { count; sum = Atomic.get h.sum; buckets }
+    Histogram { count; sum = Atomic.get h.sum; buckets; exemplars = exemplars h }
 
 let snapshot () =
   Mutex.protect mu (fun () ->
@@ -149,8 +191,22 @@ let to_json () =
       match v with
       | Counter n -> string_of_int n
       | Gauge f -> json_float f
-      | Histogram { count; sum; buckets } ->
-        Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [%s]}" count
+      | Histogram { count; sum; buckets; exemplars } ->
+        let exemplars_json =
+          if exemplars = [] then ""
+          else
+            Printf.sprintf ", \"exemplars\": [%s]"
+              (String.concat ", "
+                 (List.map
+                    (fun (ub, e) ->
+                      Printf.sprintf
+                        "{\"le\": %s, \"rid\": \"%s\", \"value\": %s, \"ts\": \
+                         %.6f}"
+                        (json_float ub) (String.escaped e.ex_rid)
+                        (json_float e.ex_value) e.ex_ts)
+                    exemplars))
+        in
+        Printf.sprintf "{\"count\": %d, \"sum\": %s, \"buckets\": [%s]%s}" count
           (json_float sum)
           (String.concat ", "
              (List.filter_map
@@ -159,6 +215,7 @@ let to_json () =
                     Some (Printf.sprintf "[%s, %d]" (json_float ub) n)
                   else None)
                 buckets))
+          exemplars_json
     in
     Printf.sprintf "\"%s\": %s" name body
   in
@@ -183,5 +240,6 @@ let reset () =
           | G g -> Atomic.set g 0.
           | H h ->
             Array.iter (fun b -> Atomic.set b 0) h.bins;
+            Array.iter (fun e -> Atomic.set e None) h.exes;
             Atomic.set h.sum 0.)
         table)

@@ -18,6 +18,11 @@ type gauge
 
 type histogram
 
+type exemplar = { ex_rid : string; ex_value : float; ex_ts : float }
+(** A concrete traceable observation: the request id, value and wall-clock
+    time of the max-valued rid-carrying observation a histogram bucket has
+    seen since the last {!reset}. *)
+
 val counter : string -> counter
 (** Find-or-create. @raise Invalid_argument if [name] is already registered
     as a different metric kind. *)
@@ -36,7 +41,15 @@ val add : counter -> int -> unit
 
 val set : gauge -> float -> unit
 
-val observe : histogram -> float -> unit
+val observe : ?rid:string -> histogram -> float -> unit
+(** [observe ?rid h v] adds [v] to the histogram. When [rid] is given, the
+    target bucket's exemplar slot is updated (CAS, keep-max) if [v] exceeds
+    the slot's current value — so each bucket remembers the worst concrete
+    request it has absorbed. *)
+
+val exemplars : histogram -> (float * exemplar) list
+(** Per-bucket exemplars: [(upper_bound, exemplar)] for every bucket that
+    has one, the [+inf] bucket (bound [infinity]) last. *)
 
 val get : counter -> int
 
@@ -52,11 +65,17 @@ val always_on : unit -> bool
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+  | Histogram of {
+      count : int;
+      sum : float;
+      buckets : (float * int) list;
+      exemplars : (float * exemplar) list;
+    }
       (** [buckets] pairs each upper bound with its cumulative-free bin
           count; the [+inf] bin is last. [count] is derived from the bins at
           read time, so a snapshot racing {!reset} can never report a
-          non-zero count against all-zero buckets. *)
+          non-zero count against all-zero buckets. [exemplars] lists the
+          buckets that have one (see {!exemplars}). *)
 
 val snapshot : unit -> (string * value) list
 (** Every registered metric with its current value, sorted by name. *)
@@ -64,7 +83,8 @@ val snapshot : unit -> (string * value) list
 val to_json : unit -> string
 (** The snapshot as one JSON object keyed by metric name: counters as
     integers, gauges as floats, histograms as
-    [{"count":n,"sum":s,"buckets":[[ub,n],...]}]. Strict JSON: non-finite
+    [{"count":n,"sum":s,"buckets":[[ub,n],...]}] plus an ["exemplars"]
+    array when any bucket holds one. Strict JSON: non-finite
     floats render as [null], and only finite-bound buckets are listed — the
     [+inf] bin is implicit ([count] minus the listed bins). ["{}"] when
     nothing is registered. *)

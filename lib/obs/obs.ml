@@ -9,8 +9,21 @@
    rings after the writers have quiesced. *)
 
 type event =
-  | Span of { name : string; cat : string; ts : float; dur : float; tid : int }
-  | Instant of { name : string; cat : string; ts : float; tid : int }
+  | Span of {
+      name : string;
+      cat : string;
+      ts : float;
+      dur : float;
+      tid : int;
+      rid : string;  (* ambient request id at capture; "" outside requests *)
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts : float;
+      tid : int;
+      rid : string;
+    }
   | Sample of { name : string; ts : float; value : float; tid : int }
 
 let event_ts = function
@@ -19,7 +32,7 @@ let event_ts = function
 let event_tid = function
   | Span { tid; _ } | Instant { tid; _ } | Sample { tid; _ } -> tid
 
-let dummy_event = Instant { name = ""; cat = ""; ts = 0.; tid = 0 }
+let dummy_event = Instant { name = ""; cat = ""; ts = 0.; tid = 0; rid = "" }
 
 type ring = {
   r_tid : int;
@@ -120,17 +133,37 @@ let log lvl fmt =
 
 (* -- Emission ------------------------------------------------------------ *)
 
+(* Spans feed two collectors: the full-fidelity trace ring when tracing is
+   enabled, and the bounded flight recorder when that is enabled (servers
+   keep it always-on). Both share the Trace_ctx span path, so a flight
+   record knows where in the request tree it completed. Idle cost with both
+   collectors off is two atomic loads and a branch. *)
+
+let flight_span ~rid ~cat name dur =
+  if Flight.enabled () then begin
+    let path = Trace_ctx.path_string () in
+    let data = if cat = "" then [] else [ ("cat", cat) ] in
+    let data = if path = "" || path = name then data else ("path", path) :: data in
+    Flight.record ~rid ~dur_ms:(dur *. 1000.) ~data Flight.Span name
+  end
+
 let span ?(cat = "") name f =
-  if not (Atomic.get enabled_) then f ()
+  let obs_on = Atomic.get enabled_ in
+  if not (obs_on || Flight.enabled ()) then f ()
   else begin
-    let r = ring () in
-    let t0 = mono_now r in
+    let rid = Trace_ctx.rid () in
+    Trace_ctx.push name;
+    let t0 = if obs_on then mono_now (ring ()) else Unix.gettimeofday () in
     let finish () =
       (* Re-fetch: a reset during [f] swapped the ring underneath us. *)
-      let r = ring () in
-      let t1 = mono_now r in
-      push r
-        (Span { name; cat; ts = t0; dur = Float.max 0. (t1 -. t0); tid = r.r_tid })
+      let t1 = if obs_on then mono_now (ring ()) else Unix.gettimeofday () in
+      let dur = Float.max 0. (t1 -. t0) in
+      if obs_on then begin
+        let r = ring () in
+        push r (Span { name; cat; ts = t0; dur; tid = r.r_tid; rid })
+      end;
+      flight_span ~rid ~cat name dur;
+      Trace_ctx.pop ()
     in
     match f () with
     | v ->
@@ -142,19 +175,25 @@ let span ?(cat = "") name f =
   end
 
 let timed ?(cat = "") name f =
-  if not (Atomic.get enabled_) then begin
+  let obs_on = Atomic.get enabled_ in
+  if not (obs_on || Flight.enabled ()) then begin
     let t0 = Unix.gettimeofday () in
     let v = f () in
     (v, Float.max 0. (Unix.gettimeofday () -. t0))
   end
   else begin
-    let r = ring () in
-    let t0 = mono_now r in
+    let rid = Trace_ctx.rid () in
+    Trace_ctx.push name;
+    let t0 = if obs_on then mono_now (ring ()) else Unix.gettimeofday () in
     let finish () =
-      let r = ring () in
-      let t1 = mono_now r in
+      let t1 = if obs_on then mono_now (ring ()) else Unix.gettimeofday () in
       let dur = Float.max 0. (t1 -. t0) in
-      push r (Span { name; cat; ts = t0; dur; tid = r.r_tid });
+      if obs_on then begin
+        let r = ring () in
+        push r (Span { name; cat; ts = t0; dur; tid = r.r_tid; rid })
+      end;
+      flight_span ~rid ~cat name dur;
+      Trace_ctx.pop ();
       dur
     in
     match f () with
@@ -165,9 +204,17 @@ let timed ?(cat = "") name f =
   end
 
 let instant ?(cat = "") name =
-  if Atomic.get enabled_ then begin
-    let r = ring () in
-    push r (Instant { name; cat; ts = mono_now r; tid = r.r_tid })
+  let obs_on = Atomic.get enabled_ in
+  if obs_on || Flight.enabled () then begin
+    let rid = Trace_ctx.rid () in
+    if obs_on then begin
+      let r = ring () in
+      push r (Instant { name; cat; ts = mono_now r; tid = r.r_tid; rid })
+    end;
+    if Flight.enabled () then
+      Flight.record ~rid
+        ~data:(if cat = "" then [] else [ ("cat", cat) ])
+        Flight.Event name
   end
 
 let sample name value =
@@ -178,12 +225,13 @@ let sample name value =
 
 (* -- Thread naming ------------------------------------------------------- *)
 
+(* Unconditional (no [enabled_] gate): lane names are consumed by the
+   flight recorder, the engine's live lane table and exported traces alike,
+   and pools name their workers once per spawn — off the hot path. *)
 let name_thread name =
-  if Atomic.get enabled_ then begin
-    let tid = (Domain.self () :> int) in
-    Mutex.protect names_mu (fun () ->
-        names := (tid, name) :: List.remove_assoc tid !names)
-  end
+  let tid = (Domain.self () :> int) in
+  Mutex.protect names_mu (fun () ->
+      names := (tid, name) :: List.remove_assoc tid !names)
 
 let thread_names () =
   Mutex.protect names_mu (fun () -> List.sort compare !names)

@@ -1,8 +1,9 @@
 (** Pipeline tracing: nested phase spans collected into per-domain ring
     buffers.
 
-    The whole subsystem is off by default and costs a single atomic load per
-    call site when disabled. When enabled ({!enable}), every emission goes to
+    The whole subsystem is off by default and costs one atomic load per
+    collector (tracing, {!Flight}) per call site when everything is
+    disabled. When enabled ({!enable}), every emission goes to
     a ring buffer owned by the emitting domain — no locks or cross-domain
     writes on the hot path — so the portfolio's racing domains can trace
     concurrently. Buffers register themselves in a global list under a mutex
@@ -52,9 +53,23 @@ val log : level -> ('a, out_channel, unit) format -> 'a
 (** {2 Events} *)
 
 type event =
-  | Span of { name : string; cat : string; ts : float; dur : float; tid : int }
-      (** a completed phase scope; [ts] is the begin time *)
-  | Instant of { name : string; cat : string; ts : float; tid : int }
+  | Span of {
+      name : string;
+      cat : string;
+      ts : float;
+      dur : float;
+      tid : int;
+      rid : string;
+    }
+      (** a completed phase scope; [ts] is the begin time, [rid] the ambient
+          {!Trace_ctx.rid} at capture ([""] outside any request) *)
+  | Instant of {
+      name : string;
+      cat : string;
+      ts : float;
+      tid : int;
+      rid : string;
+    }
   | Sample of { name : string; ts : float; value : float; tid : int }
       (** a point on a counter track (e.g. conflicts so far) *)
 
@@ -84,8 +99,10 @@ val sample : string -> float -> unit
 (** {2 Thread (domain) naming} *)
 
 val name_thread : string -> unit
-(** Label the calling domain's lane in exported traces — the portfolio names
-    each racing domain after its method. Last call per domain wins. *)
+(** Label the calling domain's lane in exported traces, flight dumps and the
+    engine's live lane table — the portfolio names each racing domain after
+    its method, pools suffix a generation. Last call per domain wins.
+    Unconditional (not gated on {!enabled}). *)
 
 val thread_names : unit -> (int * string) list
 

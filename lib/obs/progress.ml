@@ -23,7 +23,11 @@ let last_key = Domain.DLS.new_key (fun () -> ref (0., 0))
 
 let tick ~conflicts ~decisions ~propagations ~learnts ~trail ~vars ~level
     ~started =
-  if Obs.enabled () then begin
+  (* Runs for any live consumer: the trace stream, the flight recorder
+     (always-on in servers, so a wedged solve leaves its last snapshots in
+     the dump) or an installed callback (the engine's live lane table). *)
+  if Obs.enabled () || Flight.enabled () || Option.is_some (Atomic.get callback_)
+  then begin
     let now = Unix.gettimeofday () in
     let last = Domain.DLS.get last_key in
     let t_prev, c_prev = !last in
@@ -35,6 +39,17 @@ let tick ~conflicts ~decisions ~propagations ~learnts ~trail ~vars ~level
     last := (now, conflicts);
     Obs.sample "sat.conflicts" (float_of_int conflicts);
     Obs.sample "sat.learnts" (float_of_int learnts);
+    if Flight.enabled () then
+      Flight.record
+        ~data:
+          [
+            ("conflicts", string_of_int conflicts);
+            ("learnts", string_of_int learnts);
+            ("trail", Printf.sprintf "%d/%d" trail vars);
+            ("rate", Printf.sprintf "%.0f" rate);
+            ("elapsed_s", Printf.sprintf "%.3f" (Float.max 0. (now -. started)));
+          ]
+        Flight.Progress "sat.progress";
     let snap =
       {
         p_conflicts = conflicts;

@@ -39,7 +39,8 @@ val tick :
   level:int ->
   started:float ->
   unit
-(** No-op unless {!Obs.enabled}. [started] is the [Unix.gettimeofday] at the
+(** No-op unless some consumer is live: {!Obs.enabled}, {!Flight.enabled}
+    or an installed callback. [started] is the [Unix.gettimeofday] at the
     start of the enclosing [solve] call. *)
 
 val install_printer : ?every_s:float -> unit -> unit

@@ -80,17 +80,30 @@ let render metrics =
         help ();
         Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
         Buffer.add_string buf (Printf.sprintf "%s %s\n" name (number f))
-      | Metrics.Histogram { count; sum; buckets } ->
+      | Metrics.Histogram { count; sum; buckets; exemplars } ->
         help ();
         Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        (* OpenMetrics exemplar suffix on the bucket the observation fell
+           into: `… # {rid="rq-17"} 0.043 1691500000.123`. Plain Prometheus
+           text parsers ignore everything after '#'; OpenMetrics scrapers
+           surface the rid next to the bucket. *)
+        let exemplar_suffix ub =
+          match List.find_opt (fun (b, _) -> b = ub) exemplars with
+          | None -> ""
+          | Some (_, e) ->
+            Printf.sprintf " # {rid=\"%s\"} %s %.3f"
+              (escape_label e.Metrics.ex_rid)
+              (number e.Metrics.ex_value)
+              e.Metrics.ex_ts
+        in
         let cum = ref 0 in
         List.iter
           (fun (ub, n) ->
             cum := !cum + n;
             Buffer.add_string buf
-              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d%s\n" name
                  (escape_label (number ub))
-                 !cum))
+                 !cum (exemplar_suffix ub)))
           buckets;
         (* The registry's bucket list ends with the +inf bin, so the last
            cumulative value equals [count]; emit an explicit +Inf series

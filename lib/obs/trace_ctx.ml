@@ -1,0 +1,47 @@
+(* Request-scoped ambient context: a request id plus the stack of open span
+   names, stored in domain-local storage. Domains do not inherit DLS on
+   spawn, so fan-out points ([Parallel], the portfolio) must [capture] the
+   context before spawning and re-install it with [with_ctx] inside the
+   child — that explicit handoff is what lets one rid reconstruct a span
+   tree that crosses domain boundaries. *)
+
+type t = { rid : string; path : string list (* innermost first *) }
+
+let none = { rid = ""; path = [] }
+
+let key : t ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref none)
+
+let current () = !(Domain.DLS.get key)
+
+let capture = current
+
+let rid () = (current ()).rid
+
+let path () = List.rev (current ()).path
+
+let path_string () = String.concat "/" (path ())
+
+let with_ctx ctx f =
+  let cell = Domain.DLS.get key in
+  let old = !cell in
+  cell := ctx;
+  Fun.protect ~finally:(fun () -> cell := old) f
+
+let with_rid rid f =
+  let cell = Domain.DLS.get key in
+  let old = !cell in
+  cell := { old with rid };
+  Fun.protect ~finally:(fun () -> cell := old) f
+
+(* push/pop are called only from Obs's span machinery, and only when some
+   collector (tracing or the flight recorder) is on — idle cost is zero. *)
+
+let push name =
+  let cell = Domain.DLS.get key in
+  cell := { !cell with path = name :: !cell.path }
+
+let pop () =
+  let cell = Domain.DLS.get key in
+  match !cell.path with
+  | [] -> ()
+  | _ :: tl -> cell := { !cell with path = tl }

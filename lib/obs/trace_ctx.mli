@@ -1,0 +1,44 @@
+(** Request-scoped ambient trace context.
+
+    Carries the request id ([rid]) and the stack of currently-open span
+    names in domain-local storage. {!Obs.span} tags recorded events with
+    the ambient rid and maintains the path; everything else reads it.
+
+    Child domains start with an empty context — fan-out code must
+    {!capture} before [Domain.spawn] and wrap the child body in
+    {!with_ctx} so the request identity survives the crossing. *)
+
+type t
+(** Immutable snapshot of a context (rid + open-span path). *)
+
+val none : t
+(** The empty context: no rid, no open spans. *)
+
+val capture : unit -> t
+(** Snapshot the calling domain's current context, for handing to a child
+    domain. Cheap (returns the current immutable record). *)
+
+val with_ctx : t -> (unit -> 'a) -> 'a
+(** [with_ctx ctx f] runs [f] with [ctx] installed as the ambient context,
+    restoring the previous context afterwards (also on exceptions). *)
+
+val with_rid : string -> (unit -> 'a) -> 'a
+(** [with_rid rid f] runs [f] with the ambient rid set to [rid], keeping
+    the current span path. The serve engine wraps request processing in
+    this. *)
+
+val rid : unit -> string
+(** The ambient request id; [""] outside any request. *)
+
+val path : unit -> string list
+(** Names of the currently-open spans, outermost first. *)
+
+val path_string : unit -> string
+(** {!path} joined with ["/"]; [""] when no span is open. *)
+
+val push : string -> unit
+(** Push a span name onto the ambient path. Called by {!Obs.span} — user
+    code should not need this. *)
+
+val pop : unit -> unit
+(** Pop the innermost span name; no-op on an empty path. *)

@@ -8,22 +8,35 @@
    the window, the memory bound is fixed, and there is no decay parameter
    to tune. Reads sort a snapshot (O(capacity log capacity)), which is fine
    for the intended read rate (a stats request or a scrape, not a hot
-   path); writes are O(1) under the mutex. *)
+   path); writes are O(1) under the mutex.
+
+   Each slot optionally carries the request id of its observation, so a
+   reported quantile can name a concrete request near that rank — the
+   rolling counterpart of Metrics histogram exemplars. *)
 
 type t = {
   mu : Mutex.t;
   data : float array;
+  rids : string array;  (* rids.(i) labels data.(i); "" when absent *)
   mutable count : int;  (* total adds; the ring holds the last [capacity] *)
 }
 
 let create ?(capacity = 512) () =
-  { mu = Mutex.create (); data = Array.make (max 1 capacity) 0.; count = 0 }
+  let cap = max 1 capacity in
+  {
+    mu = Mutex.create ();
+    data = Array.make cap 0.;
+    rids = Array.make cap "";
+    count = 0;
+  }
 
 let capacity t = Array.length t.data
 
-let add t v =
+let add ?(rid = "") t v =
   Mutex.protect t.mu (fun () ->
-      t.data.(t.count mod Array.length t.data) <- v;
+      let i = t.count mod Array.length t.data in
+      t.data.(i) <- v;
+      t.rids.(i) <- rid;
       t.count <- t.count + 1)
 
 let length t =
@@ -37,6 +50,12 @@ let clear t = Mutex.protect t.mu (fun () -> t.count <- 0)
 let snapshot t =
   Mutex.protect t.mu (fun () ->
       Array.init (min t.count (Array.length t.data)) (fun i -> t.data.(i)))
+
+let snapshot_rids t =
+  Mutex.protect t.mu (fun () ->
+      Array.init
+        (min t.count (Array.length t.data))
+        (fun i -> (t.data.(i), t.rids.(i))))
 
 let quantiles t qs =
   let a = snapshot t in
@@ -58,3 +77,18 @@ let quantiles t qs =
 
 let quantile t q =
   match quantiles t [ q ] with [ v ] -> v | _ -> assert false
+
+(* The labelled observation at the quantile's upper closest rank — the
+   concrete request an operator should chase when the quantile looks bad.
+   Unlike {!quantile} this does not interpolate: an exemplar must be a
+   request that actually happened. *)
+let exemplar t q =
+  let a = snapshot_rids t in
+  let n = Array.length a in
+  if n = 0 then None
+  else begin
+    Array.sort (fun (x, _) (y, _) -> Float.compare x y) a;
+    let q = Float.max 0. (Float.min 1. q) in
+    let idx = int_of_float (Float.ceil (q *. float_of_int (n - 1))) in
+    Some a.(idx)
+  end

@@ -16,7 +16,9 @@ val create : ?capacity:int -> unit -> t
 
 val capacity : t -> int
 
-val add : t -> float -> unit
+val add : ?rid:string -> t -> float -> unit
+(** [add ?rid t v] appends one observation, optionally labelled with the
+    request id that produced it (consumed by {!exemplar}). *)
 
 val length : t -> int
 (** Observations currently in the window ([min total capacity]). *)
@@ -36,3 +38,10 @@ val quantile : t -> float -> float
 
 val quantiles : t -> float list -> float list
 (** Like {!quantile} for several ranks over one snapshot (one sort). *)
+
+val exemplar : t -> float -> (float * string) option
+(** [exemplar t q] is the [(value, rid)] of the observation at [q]'s upper
+    closest rank — an actual request, not an interpolation, so "p99 is
+    41ms" comes with the rid of a request that took about that long. [None]
+    on an empty window; the rid is [""] when the observation was added
+    without one. *)

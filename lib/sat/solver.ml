@@ -432,6 +432,13 @@ let solve ?(deadline = Deadline.none) ?(conflict_budget = 0) ?(assumptions = [])
     let il = List.map Lit.to_int assumptions in
     List.iter (Iv.push s.Db.assumptions) il;
     s.Db.solve_started <- Deadline.wall_now ();
+    (* One snapshot at solve start: short solves (most serve requests) never
+       reach the 1024-conflict poll, and live lane views need to see a lane
+       the moment it starts working, not only once it struggles. *)
+    Progress.tick ~conflicts:s.Db.n_conflicts ~decisions:s.Db.n_decisions
+      ~propagations:s.Db.n_props ~learnts:(Iv.size s.Db.learnts)
+      ~trail:(Iv.size s.Db.trail) ~vars:s.Db.nvars
+      ~level:(Db.decision_level s) ~started:s.Db.solve_started;
     let before = if Obs.enabled () then Some (stats s) else None in
     let finish r =
       (* Pop the assumption levels so the solver is immediately reusable;

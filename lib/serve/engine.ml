@@ -9,6 +9,9 @@ module Obs = Sepsat_obs.Obs
 module Metrics = Sepsat_obs.Metrics
 module Log = Sepsat_obs.Log
 module Window = Sepsat_obs.Window
+module Flight = Sepsat_obs.Flight
+module Trace_ctx = Sepsat_obs.Trace_ctx
+module Progress = Sepsat_obs.Progress
 
 type job = {
   jb_text : string;
@@ -62,6 +65,22 @@ type entry = {
 
 type work = job * (reply -> unit)
 
+(* One live solver lane, fed by Progress ticks: which domain, solving for
+   which request, and how hard it is working right now. *)
+type lane = {
+  ln_tid : int;
+  ln_name : string;
+  ln_rid : string;
+  ln_conflicts : int;
+  ln_rate : float;  (* conflicts/s over the last tick interval *)
+  ln_elapsed_s : float;
+  ln_updated : float;  (* wall clock of the tick; stale lanes are pruned *)
+}
+
+(* Ticks older than this are solver domains that moved on (pool joined,
+   request finished) — drop them from the live view. *)
+let lane_ttl_s = 15.
+
 type t = {
   queue : work Bqueue.t;
   cache : entry Cache.t;
@@ -74,6 +93,9 @@ type t = {
   completed : int Atomic.t;
   shed : int Atomic.t;
   errors : int Atomic.t;
+  flight_dir : string option;  (* where deadline-expiry dumps land; None = off *)
+  lanes : (int, lane) Hashtbl.t;
+  lanes_mu : Mutex.t;
   mutable domains : unit Domain.t array;
   shutdown_mu : Mutex.t;
 }
@@ -122,7 +144,12 @@ let process t (jb : job) : reply =
   let t0 = Deadline.wall_now () in
   (* Every log line emitted anywhere below — including deep inside the
      pipeline — carries the request's correlation id, so one grep on the
-     rid reconstructs the request's full path. *)
+     rid reconstructs the request's full path. The ambient Trace_ctx rid
+     does the same for Obs spans and flight records: the request-root span
+     and every descendant (parse, solve, portfolio lanes, component/cube
+     workers via the spawn handoff) is tagged with this rid. *)
+  Trace_ctx.with_rid jb.jb_rid
+  @@ fun () ->
   Log.with_fields [ ("rid", Log.S jb.jb_rid); ("id", Log.S jb.jb_id) ]
   @@ fun () ->
   Obs.span ~cat:"serve" "serve.request" (fun () ->
@@ -140,7 +167,7 @@ let process t (jb : job) : reply =
         Atomic.incr t.errors;
         Metrics.incr (Lazy.force m_errors);
         let time_ms = (Deadline.wall_now () -. t0) *. 1000. in
-        Window.add t.lat time_ms;
+        Window.add ~rid:jb.jb_rid t.lat time_ms;
         Log.event "serve.error"
           [ ("reason", Log.S msg); ("time_ms", Log.F time_ms) ];
         Error msg
@@ -168,6 +195,18 @@ let process t (jb : job) : reply =
               in
               Log.event "serve.deadline"
                 [ ("reason", Log.S why); ("budget_s", Log.F timeout) ];
+              (* A blown per-request deadline is exactly the moment the
+                 recent history matters: dump the flight recorder so the
+                 wedged request's spans, logs and last progress snapshots
+                 survive for post-mortem. *)
+              (match t.flight_dir with
+              | Some _ when why = "timeout" -> (
+                match Flight.dump ~reason:("deadline-" ^ jb.jb_rid) () with
+                | path -> Log.event "serve.flight_dump" [ ("path", Log.S path) ]
+                | exception e ->
+                  Log.event "serve.flight_dump_failed"
+                    [ ("error", Log.S (Printexc.to_string e)) ])
+              | Some _ | None -> ());
               Verdict.Unknown why
           in
           let solve_ms = (Deadline.wall_now () -. ts) *. 1000. in
@@ -199,8 +238,9 @@ let process t (jb : job) : reply =
             Protocol.Joined
         in
         let time_ms = (Deadline.wall_now () -. t0) *. 1000. in
-        Metrics.observe (Lazy.force m_request_s) (time_ms /. 1000.);
-        Window.add t.lat time_ms;
+        Metrics.observe ~rid:jb.jb_rid (Lazy.force m_request_s)
+          (time_ms /. 1000.);
+        Window.add ~rid:jb.jb_rid t.lat time_ms;
         Log.event "serve.reply"
           ([
              ("verdict", Log.S (Protocol.verdict_to_string entry.e_verdict));
@@ -244,15 +284,19 @@ let worker t i () =
 
 let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 1024)
     ?(cache_shards = 16) ?(default_timeout_s = 30.)
-    ?(backend = default_backend) () =
+    ?(backend = default_backend) ?flight_dir () =
   let n_workers =
     match workers with
     | Some n -> max 1 n
     | None -> max 1 (min 8 (Domain.recommended_domain_count () - 1))
   in
   (* A serving process reports live metrics whether or not tracing is on;
-     see the note on the metric handles above. *)
+     see the note on the metric handles above. The flight recorder is
+     always-on for the same reason: when a request wedges, its recent
+     history must already be in the ring. *)
   Metrics.set_always_on true;
+  Flight.enable ();
+  Option.iter Flight.set_dump_dir flight_dir;
   let t =
     {
       queue = Bqueue.create ~capacity:queue_capacity;
@@ -266,12 +310,49 @@ let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 1024)
       completed = Atomic.make 0;
       shed = Atomic.make 0;
       errors = Atomic.make 0;
+      flight_dir;
+      lanes = Hashtbl.create 16;
+      lanes_mu = Mutex.create ();
       domains = [||];
       shutdown_mu = Mutex.create ();
     }
   in
+  (* Solver domains report progress through this global hook; each tick
+     updates the reporting domain's row in the live lane table (consumed by
+     `sufdec top` via stats). Tick cadence is once per 1024 conflicts plus
+     one at solve start, so the mutex is uncontended in practice. *)
+  Progress.set_callback
+    (Some
+       (fun snap ->
+         let tid = snap.Progress.p_tid in
+         let name =
+           match List.assoc_opt tid (Obs.thread_names ()) with
+           | Some n -> n
+           | None -> Printf.sprintf "d%d" tid
+         in
+         let ln =
+           {
+             ln_tid = tid;
+             ln_name = name;
+             ln_rid = Trace_ctx.rid ();
+             ln_conflicts = snap.Progress.p_conflicts;
+             ln_rate = snap.Progress.p_rate;
+             ln_elapsed_s = snap.Progress.p_elapsed;
+             ln_updated = Unix.gettimeofday ();
+           }
+         in
+         Mutex.protect t.lanes_mu (fun () -> Hashtbl.replace t.lanes tid ln)));
   t.domains <- Array.init n_workers (fun i -> Domain.spawn (worker t i));
   t
+
+let lanes t =
+  let now = Unix.gettimeofday () in
+  Mutex.protect t.lanes_mu (fun () ->
+      Hashtbl.fold
+        (fun _ ln acc ->
+          if now -. ln.ln_updated <= lane_ttl_s then ln :: acc else acc)
+        t.lanes [])
+  |> List.sort (fun a b -> compare a.ln_tid b.ln_tid)
 
 let submit t jb cb =
   if Bqueue.try_push t.queue (jb, cb) then begin
@@ -341,6 +422,8 @@ type stats = {
   st_p50_ms : float;
   st_p90_ms : float;
   st_p99_ms : float;
+  st_p99_rid : string;  (* rid of the request at the p99 rank; "" if none *)
+  st_lanes : lane list;
 }
 
 let stats t =
@@ -360,6 +443,9 @@ let stats t =
     st_p50_ms = p50;
     st_p90_ms = p90;
     st_p99_ms = p99;
+    st_p99_rid =
+      (match Window.exemplar t.lat 0.99 with Some (_, rid) -> rid | None -> "");
+    st_lanes = lanes t;
   }
 
 let stats_json t =
@@ -380,7 +466,36 @@ let stats_json t =
             ("p50", Json.Num s.st_p50_ms);
             ("p90", Json.Num s.st_p90_ms);
             ("p99", Json.Num s.st_p99_ms);
+            ("p99_rid", Json.Str s.st_p99_rid);
           ] );
+      ( "exemplars",
+        Json.Arr
+          (List.map
+             (fun (ub, e) ->
+               Json.Obj
+                 [
+                   ( "le",
+                     if Float.is_finite ub then Json.Num ub
+                     else Json.Str "+Inf" );
+                   ("rid", Json.Str e.Metrics.ex_rid);
+                   ("value_s", Json.Num e.Metrics.ex_value);
+                   ("ts", Json.Num e.Metrics.ex_ts);
+                 ])
+             (Metrics.exemplars (Lazy.force m_request_s))) );
+      ( "lanes",
+        Json.Arr
+          (List.map
+             (fun ln ->
+               Json.Obj
+                 [
+                   ("tid", Json.Num (float_of_int ln.ln_tid));
+                   ("name", Json.Str ln.ln_name);
+                   ("rid", Json.Str ln.ln_rid);
+                   ("conflicts", Json.Num (float_of_int ln.ln_conflicts));
+                   ("rate", Json.Num ln.ln_rate);
+                   ("elapsed_s", Json.Num ln.ln_elapsed_s);
+                 ])
+             s.st_lanes) );
       ( "cache",
         Json.Obj
           [
@@ -401,4 +516,7 @@ let shutdown ?(cancel_inflight = true) t =
       if cancel_inflight then Atomic.set t.stop true;
       Bqueue.close t.queue;
       Array.iter Domain.join t.domains;
-      t.domains <- [||])
+      t.domains <- [||];
+      (* The progress hook captures [t]; remove it so a later engine in the
+         same process (tests) does not feed a dead lane table. *)
+      Progress.set_callback None)

@@ -90,11 +90,16 @@ val create :
   ?cache_shards:int ->
   ?default_timeout_s:float ->
   ?backend:backend ->
+  ?flight_dir:string ->
   unit ->
   t
 (** Spawns the worker domains immediately. Defaults: workers = recommended
     domain count - 1 (clamped to 1..8), queue 64, cache 1024 entries over 16
-    shards, 30 s budget. *)
+    shards, 30 s budget. Also enables the always-on
+    {!Sepsat_obs.Flight} recorder; when [flight_dir] is given it becomes
+    the dump directory and every per-request deadline expiry writes a
+    flight dump there (without it, dumps happen only on demand — SIGUSR1,
+    crash, [dump] op). *)
 
 val submit : t -> job -> (reply -> unit) -> bool
 (** Asynchronous entry point. [false] means the request was shed (queue
@@ -112,6 +117,18 @@ val queue_depth : t -> int
 
 val cache_stats : t -> Cache.stats
 
+type lane = {
+  ln_tid : int;  (** solver domain id *)
+  ln_name : string;  (** lane label from {!Sepsat_obs.Obs.name_thread} *)
+  ln_rid : string;  (** request the lane is solving for; [""] if unknown *)
+  ln_conflicts : int;
+  ln_rate : float;  (** conflicts/s over the last progress interval *)
+  ln_elapsed_s : float;  (** seconds since that lane's solve started *)
+  ln_updated : float;  (** wall clock of the last progress tick *)
+}
+(** A live solver lane, fed by {!Sepsat_obs.Progress} ticks — what each
+    solving domain is working on right now (the `sufdec top` view). *)
+
 type stats = {
   st_workers : int;
   st_submitted : int;  (** accepted into the queue *)
@@ -125,12 +142,18 @@ type stats = {
   st_p50_ms : float;  (** rolling request-latency quantiles; [0.] if empty *)
   st_p90_ms : float;
   st_p99_ms : float;
+  st_p99_rid : string;
+      (** rid of the actual request at the p99 rank — the one to chase;
+          [""] when the window is empty or that slot carried no rid *)
+  st_lanes : lane list;  (** lanes with a progress tick in the last 15 s *)
 }
 
 val stats : t -> stats
 
 val stats_json : t -> Json.t
-(** The [stats] reply payload of the protocol. *)
+(** The [stats] reply payload of the protocol: the {!stats} fields plus
+    [latency_ms.p99_rid], the [serve.request_s] histogram's per-bucket
+    ["exemplars"] and the live ["lanes"] array. *)
 
 val shutdown : ?cancel_inflight:bool -> t -> unit
 (** Close the queue and join the workers. With [cancel_inflight] (default

@@ -23,6 +23,7 @@ type request =
   | Ping of string
   | Stats_req of string
   | Metrics_req of string
+  | Dump_req of string
   | Shutdown of string
 
 (* pp_method prints "HYBRID(700)"; the wire uses the method_of_string
@@ -47,6 +48,7 @@ let request_of_line line =
     | "ping" -> Ok (Ping id)
     | "stats" -> Ok (Stats_req id)
     | "metrics" -> Ok (Metrics_req id)
+    | "dump" -> Ok (Dump_req id)
     | "shutdown" -> Ok (Shutdown id)
     | "solve" -> (
       match Json.mem_str "formula" j with
@@ -79,6 +81,7 @@ let request_to_line = function
     Json.to_string (Obj [ ("op", Str "stats"); ("id", Str id) ])
   | Metrics_req id ->
     Json.to_string (Obj [ ("op", Str "metrics"); ("id", Str id) ])
+  | Dump_req id -> Json.to_string (Obj [ ("op", Str "dump"); ("id", Str id) ])
   | Shutdown id ->
     Json.to_string (Obj [ ("op", Str "shutdown"); ("id", Str id) ])
   | Solve r ->
@@ -142,6 +145,7 @@ type reply =
   | Pong of string
   | Stats of string * Json.t
   | Metrics of string * string
+  | Dump of string * string
   | Bye of string
 
 let reply_to_line = function
@@ -165,6 +169,11 @@ let reply_to_line = function
            ("content_type", Str Sepsat_obs.Prom.content_type);
            ("prometheus", Str body);
          ])
+  | Dump (id, body) ->
+    (* Like Metrics: the flight-recorder JSON document travels as one
+       string field, keeping the reply a single protocol line. *)
+    Json.to_string
+      (Obj [ ("id", Str id); ("status", Str "dump"); ("flight", Str body) ])
   | Ok_solve s ->
     let fields =
       [
@@ -205,6 +214,8 @@ let reply_of_line line =
     | Some "metrics" ->
       Ok
         (Metrics (id, Option.value (Json.mem_str "prometheus" j) ~default:""))
+    | Some "dump" ->
+      Ok (Dump (id, Option.value (Json.mem_str "flight" j) ~default:""))
     | Some "ok" -> (
       let verdict =
         match Json.mem_str "verdict" j with
@@ -248,5 +259,6 @@ let reply_id = function
   | Pong id
   | Stats (id, _)
   | Metrics (id, _)
+  | Dump (id, _)
   | Bye id ->
     id

@@ -44,6 +44,9 @@ type request =
   | Metrics_req of string
       (** ["op":"metrics"] — a Prometheus exposition snapshot over the
           protocol (the HTTP listener serves the same document) *)
+  | Dump_req of string
+      (** ["op":"dump"] — the flight recorder's current contents, for
+          debugging a live server without signals or filesystem access *)
   | Shutdown of string
 
 val method_to_wire : Sepsat.Decide.method_ -> string
@@ -100,6 +103,10 @@ type reply =
       (** id, Prometheus text-format document. On the wire the document is
           one JSON string field ["prometheus"] (newlines escaped), next to
           a ["content_type"] field. *)
+  | Dump of string * string
+      (** id, flight-recorder JSON document (see
+          {!Sepsat_obs.Flight.to_json}), carried as one JSON string field
+          ["flight"] so the reply stays a single line. *)
   | Bye of string  (** shutdown acknowledged *)
 
 val reply_to_line : reply -> string

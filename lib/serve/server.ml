@@ -65,6 +65,9 @@ let serve_channels eng ic oc =
         | Ok (Protocol.Metrics_req id) ->
           send (Protocol.Metrics (id, Prom.current ()));
           loop ()
+        | Ok (Protocol.Dump_req id) ->
+          send (Protocol.Dump (id, Sepsat_obs.Flight.to_json ()));
+          loop ()
         | Ok (Protocol.Shutdown id) ->
           send (Protocol.Bye id);
           `Shutdown

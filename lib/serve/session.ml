@@ -70,6 +70,11 @@ let metrics t =
   | Protocol.Metrics (_, body) -> Some body
   | _ -> None
 
+let dump t =
+  match rpc t (Protocol.Dump_req "dump") with
+  | Protocol.Dump (_, body) -> Some body
+  | _ -> None
+
 let shutdown t = ignore (rpc t (Protocol.Shutdown ""))
 
 let close t =

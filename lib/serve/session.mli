@@ -47,6 +47,10 @@ val metrics : t -> string option
 (** The server's Prometheus exposition document, via the protocol's
     [metrics] op. [None] on any other reply. *)
 
+val dump : t -> string option
+(** The server's flight-recorder contents as one JSON document, via the
+    protocol's [dump] op. [None] on any other reply. *)
+
 val shutdown : t -> unit
 (** Ask the server to stop; waits for the [bye]. *)
 

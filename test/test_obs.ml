@@ -10,10 +10,14 @@ module Chrome_trace = Sepsat_obs.Chrome_trace
 module Prom = Sepsat_obs.Prom
 module Window = Sepsat_obs.Window
 module Log = Sepsat_obs.Log
+module Flight = Sepsat_obs.Flight
+module Trace_ctx = Sepsat_obs.Trace_ctx
 
 let fresh ?capacity () =
   Obs.disable ();
   Obs.reset ();
+  Flight.disable ();
+  Flight.reset ();
   Metrics.reset ();
   Progress.set_callback None;
   Obs.enable ?capacity ()
@@ -403,6 +407,93 @@ let test_chrome_thread_names () =
   in
   Alcotest.(check bool) "main lane named" true (List.mem "main" names)
 
+(* -- Trace context and rid-tagged spans ------------------------------------ *)
+
+let test_trace_ctx_basic () =
+  Alcotest.(check string) "no ambient rid" "" (Trace_ctx.rid ());
+  Trace_ctx.with_rid "rq-7" (fun () ->
+      Alcotest.(check string) "ambient rid" "rq-7" (Trace_ctx.rid ()));
+  Alcotest.(check string) "restored after scope" "" (Trace_ctx.rid ());
+  (try Trace_ctx.with_rid "rq-doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check string) "restored after exception" "" (Trace_ctx.rid ())
+
+let test_span_rid_tagging () =
+  fresh ();
+  Trace_ctx.with_rid "rq-42" (fun () ->
+      Obs.span "tagged" (fun () -> Obs.span "tagged.child" (fun () -> ())));
+  Obs.span "untagged" (fun () -> ());
+  Obs.instant "mark";
+  let rids =
+    List.filter_map
+      (function
+        | Obs.Span { name; rid; _ } -> Some (name, rid)
+        | Obs.Instant { name; rid; _ } -> Some (name, rid)
+        | _ -> None)
+      (Obs.events ())
+  in
+  Alcotest.(check string) "request root tagged" "rq-42"
+    (List.assoc "tagged" rids);
+  Alcotest.(check string) "descendant tagged" "rq-42"
+    (List.assoc "tagged.child" rids);
+  Alcotest.(check string) "outside a request: empty" ""
+    (List.assoc "untagged" rids);
+  Alcotest.(check string) "instant outside: empty" "" (List.assoc "mark" rids)
+
+(* The handoff the pools use: capture in the requesting domain, adopt in
+   the worker — the worker's spans then carry the request's rid. *)
+let test_trace_ctx_cross_domain () =
+  fresh ();
+  let tctx =
+    Trace_ctx.with_rid "rq-far" (fun () -> Trace_ctx.capture ())
+  in
+  let d =
+    Domain.spawn (fun () ->
+        Trace_ctx.with_ctx tctx (fun () ->
+            Obs.span "remote.work" (fun () -> ())))
+  in
+  Domain.join d;
+  let rid =
+    List.find_map
+      (function
+        | Obs.Span { name = "remote.work"; rid; _ } -> Some rid
+        | _ -> None)
+      (Obs.events ())
+  in
+  Alcotest.(check (option string)) "adopted rid" (Some "rq-far") rid
+
+let test_chrome_rid_args () =
+  fresh ();
+  Obs.name_thread "main";
+  Trace_ctx.with_rid "rq-chrome" (fun () ->
+      Obs.span ~cat:"serve" "req" (fun () -> Obs.instant "req.mark"));
+  Obs.span "plain" (fun () -> ());
+  let json = Json.parse (Chrome_trace.to_string (Obs.events ())) in
+  let items =
+    match Json.member "traceEvents" json with
+    | Json.Arr items -> items
+    | _ -> Alcotest.fail "traceEvents is not an array"
+  in
+  let rid_of name ph =
+    List.find_map
+      (fun item ->
+        if
+          Json.str (Json.member "ph" item) = ph
+          && Json.str (Json.member "name" item) = name
+        then
+          match Json.member "args" item with
+          | args -> Some (Json.str (Json.member "rid" args))
+          | exception Not_found -> Some "<no args>"
+        else None)
+      items
+  in
+  Alcotest.(check (option string)) "B event carries rid"
+    (Some "rq-chrome") (rid_of "req" "B");
+  Alcotest.(check (option string)) "instant carries rid"
+    (Some "rq-chrome") (rid_of "req.mark" "i");
+  Alcotest.(check (option string)) "rid-less span has no args"
+    (Some "<no args>") (rid_of "plain" "B")
+
 (* -- Metrics -------------------------------------------------------------- *)
 
 let test_metrics_basic () =
@@ -420,7 +511,7 @@ let test_metrics_basic () =
   | Metrics.Gauge v -> Alcotest.(check (float 1e-9)) "gauge" 2.5 v
   | _ -> Alcotest.fail "gauge kind");
   (match List.assoc "m.hist" (Metrics.snapshot ()) with
-  | Metrics.Histogram { count; sum; buckets } ->
+  | Metrics.Histogram { count; sum; buckets; _ } ->
     Alcotest.(check int) "hist count" 2 count;
     Alcotest.(check (float 1e-9)) "hist sum" 10.001 sum;
     Alcotest.(check int) "hist binned" 2
@@ -510,6 +601,55 @@ let test_metrics_always_on () =
       | Metrics.Histogram { count; _ } ->
         Alcotest.(check int) "histogram moves with obs off" 1 count
       | _ -> Alcotest.fail "hist kind")
+
+let test_metrics_exemplars () =
+  fresh ();
+  let h = Metrics.histogram ~buckets:[| 0.1; 1.0 |] "ex.h" in
+  Metrics.observe h 0.05;
+  Alcotest.(check int) "rid-less observations leave no exemplar" 0
+    (List.length (Metrics.exemplars h));
+  Metrics.observe ~rid:"a" h 0.03;
+  Metrics.observe ~rid:"b" h 0.07;
+  Metrics.observe ~rid:"c" h 0.01;  (* smaller than b: must not displace *)
+  Metrics.observe ~rid:"d" h 0.5;
+  Metrics.observe ~rid:"e" h 5.0;
+  let exes = Metrics.exemplars h in
+  Alcotest.(check int) "one exemplar per touched bucket" 3
+    (List.length exes);
+  let find ub = snd (List.find (fun (u, _) -> u = ub) exes) in
+  Alcotest.(check string) "keep-max in the first bucket" "b"
+    (find 0.1).Metrics.ex_rid;
+  Alcotest.(check (float 1e-9)) "its value" 0.07 (find 0.1).Metrics.ex_value;
+  Alcotest.(check string) "buckets are separate" "d"
+    (find 1.0).Metrics.ex_rid;
+  Alcotest.(check string) "+inf bucket has one too" "e"
+    (find infinity).Metrics.ex_rid;
+  (match List.rev exes with
+  | (ub, _) :: _ -> Alcotest.(check bool) "+inf listed last" true (ub = infinity)
+  | [] -> Alcotest.fail "no exemplars");
+  Metrics.reset ();
+  Alcotest.(check int) "reset clears exemplars" 0
+    (List.length (Metrics.exemplars h))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_metrics_json_exemplars () =
+  fresh ();
+  let h = Metrics.histogram ~buckets:[| 1.0 |] "exj.h" in
+  Metrics.observe h 0.5;
+  Alcotest.(check bool) "no exemplars key without exemplars" false
+    (contains (Metrics.to_json ()) "exemplars");
+  Metrics.observe ~rid:"rq-j" h 0.7;
+  let j = Json.parse (Metrics.to_json ()) in
+  (match Json.member "exemplars" (Json.member "exj.h" j) with
+  | Json.Arr [ e ] ->
+    Alcotest.(check string) "rid" "rq-j" (Json.str (Json.member "rid" e));
+    Alcotest.(check (float 1e-9)) "value" 0.7
+      (Json.num (Json.member "value" e))
+  | _ -> Alcotest.fail "exemplars shape")
 
 (* A reader racing [reset] against concurrent [observe]s must never see a
    snapshot claiming observations it cannot locate in the buckets: the
@@ -615,6 +755,21 @@ let test_prom_render_conformance () =
   Alcotest.(check (float 1e-9)) "+Inf bucket equals count" 3.
     (find "serve_request_s_bucket{le=\"+Inf\"}")
 
+let test_prom_exemplars () =
+  fresh ();
+  let h = Metrics.histogram ~buckets:[| 1.0 |] "expm.h" in
+  Metrics.observe ~rid:"rq-slow" h 0.7;
+  let text = Prom.current () in
+  (* OpenMetrics exemplar syntax, parsed as a trailing comment by plain
+     Prometheus text parsers. *)
+  Alcotest.(check bool) "bucket line carries the exemplar" true
+    (contains text "expm_h_bucket{le=\"1\"} 1 # {rid=\"rq-slow\"} 0.7 ");
+  (* The un-exemplared surfaces stay exactly as before. *)
+  Alcotest.(check bool) "sum line untouched" true
+    (contains text "expm_h_sum 0.7\n");
+  Alcotest.(check bool) "+Inf line untouched" true
+    (contains text "expm_h_bucket{le=\"+Inf\"} 1\n")
+
 let test_prom_escaped_help () =
   let text =
     Prom.render [ ("weird\nname", Metrics.Counter 1) ]
@@ -645,6 +800,30 @@ let test_window_basic () =
     (Window.quantile w 0.);
   Window.clear w;
   Alcotest.(check int) "clear empties" 0 (Window.length w)
+
+let test_window_exemplar () =
+  let w = Window.create ~capacity:8 () in
+  Alcotest.(check bool) "empty window: none" true
+    (Window.exemplar w 0.99 = None);
+  Window.add ~rid:"fast" w 1.;
+  Window.add ~rid:"slow" w 100.;
+  Window.add ~rid:"mid" w 10.;
+  (match Window.exemplar w 0.99 with
+  | Some (v, rid) ->
+    Alcotest.(check (float 1e-9)) "p99 value is an actual observation" 100. v;
+    Alcotest.(check string) "p99 rid" "slow" rid
+  | None -> Alcotest.fail "expected an exemplar");
+  (match Window.exemplar w 0. with
+  | Some (v, rid) ->
+    Alcotest.(check (float 1e-9)) "p0 value" 1. v;
+    Alcotest.(check string) "p0 rid" "fast" rid
+  | None -> Alcotest.fail "expected an exemplar");
+  Window.add w 1000.;
+  (match Window.exemplar w 1. with
+  | Some (v, rid) ->
+    Alcotest.(check (float 1e-9)) "rid-less max" 1000. v;
+    Alcotest.(check string) "empty rid preserved" "" rid
+  | None -> Alcotest.fail "expected an exemplar")
 
 let prop_window_quantiles =
   let gen =
@@ -777,12 +956,20 @@ let test_progress_tick () =
   in
   Alcotest.(check bool) "conflict track emitted" true
     (List.mem "sat.conflicts" samples);
-  (* disabled -> no callback *)
+  (* An installed callback keeps receiving ticks with obs off — that is
+     how the serve engine's lane table stays live in default runs... *)
   Obs.disable ();
   seen := [];
   Progress.tick ~conflicts:1 ~decisions:1 ~propagations:1 ~learnts:1 ~trail:1
     ~vars:1 ~level:1 ~started:0.;
-  Alcotest.(check int) "no tick when disabled" 0 (List.length !seen)
+  Alcotest.(check int) "callback still fires when obs is off" 1
+    (List.length !seen);
+  (* ...but with no consumer at all, a tick is a no-op. *)
+  Progress.set_callback None;
+  seen := [];
+  Progress.tick ~conflicts:2 ~decisions:2 ~propagations:2 ~learnts:2 ~trail:2
+    ~vars:2 ~level:2 ~started:0.;
+  Alcotest.(check int) "no consumer, no tick" 0 (List.length !seen)
 
 (* A real solve with tracing on: the pipeline spans land in the stream. *)
 let test_pipeline_spans_end_to_end () =
@@ -826,12 +1013,23 @@ let () =
           Alcotest.test_case "span summary" `Quick test_span_summary;
           QCheck_alcotest.to_alcotest prop_concurrent_well_nested;
         ] );
+      ( "trace-ctx",
+        [
+          Alcotest.test_case "ambient rid scoping" `Quick
+            test_trace_ctx_basic;
+          Alcotest.test_case "spans tagged with the request rid" `Quick
+            test_span_rid_tagging;
+          Alcotest.test_case "explicit cross-domain handoff" `Quick
+            test_trace_ctx_cross_domain;
+        ] );
       ( "chrome",
         [
           Alcotest.test_case "valid JSON" `Quick test_chrome_valid_json;
           Alcotest.test_case "matched B/E" `Quick
             test_chrome_matched_begin_end;
           Alcotest.test_case "thread names" `Quick test_chrome_thread_names;
+          Alcotest.test_case "rid lands in event args" `Quick
+            test_chrome_rid_args;
         ] );
       ( "metrics",
         [
@@ -842,6 +1040,10 @@ let () =
             test_metrics_json_strict;
           Alcotest.test_case "always-on bypasses the obs gate" `Quick
             test_metrics_always_on;
+          Alcotest.test_case "per-bucket exemplars: keep-max, reset" `Quick
+            test_metrics_exemplars;
+          Alcotest.test_case "exemplars in the json snapshot" `Quick
+            test_metrics_json_exemplars;
           Alcotest.test_case "reset/observe race keeps count consistent"
             `Quick test_metrics_reset_observe_race;
         ] );
@@ -851,11 +1053,15 @@ let () =
             test_prom_sanitize;
           Alcotest.test_case "exposition conformance" `Quick
             test_prom_render_conformance;
+          Alcotest.test_case "OpenMetrics exemplar suffix" `Quick
+            test_prom_exemplars;
           Alcotest.test_case "HELP escaping" `Quick test_prom_escaped_help;
         ] );
       ( "window",
         [
           Alcotest.test_case "ring, quantiles, wrap" `Quick test_window_basic;
+          Alcotest.test_case "quantile exemplar is a real observation"
+            `Quick test_window_exemplar;
           QCheck_alcotest.to_alcotest prop_window_quantiles;
         ] );
       ( "log",

@@ -673,6 +673,96 @@ let test_engine_stats_quantiles () =
           && List.mem_assoc "p99" kvs && List.mem_assoc "count" kvs
         | _ -> false))
 
+(* Every span of a request — the request root and its descendants on the
+   worker domain — carries the server-minted rid, so one rid filters the
+   whole request out of a Chrome trace. *)
+let test_engine_rid_tagged_spans () =
+  Obs.disable ();
+  Obs.reset ();
+  Obs.enable ();
+  let engine = Engine.create ~workers:1 () in
+  let job = Engine.job ~id:"ridspan" "(= rs rs)" in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.shutdown engine;
+      Obs.disable ())
+    (fun () ->
+      (match Engine.solve ~block:true engine job with
+      | Some (Ok _) -> ()
+      | _ -> Alcotest.fail "solve failed");
+      let rids_of name =
+        List.filter_map
+          (function
+            | Sepsat_obs.Obs.Span { name = n; rid; _ } when n = name ->
+              Some rid
+            | _ -> None)
+          (Sepsat_obs.Obs.events ())
+      in
+      (match rids_of "serve.request" with
+      | rid :: _ ->
+        Alcotest.(check string) "request root carries the job rid"
+          job.Engine.jb_rid rid
+      | [] -> Alcotest.fail "no serve.request span");
+      match rids_of "serve.solve" with
+      | rid :: _ ->
+        Alcotest.(check string) "descendant span inherits the rid"
+          job.Engine.jb_rid rid
+      | [] -> Alcotest.fail "no serve.solve span")
+
+(* stats carries the p99 exemplar rid, and stats_json exposes the
+   histogram exemplars and live-lane table. *)
+let test_engine_stats_exemplars () =
+  Obs.disable ();
+  let engine = Engine.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown engine)
+    (fun () ->
+      (* Formulas whose negation needs real CDCL search, so the solver's
+         solve-start progress tick fires (a trivially-false instance is
+         answered before search begins and feeds no lane). *)
+      for i = 1 to 4 do
+        ignore
+          (Engine.solve ~block:true engine
+             (Engine.job (Printf.sprintf "(= (f ex%d) (f ey%d))" i i)))
+      done;
+      let s = Engine.stats engine in
+      Alcotest.(check bool) "p99 exemplar rid minted by the server" true
+        (String.length s.Engine.st_p99_rid > 3
+        && String.sub s.Engine.st_p99_rid 0 3 = "rq-");
+      Alcotest.(check bool) "lanes table populated by progress ticks" true
+        (s.Engine.st_lanes <> []);
+      let j = Engine.stats_json engine in
+      (match Json.member "latency_ms" j with
+      | Some lat ->
+        Alcotest.(check (option string)) "p99_rid exported"
+          (Some s.Engine.st_p99_rid)
+          (Json.mem_str "p99_rid" lat)
+      | None -> Alcotest.fail "no latency_ms object");
+      (match Json.member "exemplars" j with
+      | Some (Json.Arr (_ :: _ as exes)) ->
+        List.iter
+          (fun e ->
+            (match Json.mem_str "rid" e with
+            | Some rid ->
+              Alcotest.(check bool) "exemplar rid minted" true
+                (String.length rid > 3 && String.sub rid 0 3 = "rq-")
+            | None -> Alcotest.fail "exemplar without rid");
+            Alcotest.(check bool) "exemplar value positive" true
+              (match Json.mem_num "value_s" e with
+              | Some v -> v > 0.
+              | None -> false))
+          exes
+      | _ -> Alcotest.fail "no exemplars array");
+      match Json.member "lanes" j with
+      | Some (Json.Arr lanes) ->
+        Alcotest.(check bool) "lanes exported" true (lanes <> []);
+        List.iter
+          (fun ln ->
+            Alcotest.(check bool) "lane has tid and name" true
+              (Json.mem_int "tid" ln <> None && Json.mem_str "name" ln <> None))
+          lanes
+      | _ -> Alcotest.fail "no lanes array")
+
 (* The acceptance property: every served request is reconstructible from
    the JSON log stream by correlation id. *)
 let test_engine_log_correlation () =
@@ -795,6 +885,75 @@ let test_serve_channels_metrics_op () =
       let v = String.sub l 15 (String.length l - 15) in
       Alcotest.(check bool) "sample value parses" true
         (Float.is_finite (float_of_string v))
+
+(* The dump op returns the flight recorder as one JSON body; after a
+   served request, the dump holds that request's records. *)
+let test_serve_channels_dump_op () =
+  let requests =
+    String.concat "\n"
+      [
+        Protocol.request_to_line (Protocol.Dump_req "d");
+        Protocol.request_to_line (Protocol.Shutdown "q");
+      ]
+    ^ "\n"
+  in
+  let in_path = Filename.temp_file "sufdump" ".in" in
+  let out_path = Filename.temp_file "sufdump" ".out" in
+  let oc = open_out in_path in
+  output_string oc requests;
+  close_out oc;
+  Sepsat_obs.Flight.reset ();
+  let engine = Engine.create ~workers:1 () in
+  (* Serve one request to completion first (the protocol answers solves
+     asynchronously, so an in-band solve could land after the dump). *)
+  (match Engine.solve ~block:true engine (Engine.job "(= fd fd)") with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "warmup solve failed");
+  let ic = open_in in_path in
+  let oc = open_out out_path in
+  ignore (Server.serve_channels engine ic oc);
+  close_in ic;
+  close_out oc;
+  Engine.shutdown engine;
+  let ic = open_in out_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  let dump_reply =
+    List.find_map
+      (fun l ->
+        match Protocol.reply_of_line l with
+        | Ok (Protocol.Dump (id, body)) -> Some (id, body)
+        | _ -> None)
+      !lines
+  in
+  match dump_reply with
+  | None -> Alcotest.fail "no dump reply"
+  | Some (id, body) ->
+    Alcotest.(check string) "id echoed" "d" id;
+    (match Json.parse body with
+    | Error e -> Alcotest.fail ("dump body does not parse: " ^ e)
+    | Ok j ->
+      Alcotest.(check (option string)) "schema" (Some "sepsat-flight-1")
+        (Json.mem_str "schema" j);
+      match Json.member "records" j with
+      | Some (Json.Arr (_ :: _ as rs)) ->
+        (* The served request left rid-tagged records behind. *)
+        Alcotest.(check bool) "a request record is present" true
+          (List.exists
+             (fun r ->
+               match Json.mem_str "rid" r with
+               | Some rid ->
+                 String.length rid > 3 && String.sub rid 0 3 = "rq-"
+               | None -> false)
+             rs)
+      | _ -> Alcotest.fail "dump has no records")
 
 let test_serve_metrics_http () =
   let path =
@@ -928,8 +1087,14 @@ let () =
             test_engine_stats_quantiles;
           Alcotest.test_case "logs correlate every request" `Quick
             test_engine_log_correlation;
+          Alcotest.test_case "spans carry the request rid" `Quick
+            test_engine_rid_tagged_spans;
+          Alcotest.test_case "p99 exemplar rid, exemplars and lanes" `Quick
+            test_engine_stats_exemplars;
           Alcotest.test_case "metrics over the protocol" `Quick
             test_serve_channels_metrics_op;
+          Alcotest.test_case "flight dump over the protocol" `Quick
+            test_serve_channels_dump_op;
           Alcotest.test_case "GET /metrics over http" `Quick
             test_serve_metrics_http;
         ] );
