@@ -491,7 +491,13 @@ let socket_arg =
 
 let serve_cmd =
   let run socket metrics_socket log_json flight_dir workers queue_cap
-      cache_cap default_timeout obs_finish =
+      cache_cap default_timeout instance obs_finish =
+    (match instance with
+    | None -> ()
+    | Some label ->
+      (* Fleet members stamp their series so the router can merge the
+         backends' expositions into one document without collisions. *)
+      Sepsat_obs.Prom.set_const_labels [ ("backend", label) ]);
     let log_close =
       match log_json with
       | None -> fun () -> ()
@@ -595,6 +601,16 @@ let serve_cmd =
              with timeout_s). Expiry answers unknown; it never kills the \
              server.")
   in
+  let instance_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"LABEL"
+          ~doc:
+            "Stamp every Prometheus series with a constant \
+             backend=\"$(docv)\" label — how fleet members keep their \
+             metrics distinct when the router merges them.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -603,11 +619,11 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ metrics_socket_arg $ log_json_arg
       $ flight_dir_arg $ workers_arg $ queue_arg $ cache_arg
-      $ default_timeout_arg $ obs_term)
+      $ default_timeout_arg $ instance_arg $ obs_term)
 
 let submit_cmd =
-  let run socket files suite method_ timeout lang_s as_json do_ping
-      do_stats do_metrics do_dump do_shutdown =
+  let run socket files suite method_ timeout lang_s as_json retries no_retry
+      do_ping do_stats do_metrics do_dump do_shutdown =
     let path =
       match socket with
       | Some p -> p
@@ -623,10 +639,22 @@ let submit_cmd =
         exit 2
     in
     let session =
-      try Session.connect ~retries:50 path
+      try ref (Session.connect ~retries:50 path)
       with Unix.Unix_error (e, _, _) ->
         Format.eprintf "cannot connect to %s: %s@." path (Unix.error_message e);
         exit 2
+    in
+    (* Busy sheds and connections dropped by a restarting backend retry
+       with jittered backoff; --no-retry keeps the first answer (the
+       scriptable mode — a busy is then visible, not hidden). *)
+    let attempts = if no_retry then 1 else max 1 retries in
+    let rpc_retrying req =
+      let s, reply =
+        Session.with_retry ~attempts ~path !session (fun s ->
+            Session.rpc s req)
+      in
+      session := s;
+      reply
     in
     let failures = ref 0 in
     let print_reply reply =
@@ -646,6 +674,7 @@ let submit_cmd =
           incr failures;
           Format.printf "%-24s ERROR %s@." id reason
         | Protocol.Pong id -> Format.printf "%-24s pong@." id
+        | Protocol.Warmed id -> Format.printf "%-24s warmed@." id
         | Protocol.Bye id -> Format.printf "%-24s bye@." id
         | Protocol.Stats (id, j) ->
           Format.printf "%-24s %s@." id (Sepsat_serve.Json.to_string j)
@@ -656,7 +685,7 @@ let submit_cmd =
           (* One JSON document — pipe it to python3 -m json.tool or jq. *)
           print_endline body
     in
-    if do_ping then print_reply (Session.rpc session (Protocol.Ping "ping"));
+    if do_ping then print_reply (rpc_retrying (Protocol.Ping "ping"));
     (* Benchmark-suite workloads, by name; files afterwards. *)
     let suite_requests =
       match suite with
@@ -689,16 +718,24 @@ let submit_cmd =
     List.iter
       (fun (id, text) ->
         print_reply
-          (Session.solve session ~id ~lang ~method_ ~timeout_s:timeout text))
+          (rpc_retrying
+             (Protocol.Solve
+                {
+                  Protocol.sq_id = id;
+                  sq_lang = lang;
+                  sq_text = text;
+                  sq_method = method_;
+                  sq_timeout_s = Some timeout;
+                })))
       (suite_requests @ file_requests);
     if do_stats then
-      print_reply (Session.rpc session (Protocol.Stats_req "stats"));
+      print_reply (rpc_retrying (Protocol.Stats_req "stats"));
     if do_metrics then
-      print_reply (Session.rpc session (Protocol.Metrics_req "metrics"));
-    if do_dump then
-      print_reply (Session.rpc session (Protocol.Dump_req "dump"));
-    if do_shutdown then print_reply (Session.rpc session (Protocol.Shutdown ""));
-    Session.close session;
+      print_reply (rpc_retrying (Protocol.Metrics_req "metrics"));
+    if do_dump then print_reply (rpc_retrying (Protocol.Dump_req "dump"));
+    if do_shutdown then
+      print_reply (Session.rpc !session (Protocol.Shutdown ""));
+    Session.close !session;
     if !failures > 0 then exit 3
   in
   let files_arg =
@@ -754,6 +791,23 @@ let submit_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Ask the server to shut down afterwards.")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry budget for transient failures — busy sheds and \
+             connections dropped by a restarting backend — with jittered \
+             exponential backoff (0.1 s base, 2 s cap).")
+  in
+  let no_retry_flag =
+    Arg.(
+      value & flag
+      & info [ "no-retry" ]
+          ~doc:
+            "Take the first answer, transient or not; busy replies and \
+             dropped connections surface immediately.")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
@@ -761,8 +815,8 @@ let submit_cmd =
           sufdec server over its Unix-domain socket.")
     Term.(
       const run $ socket_arg $ files_arg $ suite_arg $ method_arg
-      $ timeout_arg $ lang_arg $ json_flag $ ping_flag $ stats_flag'
-      $ metrics_flag $ dump_flag $ shutdown_flag)
+      $ timeout_arg $ lang_arg $ json_flag $ retries_arg $ no_retry_flag
+      $ ping_flag $ stats_flag' $ metrics_flag $ dump_flag $ shutdown_flag)
 
 (* -- top: live terminal dashboard ----------------------------------------- *)
 
@@ -903,7 +957,12 @@ let top_cmd =
     Term.(const run $ socket_arg $ interval_arg $ frames_arg)
 
 let loadgen_cmd =
-  let run clients repeats workers method_ timeout json_out min_speedup =
+  let run clients repeats workers method_ timeout fleet json_out min_speedup =
+    let target =
+      match fleet with
+      | Some path -> Sepsat_harness.Loadgen.Fleet path
+      | None -> Sepsat_harness.Loadgen.In_process
+    in
     let config =
       {
         Sepsat_harness.Loadgen.default with
@@ -912,6 +971,7 @@ let loadgen_cmd =
         workers;
         method_;
         timeout_s = timeout;
+        target;
       }
     in
     let report = Sepsat_harness.Loadgen.run config in
@@ -947,6 +1007,17 @@ let loadgen_cmd =
       value & opt int 2
       & info [ "workers" ] ~docv:"N" ~doc:"Engine worker domains.")
   in
+  let fleet_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fleet" ] ~docv:"SOCKET"
+          ~doc:
+            "Drive a running server or fleet router at $(docv) over the \
+             JSON-lines protocol instead of an in-process engine; clients \
+             become I/O-bound threads, so their count may exceed the \
+             cores — the p99-under-load mode.")
+  in
   let json_arg =
     Arg.(
       value
@@ -969,7 +1040,107 @@ let loadgen_cmd =
           a sequential pass and reports cold vs cache-hit latency.")
     Term.(
       const run $ clients_arg $ repeats_arg $ workers_arg $ method_arg
-      $ timeout_arg $ json_arg $ min_speedup_arg)
+      $ timeout_arg $ fleet_arg $ json_arg $ min_speedup_arg)
+
+(* -- fleet: router + supervised backend shards ----------------------------- *)
+
+let fleet_cmd =
+  let run socket backends dir cache_dir workers queue cache timeout
+      warm_limit obs_finish =
+    let path =
+      match socket with
+      | Some p -> p
+      | None ->
+        Format.eprintf "fleet requires --socket PATH@.";
+        exit 2
+    in
+    if backends < 1 then begin
+      Format.eprintf "fleet requires --backends >= 1@.";
+      exit 2
+    end;
+    Sepsat_fleet.Fleet.run
+      {
+        Sepsat_fleet.Fleet.f_socket = path;
+        f_backends = backends;
+        f_dir = dir;
+        f_cache_dir = cache_dir;
+        f_workers = workers;
+        f_queue = queue;
+        f_cache = cache;
+        f_timeout_s = timeout;
+        f_warm_limit = warm_limit;
+        f_exe = None;
+      };
+    obs_finish ()
+  in
+  let backends_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "backends" ] ~docv:"N" ~doc:"Supervised sufdec serve shards.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Runtime dir for backend sockets (default: SOCKET.d).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persistent verdict cache (append-only verdicts.jsonl): repeat \
+             formulas answer from disk across fleet restarts, and each \
+             backend's in-memory cache is warmed from it on (re)start. \
+             Omitted: no disk tier.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains per backend (default: (cores - 1) / backends, \
+             at least 1).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N" ~doc:"Per-backend request-queue capacity.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Per-backend in-memory result-cache capacity.")
+  in
+  let timeout_arg' =
+    Arg.(
+      value & opt float 30.
+      & info [ "t"; "timeout" ] ~docv:"SECONDS"
+          ~doc:"Default per-request budget passed to each backend.")
+  in
+  let warm_limit_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "warm-limit" ] ~docv:"N"
+          ~doc:
+            "Max cached verdicts replayed into a backend when it \
+             (re)starts.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Serve through a consistent-hash router over N supervised sufdec \
+          serve shards: one public socket, the same JSON-lines protocol, \
+          digest-affine routing, crash restarts with backoff, in-flight \
+          re-dispatch, and an optional restart-surviving verdict cache.")
+    Term.(
+      const run $ socket_arg $ backends_arg $ dir_arg $ cache_dir_arg
+      $ workers_arg $ queue_arg $ cache_arg $ timeout_arg' $ warm_limit_arg
+      $ obs_term)
 
 let list_cmd =
   let run () =
@@ -999,5 +1170,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; smt_cmd; stats_cmd; cnf_cmd; gen_cmd; bench_cmd;
-            list_cmd; serve_cmd; submit_cmd; top_cmd; loadgen_cmd;
+            list_cmd; serve_cmd; submit_cmd; top_cmd; loadgen_cmd; fleet_cmd;
           ]))

@@ -1,0 +1,52 @@
+(** Persistent verdict cache: a digest-keyed append-only JSON-lines log
+    plus an in-memory index.
+
+    Keys are the serving engine's cache keys
+    ([Ast.digest ^ "|" ^ method]); entries are decisive verdicts only —
+    an [unknown] is a budget artifact and must never outlive a restart.
+    One writer (the router thread) appends one flushed line per new key;
+    the loader skips unparseable lines, so a crash mid-append costs at
+    most the torn final entry. Survives restarts by construction: {!open_}
+    re-reads the log and {!stats} reports how many entries were
+    recovered. *)
+
+module Protocol = Sepsat_serve.Protocol
+
+type entry = {
+  d_verdict : Protocol.verdict;  (** [Valid] or [Invalid], never [Unknown] *)
+  d_witness : string option;  (** witness digest, [Invalid] only *)
+  d_solve_ms : float;  (** cost of the solve that produced the verdict *)
+}
+
+type t
+
+val open_ : path:string -> t
+(** Load the log at [path] (a missing file is an empty cache); the file is
+    created on the first {!put}. *)
+
+val find : t -> string -> entry option
+(** Index lookup; counts a hit or miss. *)
+
+val put : t -> string -> entry -> unit
+(** Append and index a new entry. A key already present is ignored —
+    verdicts are immutable facts, so first-write-wins keeps the log from
+    growing on re-served hits. *)
+
+val iter : t -> (string -> entry -> unit) -> unit
+
+val size : t -> int
+
+type stats = {
+  s_size : int;
+  s_loaded : int;  (** entries recovered from disk at {!open_} *)
+  s_appended : int;  (** entries appended since {!open_} *)
+  s_hits : int;
+  s_misses : int;
+}
+
+val stats : t -> stats
+
+val sync : t -> unit
+(** Flush and fsync the log. *)
+
+val close : t -> unit

@@ -1,0 +1,86 @@
+(* Assembly of the fleet: compute per-backend resources, build the
+   supervisor config that spawns `sufdec serve` shards, and hand both to
+   the router. This is the whole of `sufdec fleet` behind the CLI. *)
+
+module Obs = Sepsat_obs.Obs
+
+type config = {
+  f_socket : string;
+  f_backends : int;
+  f_dir : string option;  (* runtime dir; default <socket>.d *)
+  f_cache_dir : string option;  (* persistent cache dir; None = no disk tier *)
+  f_workers : int option;  (* per backend; default divides the cores *)
+  f_queue : int;
+  f_cache : int;  (* per-backend LRU capacity *)
+  f_timeout_s : float;
+  f_warm_limit : int;
+  f_exe : string option;  (* backend executable; default this binary *)
+}
+
+let default ~socket ~backends =
+  {
+    f_socket = socket;
+    f_backends = backends;
+    f_dir = None;
+    f_cache_dir = None;
+    f_workers = None;
+    f_queue = 64;
+    f_cache = 1024;
+    f_timeout_s = 30.;
+    f_warm_limit = 4096;
+    f_exe = None;
+  }
+
+let run cfg =
+  if cfg.f_backends < 1 then invalid_arg "Fleet.run: backends < 1";
+  let dir = Option.value cfg.f_dir ~default:(cfg.f_socket ^ ".d") in
+  let exe = Option.value cfg.f_exe ~default:Sys.executable_name in
+  (* Backends share the machine: split the cores between them rather than
+     letting each claim cores-1 workers and thrash. *)
+  let workers =
+    match cfg.f_workers with
+    | Some w -> max 1 w
+    | None ->
+      let cores = Domain.recommended_domain_count () in
+      max 1 ((cores - 1) / cfg.f_backends)
+  in
+  let cache_path =
+    Option.map
+      (fun d ->
+        (try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ());
+        Filename.concat d "verdicts.jsonl")
+      cfg.f_cache_dir
+  in
+  let args i socket =
+    [
+      "serve";
+      "--socket";
+      socket;
+      "--instance";
+      string_of_int i;
+      "--workers";
+      string_of_int workers;
+      "--queue";
+      string_of_int cfg.f_queue;
+      "--cache";
+      string_of_int cfg.f_cache;
+      "-t";
+      string_of_float cfg.f_timeout_s;
+    ]
+  in
+  let sup_cfg =
+    Supervisor.default_config ~exe ~args ~n_backends:cfg.f_backends ~dir
+  in
+  Obs.log Obs.Info "fleet: %d backends x %d workers, dir %s%s" cfg.f_backends
+    workers dir
+    (match cache_path with
+    | Some p -> Printf.sprintf ", cache %s" p
+    | None -> "");
+  let sup = Supervisor.start sup_cfg in
+  let rcfg =
+    {
+      (Router.default_config ~socket:cfg.f_socket ?cache_path ()) with
+      Router.rc_warm_limit = cfg.f_warm_limit;
+    }
+  in
+  Router.run rcfg sup

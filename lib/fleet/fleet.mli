@@ -1,0 +1,33 @@
+(** Fleet assembly — everything behind [sufdec fleet --backends N]: a
+    {!Supervisor} spawning N [sufdec serve] shards and a {!Router}
+    consistent-hashing the serving protocol across them, with an optional
+    persistent {!Disk_cache} that outlives every process involved.
+
+    See DESIGN.md §16 for the architecture. *)
+
+type config = {
+  f_socket : string;  (** the fleet's public Unix-domain socket *)
+  f_backends : int;
+  f_dir : string option;
+      (** runtime dir for backend sockets; default [<socket>.d] *)
+  f_cache_dir : string option;
+      (** directory for the persistent verdict cache ([verdicts.jsonl]);
+          [None] runs without the disk tier *)
+  f_workers : int option;
+      (** worker domains per backend; default [(cores - 1) / backends],
+          at least 1 — the shards share the machine *)
+  f_queue : int;  (** per-backend request-queue capacity *)
+  f_cache : int;  (** per-backend in-memory LRU capacity *)
+  f_timeout_s : float;  (** per-backend default request budget *)
+  f_warm_limit : int;  (** cache entries replayed per backend start *)
+  f_exe : string option;
+      (** backend executable; default [Sys.executable_name] *)
+}
+
+val default : socket:string -> backends:int -> config
+(** Queue 64, LRU 1024, 30 s budget, warm limit 4096, no disk cache. *)
+
+val run : config -> unit
+(** Spawn the backends and serve until [shutdown] (or SIGTERM/SIGINT),
+    then drain, stop every backend and return — no orphans.
+    @raise Invalid_argument if [f_backends < 1]. *)

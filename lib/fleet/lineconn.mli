@@ -1,0 +1,32 @@
+(** A buffered non-blocking JSON-lines connection, as the router's poll
+    loop sees one peer: reads bank partial lines until a newline completes
+    them, writes drain an outbound queue as far as the socket allows and
+    park the rest. {!create} switches the fd to non-blocking mode and takes
+    ownership ({!close} closes it). *)
+
+type t
+
+val create : Unix.file_descr -> t
+
+val fd : t -> Unix.file_descr
+
+val on_readable : t -> [ `Lines of string list | `Nothing | `Closed ]
+(** Drain what the kernel has ready. [`Lines] are the complete,
+    newline-terminated, non-blank lines that became available (a final
+    batch may accompany the peer's EOF — the connection reports [`Closed]
+    on the {e next} call); [`Nothing] means bytes arrived but no line
+    completed; [`Closed] means EOF or a hard error with nothing pending. *)
+
+val enqueue : t -> string -> unit
+(** Queue one protocol line (newline appended). O(1); dropped silently on
+    a closed connection. *)
+
+val on_writable : t -> [ `Ok | `Closed ]
+(** Flush as much of the queue as the socket accepts without blocking. *)
+
+val wants_write : t -> bool
+(** Whether anything is waiting to be flushed — the write-interest bit for
+    {!Poll.set}. *)
+
+val close : t -> unit
+(** Close the fd. Idempotent. *)

@@ -1,0 +1,101 @@
+(* Consistent-hash ring over backend indices.
+
+   Each backend owns [vnodes] points on a 2^62 circle, placed by hashing
+   "backend#vnode" with MD5 (stable across processes and OCaml versions,
+   unlike [Hashtbl.hash] on boxed values). A key maps to the first point
+   clockwise from its own hash. Two properties the fleet leans on fall out
+   of this construction:
+
+   - {b affinity}: the mapping is a pure function of the member set, so the
+     router, a restarted router, and the tests all agree on which backend
+     owns a digest — each backend's LRU only ever sees its own keys.
+   - {b minimal remapping}: adding a backend only claims the arc segments
+     its new points land in; every other key keeps its owner. Removing one
+     only reassigns that backend's own arcs.
+
+   The member set is tiny (a handful of backends) and changes rarely
+   (crash/restart), so the ring is immutable and rebuilt on change; lookups
+   are a binary search over a sorted point array. *)
+
+type t = {
+  points : (int * int) array;  (* (position, backend), sorted by position *)
+  members : int list;  (* ascending, deduplicated *)
+  vnodes : int;
+}
+
+let default_vnodes = 128
+
+(* First 62 bits of the MD5, as a non-negative int: enough spread that
+   128 vnodes x a few backends never collide in practice, and comparisons
+   stay native-int cheap. *)
+let point_of_string s =
+  let d = Digest.string s in
+  let byte i = Char.code d.[i] in
+  let v =
+    List.fold_left (fun acc i -> (acc lsl 8) lor byte i) 0 [ 0; 1; 2; 3; 4; 5; 6 ]
+  in
+  (v lsl 6) lor (byte 7 lsr 2)
+
+let hash_key key = point_of_string key
+
+let create ?(vnodes = default_vnodes) members =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  let members = List.sort_uniq compare members in
+  let points =
+    List.concat_map
+      (fun b ->
+        List.init vnodes (fun v ->
+            (point_of_string (Printf.sprintf "%d#%d" b v), b)))
+      members
+  in
+  let points = Array.of_list points in
+  Array.sort compare points;
+  { points; members; vnodes }
+
+let members t = t.members
+
+let add t b =
+  if List.mem b t.members then t
+  else create ~vnodes:t.vnodes (b :: t.members)
+
+let remove t b = create ~vnodes:t.vnodes (List.filter (( <> ) b) t.members)
+
+let is_empty t = Array.length t.points = 0
+
+(* Index of the first point with position >= h, wrapping to 0 past the
+   last point — the standard successor search on the circle. *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t key =
+  if is_empty t then None
+  else Some (snd t.points.(successor t (hash_key key)))
+
+(* Preference order: walk clockwise from the key's successor and emit each
+   distinct backend the first time it appears. The head is [lookup]; the
+   tail is the stable failover order the router uses when the owner is
+   down — stable because it, too, is a pure function of the member set. *)
+let lookup_order t key =
+  if is_empty t then []
+  else begin
+    let n = Array.length t.points in
+    let start = successor t (hash_key key) in
+    let seen = Hashtbl.create 8 in
+    let out = ref [] in
+    let i = ref 0 in
+    while !i < n && Hashtbl.length seen < List.length t.members do
+      let b = snd t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen b) then begin
+        Hashtbl.add seen b ();
+        out := b :: !out
+      end;
+      incr i
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,39 @@
+(** Consistent-hash ring: the router's map from {!Sepsat_suf.Ast.digest}
+    to backend index.
+
+    Each member owns [vnodes] pseudo-random points on a circle (MD5 of
+    ["backend#vnode"], so the placement is stable across processes); a key
+    belongs to the first point clockwise from its hash. The mapping is a
+    pure function of the member set — same members, same assignment,
+    anywhere — which is what gives each backend's cache its affinity, and
+    membership changes only remap the keys whose arcs actually changed
+    hands (see the remapping properties in [test/test_fleet.ml]). *)
+
+type t
+
+val create : ?vnodes:int -> int list -> t
+(** Ring over the given backend indices (deduplicated; order-insensitive).
+    [vnodes] (default 128) points per member trade lookup-table size for
+    distribution evenness.
+    @raise Invalid_argument if [vnodes < 1]. *)
+
+val members : t -> int list
+(** Ascending member list. *)
+
+val add : t -> int -> t
+(** Ring with one more member; no-op if already present. *)
+
+val remove : t -> int -> t
+
+val is_empty : t -> bool
+
+val lookup : t -> string -> int option
+(** Owning backend of a key; [None] on an empty ring. *)
+
+val lookup_order : t -> string -> int list
+(** All members in clockwise preference order from the key's position:
+    head is {!lookup}, the rest is the deterministic failover order used
+    while the owner is restarting. *)
+
+val hash_key : string -> int
+(** The key hash (exposed for distribution tests). *)

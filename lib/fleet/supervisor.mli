@@ -1,0 +1,74 @@
+(** Backend process supervision: spawn, health-check, reap, restart with
+    exponential backoff, stop with no orphans.
+
+    Driven by the router: {!tick} once per poll-loop iteration does one
+    bounded round of reaping ([waitpid WNOHANG]), backoff-expiry spawning
+    and health probing (one connect+ping with 1 s socket timeouts per
+    starting backend), and reports the state transitions the router must
+    react to — {!Became_up} (connect and warm the backend),
+    {!Went_down} (drop its connection, re-dispatch its in-flight work). *)
+
+type config = {
+  exe : string;  (** the sufdec binary to spawn *)
+  args : int -> string -> string list;
+      (** [args index socket_path]: argv tail after the executable *)
+  n_backends : int;
+  dir : string;  (** runtime dir; backend [i] listens on [backend-i.sock] *)
+  health_timeout_s : float;
+      (** a spawn that never answers a ping within this window is killed
+          and backed off *)
+  backoff_base_s : float;
+  backoff_cap_s : float;  (** restart delay: [base * 2^(failures-1)], capped *)
+}
+
+val default_config :
+  exe:string ->
+  args:(int -> string -> string list) ->
+  n_backends:int ->
+  dir:string ->
+  config
+(** 10 s health timeout, 0.2 s base backoff capped at 5 s. *)
+
+type t
+
+type event =
+  | Became_up of int  (** passed its health check; safe to connect *)
+  | Went_down of int  (** a previously-up backend's child was reaped *)
+
+val start : config -> t
+(** Create the runtime dir if needed and spawn every backend. Children
+    are reported {!Became_up} by later {!tick}s as their pings answer.
+    @raise Invalid_argument if [n_backends < 1]. *)
+
+val tick : t -> event list
+(** One supervision round; call once per event-loop iteration. Returns
+    transitions since the last tick, oldest first. Never blocks beyond
+    the bounded health-probe timeouts. *)
+
+val note_lost : t -> int -> unit
+(** The router saw this backend's connection die: force a re-probe. A
+    dead child becomes {!Went_down} on the next tick; a live one (it only
+    dropped the connection) re-proves itself and comes back
+    {!Became_up}. *)
+
+val n : t -> int
+
+val socket_path : t -> int -> string
+
+val is_up : t -> int -> bool
+
+val pid : t -> int -> int option
+
+val failures : t -> int -> int
+(** Consecutive failures (resets after a backend stays up 10 s). *)
+
+val spawns : t -> int -> int
+(** Lifetime spawn count of backend [i] (1 = never restarted). *)
+
+val stop : ?grace_s:float -> t -> unit
+(** Stop supervising and reap every child: wait [grace_s] (default 5) for
+    voluntary exits (the router has already propagated the shutdown op),
+    then SIGTERM, then after 2 more seconds SIGKILL. Removes the backend
+    sockets. Every child is waited on — no orphans survive. *)
+
+val stopping : t -> bool

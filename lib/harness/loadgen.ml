@@ -5,6 +5,9 @@ module Verdict = Sepsat_sep.Verdict
 module Deadline = Sepsat_util.Deadline
 module Engine = Sepsat_serve.Engine
 module Protocol = Sepsat_serve.Protocol
+module Session = Sepsat_serve.Session
+
+type target = In_process | Fleet of string
 
 type config = {
   clients : int;
@@ -15,6 +18,7 @@ type config = {
   workers : int;
   queue_capacity : int;
   cache_capacity : int;
+  target : target;
 }
 
 let default =
@@ -27,6 +31,7 @@ let default =
     workers = 2;
     queue_capacity = 64;
     cache_capacity = 1024;
+    target = In_process;
   }
 
 type lat = {
@@ -79,6 +84,7 @@ type report = {
   r_errors : int;
   r_wall_s : float;
   r_throughput_rps : float;
+  r_all : lat;
   r_cold : lat;
   r_hit : lat;
   r_joined : lat;
@@ -129,61 +135,116 @@ let run config =
         ))
       texts
   in
-  let engine =
-    Engine.create ~workers:config.workers
-      ~queue_capacity:config.queue_capacity
-      ~cache_capacity:config.cache_capacity
-      ~default_timeout_s:config.timeout_s ()
-  in
   let n_texts = List.length texts in
   let texts_arr = Array.of_list texts in
-  let client k () =
-    Sepsat_obs.Obs.name_thread (Printf.sprintf "loadgen:client-%d" k);
-    let out = ref [] in
+  (* One client's request schedule: client-specific rotation, so the cold
+     phase overlaps distinct formulas instead of joining on one. *)
+  let schedule k f =
     for round = 0 to config.repeats - 1 do
       for i = 0 to n_texts - 1 do
-        (* Client-specific rotation: clients start on different benchmarks,
-           so the cold phase overlaps distinct formulas instead of joining
-           on one. *)
         let name, text = texts_arr.((i + k) mod n_texts) in
         let id = Printf.sprintf "%s#c%d.r%d" name k round in
-        let t0 = Deadline.wall_now () in
-        let reply =
-          Engine.solve ~block:true engine
-            (Engine.job ~method_:config.method_ ~timeout_s:config.timeout_s
-               text)
-        in
-        let ms = (Deadline.wall_now () -. t0) *. 1000. in
-        let ob =
-          match reply with
-          | None ->
-            { ob_id = id; ob_bench = name; ob_verdict = "busy";
-              ob_origin = None; ob_ms = ms }
-          | Some (Error msg) ->
-            ignore msg;
-            { ob_id = id; ob_bench = name; ob_verdict = "error";
-              ob_origin = None; ob_ms = ms }
-          | Some (Ok o) ->
-            {
-              ob_id = id;
-              ob_bench = name;
-              ob_verdict = Protocol.verdict_to_string o.Engine.o_verdict;
-              ob_origin = Some o.Engine.o_origin;
-              ob_ms = ms;
-            }
-        in
-        out := ob :: !out
+        f ~id ~name ~text
       done
-    done;
-    !out
+    done
   in
-  let t0 = Deadline.wall_now () in
-  let domains =
-    List.init config.clients (fun k -> Domain.spawn (client k))
+  let observations, wall_s =
+    match config.target with
+    | In_process ->
+      let engine =
+        Engine.create ~workers:config.workers
+          ~queue_capacity:config.queue_capacity
+          ~cache_capacity:config.cache_capacity
+          ~default_timeout_s:config.timeout_s ()
+      in
+      let client k () =
+        Sepsat_obs.Obs.name_thread (Printf.sprintf "loadgen:client-%d" k);
+        let out = ref [] in
+        schedule k (fun ~id ~name ~text ->
+            let t0 = Deadline.wall_now () in
+            let reply =
+              Engine.solve ~block:true engine
+                (Engine.job ~method_:config.method_
+                   ~timeout_s:config.timeout_s text)
+            in
+            let ms = (Deadline.wall_now () -. t0) *. 1000. in
+            let ob =
+              match reply with
+              | None ->
+                { ob_id = id; ob_bench = name; ob_verdict = "busy";
+                  ob_origin = None; ob_ms = ms }
+              | Some (Error msg) ->
+                ignore msg;
+                { ob_id = id; ob_bench = name; ob_verdict = "error";
+                  ob_origin = None; ob_ms = ms }
+              | Some (Ok o) ->
+                {
+                  ob_id = id;
+                  ob_bench = name;
+                  ob_verdict = Protocol.verdict_to_string o.Engine.o_verdict;
+                  ob_origin = Some o.Engine.o_origin;
+                  ob_ms = ms;
+                }
+            in
+            out := ob :: !out);
+        !out
+      in
+      let t0 = Deadline.wall_now () in
+      let domains =
+        List.init config.clients (fun k -> Domain.spawn (client k))
+      in
+      let observations = List.concat_map Domain.join domains in
+      let wall_s = Deadline.wall_now () -. t0 in
+      Engine.shutdown engine;
+      (observations, wall_s)
+    | Fleet path ->
+      (* Socket clients against a running server or fleet router. Threads,
+         not domains: each client spends its life blocked on socket I/O,
+         and threads let the concurrency exceed the core count — the
+         p99-under-load scenario. Retries ride out busy sheds and backend
+         restarts; a reply that is still busy after the retry budget is
+         recorded as busy. *)
+      let results = Array.make config.clients [] in
+      let client k =
+        let session = ref (Session.connect ~retries:50 path) in
+        let out = ref [] in
+        schedule k (fun ~id ~name ~text ->
+            let t0 = Deadline.wall_now () in
+            let s, reply =
+              Session.with_retry ~path !session (fun s ->
+                  Session.solve s ~id ~method_:config.method_
+                    ~timeout_s:config.timeout_s text)
+            in
+            session := s;
+            let ms = (Deadline.wall_now () -. t0) *. 1000. in
+            let ob =
+              match reply with
+              | Protocol.Ok_solve s ->
+                {
+                  ob_id = id;
+                  ob_bench = name;
+                  ob_verdict =
+                    Protocol.verdict_to_string s.Protocol.sv_verdict;
+                  ob_origin = Some s.Protocol.sv_origin;
+                  ob_ms = ms;
+                }
+              | Protocol.Busy _ ->
+                { ob_id = id; ob_bench = name; ob_verdict = "busy";
+                  ob_origin = None; ob_ms = ms }
+              | _ ->
+                { ob_id = id; ob_bench = name; ob_verdict = "error";
+                  ob_origin = None; ob_ms = ms }
+            in
+            out := ob :: !out);
+        Session.close !session;
+        results.(k) <- !out
+      in
+      let t0 = Deadline.wall_now () in
+      let threads = List.init config.clients (fun k -> Thread.create client k) in
+      List.iter Thread.join threads;
+      let wall_s = Deadline.wall_now () -. t0 in
+      (List.concat (Array.to_list results), wall_s)
   in
-  let observations = List.concat_map Domain.join domains in
-  let wall_s = Deadline.wall_now () -. t0 in
-  Engine.shutdown engine;
   let requests = List.length observations in
   let ok =
     List.length
@@ -203,6 +264,12 @@ let run config =
   let cold = lat_of (bucket Protocol.Solved) in
   let hit = lat_of (bucket Protocol.Cache_hit) in
   let joined = lat_of (bucket Protocol.Joined) in
+  let all =
+    lat_of
+      (List.filter_map
+         (fun o -> if o.ob_origin <> None then Some o.ob_ms else None)
+         observations)
+  in
   let speedup =
     if cold.l_count > 0 && hit.l_count > 0 && hit.l_mean_ms > 0. then
       cold.l_mean_ms /. hit.l_mean_ms
@@ -235,6 +302,7 @@ let run config =
     r_wall_s = wall_s;
     r_throughput_rps =
       (if wall_s > 0. then float_of_int ok /. wall_s else 0.);
+    r_all = all;
     r_cold = cold;
     r_hit = hit;
     r_joined = joined;
@@ -252,7 +320,9 @@ let pp_lat ppf (name, l) =
       l.l_max_ms
 
 let pp ppf r =
-  Format.fprintf ppf "Serving load generator@.";
+  (match r.r_config.target with
+  | In_process -> Format.fprintf ppf "Serving load generator@."
+  | Fleet path -> Format.fprintf ppf "Serving load generator — fleet at %s@." path);
   Format.fprintf ppf
     "  %d clients x %d repeats over %d benchmarks, %d workers, %a@."
     r.r_config.clients r.r_config.repeats
@@ -260,6 +330,7 @@ let pp ppf r =
     r.r_config.workers Decide.pp_method r.r_config.method_;
   Format.fprintf ppf "  %d requests (%d ok, %d busy, %d errors) in %.3f s  =>  %.1f req/s@."
     r.r_requests r.r_ok r.r_busy r.r_errors r.r_wall_s r.r_throughput_rps;
+  pp_lat ppf ("all", r.r_all);
   pp_lat ppf ("cold", r.r_cold);
   pp_lat ppf ("hit", r.r_hit);
   pp_lat ppf ("joined", r.r_joined);
@@ -288,10 +359,38 @@ let write_json path r =
         ("max_ms", J.Num (if l.l_count = 0 then 0. else l.l_max_ms));
       ]
   in
+  (* The "runs" array speaks the perf-gate dialect ({!Baseline.read}
+     pairs on bench+method, reads "wall_s"): each latency quantile of the
+     run becomes one comparable entry, so `bench --compare` gates fleet
+     p99-under-load exactly like a figure-2 wall time. Machine speed
+     cancels through the gate's drift normalization (all quantiles shift
+     together); a genuine tail blowup moves p99 out of the pack. *)
+  let bench_label =
+    match r.r_config.target with
+    | In_process -> "serve.loadgen"
+    | Fleet _ -> "fleet.loadgen"
+  in
+  let runs =
+    List.map
+      (fun (m, ms) ->
+        J.Obj
+          [
+            ("bench", J.Str bench_label);
+            ("method", J.Str m);
+            ("wall_s", J.Num (ms /. 1000.));
+          ])
+      [
+        ("mean", r.r_all.l_mean_ms);
+        ("p50", r.r_all.l_p50_ms);
+        ("p90", r.r_all.l_p90_ms);
+        ("p99", r.r_all.l_p99_ms);
+      ]
+  in
   let j =
     J.Obj
       [
-        ("schema", J.Num 1.);
+        ("schema", J.Num 2.);
+        ("runs", J.Arr runs);
         ( "config",
           J.Obj
             [
@@ -313,6 +412,7 @@ let write_json path r =
         ("errors", J.Num (float_of_int r.r_errors));
         ("wall_s", J.Num r.r_wall_s);
         ("throughput_rps", J.Num r.r_throughput_rps);
+        ("all", flat r.r_all);
         ("cold", flat r.r_cold);
         ("hit", flat r.r_hit);
         ("joined", flat r.r_joined);

@@ -16,15 +16,24 @@
 module Suite = Sepsat_workloads.Suite
 module Decide = Sepsat.Decide
 
+type target =
+  | In_process  (** drive an {!Sepsat_serve.Engine} directly (no sockets) *)
+  | Fleet of string
+      (** connect client sessions to this Unix-domain socket — a single
+          [sufdec serve] or a fleet router; clients are threads (blocked
+          on I/O, so concurrency may exceed the core count) and retry
+          transient failures via {!Sepsat_serve.Session.with_retry} *)
+
 type config = {
-  clients : int;  (** concurrent client domains *)
+  clients : int;  (** concurrent client domains (or threads, for {!Fleet}) *)
   repeats : int;  (** workload passes per client; ≥ 2 exercises the cache *)
   bench_names : string list;  (** suite benchmarks ({!Suite.find} names) *)
   method_ : Decide.method_;
   timeout_s : float;  (** per-request wall budget *)
-  workers : int;  (** engine worker domains *)
+  workers : int;  (** engine worker domains; ignored for {!Fleet} *)
   queue_capacity : int;
   cache_capacity : int;
+  target : target;
 }
 
 val default : config
@@ -49,6 +58,7 @@ type report = {
   r_errors : int;
   r_wall_s : float;
   r_throughput_rps : float;  (** completed requests per wall second *)
+  r_all : lat;  (** every successful response — the under-load quantiles *)
   r_cold : lat;  (** responses that ran the pipeline *)
   r_hit : lat;  (** responses answered from the cache *)
   r_joined : lat;  (** responses deduplicated onto an in-flight solve *)
@@ -67,5 +77,9 @@ val run : config -> report
 val pp : Format.formatter -> report -> unit
 
 val write_json : string -> report -> unit
-(** Schema-1 throughput report (hand-rolled JSON, same policy as
-    {!Runner.write_json}). *)
+(** Schema-2 throughput report (hand-rolled JSON, same policy as
+    {!Runner.write_json}). Includes a perf-gate-dialect ["runs"] array —
+    one entry per overall latency quantile (mean/p50/p90/p99, bench
+    ["serve.loadgen"] or ["fleet.loadgen"]) — so
+    [bench --compare BASELINE --compare-current THIS.json] gates the
+    served latency distribution like any other benchmark. *)

@@ -53,6 +53,21 @@ let escape_help s =
     s;
   Buffer.contents buf
 
+(* Constant labels stamped on every sample line — how each member of a
+   fleet marks its series ([backend="2"]) so the router can concatenate
+   expositions without collisions. Empty (the default) renders exactly the
+   historical unlabelled format. *)
+let const_labels = ref []
+
+let set_const_labels l = const_labels := l
+
+let label_str () =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
+       !const_labels)
+
 let number f =
   if Float.is_nan f then "NaN"
   else if f = Float.infinity then "+Inf"
@@ -63,6 +78,8 @@ let number f =
 
 let render metrics =
   let buf = Buffer.create 1024 in
+  let lbl = match label_str () with "" -> "" | s -> "{" ^ s ^ "}" in
+  let le_prefix = match label_str () with "" -> "" | s -> s ^ "," in
   List.iter
     (fun (orig, v) ->
       let name = sanitize_name orig in
@@ -75,11 +92,11 @@ let render metrics =
       | Metrics.Counter n ->
         help ();
         Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
-        Buffer.add_string buf (Printf.sprintf "%s %d\n" name n)
+        Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name lbl n)
       | Metrics.Gauge f ->
         help ();
         Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
-        Buffer.add_string buf (Printf.sprintf "%s %s\n" name (number f))
+        Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name lbl (number f))
       | Metrics.Histogram { count; sum; buckets; exemplars } ->
         help ();
         Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
@@ -101,7 +118,7 @@ let render metrics =
           (fun (ub, n) ->
             cum := !cum + n;
             Buffer.add_string buf
-              (Printf.sprintf "%s_bucket{le=\"%s\"} %d%s\n" name
+              (Printf.sprintf "%s_bucket{%sle=\"%s\"} %d%s\n" name le_prefix
                  (escape_label (number ub))
                  !cum (exemplar_suffix ub)))
           buckets;
@@ -112,10 +129,12 @@ let render metrics =
         | (ub, _) :: _ when ub = Float.infinity -> ()
         | _ ->
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name count));
+            (Printf.sprintf "%s_bucket{%sle=\"+Inf\"} %d\n" name le_prefix
+               count));
         Buffer.add_string buf
-          (Printf.sprintf "%s_sum %s\n" name (number sum));
-        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count))
+          (Printf.sprintf "%s_sum%s %s\n" name lbl (number sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" name lbl count))
     metrics;
   Buffer.contents buf
 

@@ -11,6 +11,13 @@
 val current : unit -> string
 (** Render {!Metrics.snapshot} as a complete exposition document. *)
 
+val set_const_labels : (string * string) list -> unit
+(** Constant labels stamped on every sample line of subsequent renders
+    (names sanitized, values escaped) — e.g. [[("backend", "2")]] so one
+    fleet member's series stay distinct when the router merges the
+    backends' expositions into one document. The default (empty) renders
+    the historical unlabelled format byte-for-byte. *)
+
 val render : (string * Metrics.value) list -> string
 (** Render an explicit snapshot (for tests and offline reports). *)
 

@@ -410,6 +410,18 @@ let queue_depth t = Bqueue.length t.queue
 
 let cache_stats t = Cache.stats t.cache
 
+(* Seed the result cache with a verdict computed elsewhere (the fleet
+   router's persistent log replayed at backend start). Decisive verdicts
+   only, same invariant as the solve path: an [unknown] is a budget
+   artifact and must never be served as a cached answer. *)
+let warm t ~key ~verdict ~witness ~solve_ms =
+  match verdict with
+  | Protocol.Unknown _ -> false
+  | (Protocol.Valid | Protocol.Invalid) as v ->
+    Cache.add t.cache key
+      { e_verdict = v; e_witness = witness; e_solve_ms = solve_ms };
+    true
+
 type stats = {
   st_workers : int;
   st_submitted : int;

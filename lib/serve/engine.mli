@@ -117,6 +117,19 @@ val queue_depth : t -> int
 
 val cache_stats : t -> Cache.stats
 
+val warm :
+  t ->
+  key:string ->
+  verdict:Protocol.verdict ->
+  witness:string option ->
+  solve_ms:float ->
+  bool
+(** Seed the result cache with an externally computed verdict under the
+    full cache key ([digest ^ "|" ^ method]) without running a solve —
+    the fleet router's warm path. [false] (and no insertion) for an
+    [Unknown] verdict: only decisive verdicts may be cached, the same
+    invariant the solve path maintains. *)
+
 type lane = {
   ln_tid : int;  (** solver domain id *)
   ln_name : string;  (** lane label from {!Sepsat_obs.Obs.name_thread} *)

@@ -18,13 +18,29 @@ type solve_req = {
   sq_timeout_s : float option;
 }
 
-type request =
+type verdict = Valid | Invalid | Unknown of string
+
+let verdict_to_string = function
+  | Valid -> "valid"
+  | Invalid -> "invalid"
+  | Unknown _ -> "unknown"
+
+type warm_req = {
+  wr_id : string;
+  wr_key : string;
+  wr_verdict : verdict;
+  wr_witness : string option;
+  wr_solve_ms : float;
+}
+
+and request =
   | Solve of solve_req
   | Ping of string
   | Stats_req of string
   | Metrics_req of string
   | Dump_req of string
   | Shutdown of string
+  | Warm of warm_req
 
 (* pp_method prints "HYBRID(700)"; the wire uses the method_of_string
    syntax so requests survive a print/parse round trip. *)
@@ -50,6 +66,25 @@ let request_of_line line =
     | "metrics" -> Ok (Metrics_req id)
     | "dump" -> Ok (Dump_req id)
     | "shutdown" -> Ok (Shutdown id)
+    | "warm" -> (
+      match Json.mem_str "key" j with
+      | None -> Result.Error "warm request lacks a \"key\" field"
+      | Some key -> (
+        match Json.mem_str "verdict" j with
+        | Some "valid" | Some "invalid" ->
+          Ok
+            (Warm
+               {
+                 wr_id = id;
+                 wr_key = key;
+                 wr_verdict =
+                   (if Json.mem_str "verdict" j = Some "valid" then Valid
+                    else Invalid);
+                 wr_witness = Json.mem_str "witness" j;
+                 wr_solve_ms =
+                   Option.value (Json.mem_num "solve_ms" j) ~default:0.;
+               })
+        | _ -> Result.Error "warm verdict must be \"valid\" or \"invalid\""))
     | "solve" -> (
       match Json.mem_str "formula" j with
       | None -> Result.Error "solve request lacks a \"formula\" field"
@@ -84,6 +119,19 @@ let request_to_line = function
   | Dump_req id -> Json.to_string (Obj [ ("op", Str "dump"); ("id", Str id) ])
   | Shutdown id ->
     Json.to_string (Obj [ ("op", Str "shutdown"); ("id", Str id) ])
+  | Warm w ->
+    Json.to_string
+      (Obj
+         [
+           ("op", Str "warm");
+           ("id", Str w.wr_id);
+           ("key", Str w.wr_key);
+           ("verdict", Str (verdict_to_string w.wr_verdict));
+           ( "witness",
+             match w.wr_witness with Some s -> Json.Str s | None -> Json.Null
+           );
+           ("solve_ms", Num w.wr_solve_ms);
+         ])
   | Solve r ->
     let base =
       [
@@ -103,17 +151,10 @@ let request_to_line = function
 
 (* -- Replies --------------------------------------------------------------- *)
 
-type verdict = Valid | Invalid | Unknown of string
-
 let verdict_of_sep = function
   | Verdict.Valid -> Valid
   | Verdict.Invalid _ -> Invalid
   | Verdict.Unknown why -> Unknown why
-
-let verdict_to_string = function
-  | Valid -> "valid"
-  | Invalid -> "invalid"
-  | Unknown _ -> "unknown"
 
 type origin = Solved | Cache_hit | Joined
 
@@ -140,6 +181,7 @@ type solved = {
 
 type reply =
   | Ok_solve of solved
+  | Warmed of string
   | Busy of string
   | Error of string * string
   | Pong of string
@@ -150,6 +192,8 @@ type reply =
 
 let reply_to_line = function
   | Busy id -> Json.to_string (Obj [ ("id", Str id); ("status", Str "busy") ])
+  | Warmed id ->
+    Json.to_string (Obj [ ("id", Str id); ("status", Str "warmed") ])
   | Error (id, reason) ->
     Json.to_string
       (Obj [ ("id", Str id); ("status", Str "error"); ("reason", Str reason) ])
@@ -204,6 +248,7 @@ let reply_of_line line =
     match Json.mem_str "status" j with
     | None -> Result.Error "reply lacks a \"status\" field"
     | Some "busy" -> Ok (Busy id)
+    | Some "warmed" -> Ok (Warmed id)
     | Some "pong" -> Ok (Pong id)
     | Some "bye" -> Ok (Bye id)
     | Some "error" ->
@@ -254,6 +299,7 @@ let reply_of_line line =
 
 let reply_id = function
   | Ok_solve s -> s.sv_id
+  | Warmed id
   | Busy id
   | Error (id, _)
   | Pong id

@@ -37,7 +37,17 @@ type solve_req = {
   sq_timeout_s : float option;  (** [None]: the server's default budget *)
 }
 
-type request =
+type verdict = Valid | Invalid | Unknown of string
+
+type warm_req = {
+  wr_id : string;
+  wr_key : string;  (** full cache key: [digest ^ "|" ^ method] *)
+  wr_verdict : verdict;  (** decisive only; [Unknown] is rejected *)
+  wr_witness : string option;
+  wr_solve_ms : float;
+}
+
+and request =
   | Solve of solve_req
   | Ping of string  (** payload: id *)
   | Stats_req of string
@@ -48,6 +58,12 @@ type request =
       (** ["op":"dump"] — the flight recorder's current contents, for
           debugging a live server without signals or filesystem access *)
   | Shutdown of string
+  | Warm of warm_req
+      (** ["op":"warm"] — seed the server's result cache with an
+          already-computed decisive verdict without solving. The fleet
+          router replays its persistent verdict log through this op when a
+          backend (re)starts, so a fresh process begins life with the warm
+          working set its ring arc earned before the restart. *)
 
 val method_to_wire : Sepsat.Decide.method_ -> string
 (** Inverse of [Decide.method_of_string] — ["hybrid:700"], not the
@@ -63,8 +79,6 @@ val request_to_line : request -> string
 (** One line, no trailing newline. *)
 
 (** {1 Replies} *)
-
-type verdict = Valid | Invalid | Unknown of string
 
 val verdict_of_sep : Sepsat_sep.Verdict.t -> verdict
 (** Forgets the falsifying assignment — the wire carries its digest
@@ -95,6 +109,7 @@ type solved = {
 
 type reply =
   | Ok_solve of solved
+  | Warmed of string  (** warm accepted; payload: id *)
   | Busy of string  (** payload: id; the request queue was full — shed *)
   | Error of string * string  (** id, reason *)
   | Pong of string

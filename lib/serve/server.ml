@@ -71,6 +71,17 @@ let serve_channels eng ic oc =
         | Ok (Protocol.Shutdown id) ->
           send (Protocol.Bye id);
           `Shutdown
+        | Ok (Protocol.Warm w) ->
+          if
+            Engine.warm eng ~key:w.Protocol.wr_key
+              ~verdict:w.Protocol.wr_verdict ~witness:w.Protocol.wr_witness
+              ~solve_ms:w.Protocol.wr_solve_ms
+          then send (Protocol.Warmed w.Protocol.wr_id)
+          else
+            send
+              (Protocol.Error
+                 (w.Protocol.wr_id, "warm requires a decisive verdict"));
+          loop ()
         | Ok (Protocol.Solve rq) ->
           let id = rq.Protocol.sq_id in
           with_lock pend_mu (fun () -> incr pending);

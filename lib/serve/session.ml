@@ -81,3 +81,49 @@ let close t =
   match t.fd with
   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ()
+
+(* Retry loop for transient failures: a [busy] shed, or a connection that
+   died under us (a fleet backend restarting, a router draining). Backoff
+   is exponential with full jitter in the upper half of the window, so a
+   thundering herd of clients retrying a restarted backend spreads out
+   instead of re-arriving in lockstep. Anything else — verdicts, parse
+   errors, protocol errors — is final and returned as-is. *)
+let with_retry ?(attempts = 8) ?(base_s = 0.1) ?(cap_s = 2.0) ~path t f =
+  let sleep k =
+    let d = Float.min cap_s (base_s *. (2. ** float_of_int k)) in
+    Unix.sleepf (d *. (0.5 +. Random.float 0.5))
+  in
+  let attempt t =
+    (* Channel-level failures (EPIPE on send, EOF mid-reply) surface the
+       same way [rpc] reports a closed stream. *)
+    match f t with
+    | r -> r
+    | exception (Sys_error _ | End_of_file) ->
+      Protocol.Error ("", "connection closed")
+    | exception Unix.Unix_error _ -> Protocol.Error ("", "connection closed")
+  in
+  let rec go k t =
+    let r = attempt t in
+    let verdict =
+      match r with
+      | Protocol.Busy _ -> `Busy
+      | Protocol.Error (_, "connection closed") -> `Conn
+      | _ -> `Final
+    in
+    if verdict = `Final || k + 1 >= attempts then (t, r)
+    else begin
+      sleep k;
+      let t =
+        match verdict with
+        | `Conn -> (
+          close t;
+          (* Reconnect may itself be refused while the server restarts;
+             keep the dead session — the next attempt fails fast into
+             another backoff round until attempts run out. *)
+          match connect path with t' -> t' | exception _ -> t)
+        | _ -> t
+      in
+      go (k + 1) t
+    end
+  in
+  go 0 t

@@ -55,3 +55,21 @@ val shutdown : t -> unit
 (** Ask the server to stop; waits for the [bye]. *)
 
 val close : t -> unit
+
+val with_retry :
+  ?attempts:int ->
+  ?base_s:float ->
+  ?cap_s:float ->
+  path:string ->
+  t ->
+  (t -> Protocol.reply) ->
+  t * Protocol.reply
+(** [with_retry ~path t f] runs [f] (typically a {!solve}) and retries
+    transient failures — [busy] replies, and dead connections (including
+    reconnecting through [path], e.g. across a fleet backend restart) —
+    with jittered exponential backoff: delay [min cap_s (base_s * 2^k)],
+    jittered to 50–100%. Defaults: 8 attempts, 0.1 s base, 2 s cap (worst
+    case ≈ 10 s, enough to ride out a backend respawn). Returns the
+    session to keep using (it may be a fresh reconnect) and the final
+    reply, which is the last transient failure when attempts run out.
+    [~attempts:1] disables retrying. *)
