@@ -662,11 +662,18 @@ let submit_cmd =
       else
         match reply with
         | Protocol.Ok_solve s ->
-          Format.printf "%-24s %-8s origin=%-6s solve=%.3fms time=%.3fms@."
+          let trace_suffix =
+            match s.Protocol.sv_trace with
+            | None -> ""
+            | Some tr ->
+              Printf.sprintf " rid=%s via=%s" tr.Protocol.rt_rid
+                tr.Protocol.rt_served_by
+          in
+          Format.printf "%-24s %-8s origin=%-6s solve=%.3fms time=%.3fms%s@."
             s.Protocol.sv_id
             (Protocol.verdict_to_string s.Protocol.sv_verdict)
             (Protocol.origin_to_string s.Protocol.sv_origin)
-            s.Protocol.sv_solve_ms s.Protocol.sv_time_ms
+            s.Protocol.sv_solve_ms s.Protocol.sv_time_ms trace_suffix
         | Protocol.Busy id ->
           incr failures;
           Format.printf "%-24s BUSY (queue full — retry)@." id
@@ -726,6 +733,7 @@ let submit_cmd =
                   sq_text = text;
                   sq_method = method_;
                   sq_timeout_s = Some timeout;
+                  sq_trace = None;
                 })))
       (suite_requests @ file_requests);
     if do_stats then
@@ -900,6 +908,9 @@ let top_cmd =
         (match arr "exemplars" j with
         | [] -> ()
         | exes ->
+          (* Fleet stats tag each exemplar with the backend it ran on;
+             single-server stats have no backend field and get no column. *)
+          let fleet = List.exists (fun e -> str "backend" e <> "") exes in
           Format.printf "slowest request per latency bucket:@.";
           List.iter
             (fun e ->
@@ -908,9 +919,36 @@ let top_cmd =
                 | Some (Sjson.Num ub) -> Printf.sprintf "%g" ub
                 | _ -> "+Inf"
               in
-              Format.printf "  le %-6s  %-12s %8.1fms@." le (str "rid" e)
-                (1000. *. num "value_s" e))
+              if fleet then
+                Format.printf "  le %-6s  %-16s on %-8s %8.1fms@." le
+                  (str "rid" e) (str "backend" e)
+                  (1000. *. num "value_s" e)
+              else
+                Format.printf "  le %-6s  %-12s %8.1fms@." le (str "rid" e)
+                  (1000. *. num "value_s" e))
             exes);
+        (match
+           List.filter_map
+             (fun b ->
+               match Sjson.member "hops" b with
+               | Some (Sjson.Obj _ as h) -> Some (b, h)
+               | _ -> None)
+             (arr "backends" j)
+         with
+        | [] -> ()
+        | hop_rows ->
+          Format.printf "hop means per backend (ms):@.";
+          Format.printf "  %-10s %6s %8s %8s %8s %8s %8s %8s@." "backend"
+            "count" "parse" "rtr.q" "wire" "shd.q" "solve" "reply";
+          List.iter
+            (fun (b, h) ->
+              Format.printf
+                "  %-10s %6.0f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f@."
+                (str "label" b) (num "count" h) (num "router_parse_ms" h)
+                (num "router_queue_ms" h) (num "wire_ms" h)
+                (num "shard_queue_ms" h) (num "shard_solve_ms" h)
+                (num "reply_ms" h))
+            hop_rows);
         (match arr "lanes" j with
         | [] -> Format.printf "lanes     (idle)@."
         | lanes ->
@@ -955,6 +993,192 @@ let top_cmd =
           depth, cache hit rate, latency quantiles with exemplar request \
           ids, and per-lane solver progress, polled over the stats op.")
     Term.(const run $ socket_arg $ interval_arg $ frames_arg)
+
+(* -- trace: assemble a cross-process Chrome trace from flight dumps ------- *)
+
+module Flight = Sepsat_obs.Flight
+
+(* Decode one flight-recorder JSON document into an [assemble] source.
+   Dumps predating the wall/mono header pair (or the per-record mono
+   stamp) fall back to raw wall time, per the documented compat rule. *)
+let flight_source_of_json ~label j =
+  let fnum k o = Sjson.mem_num k o in
+  let wall =
+    match fnum "wall" j with
+    | Some w -> w
+    | None -> Option.value ~default:0. (fnum "dumped_at" j)
+  in
+  let mono = Option.value ~default:wall (fnum "mono" j) in
+  let records =
+    match Sjson.member "records" j with
+    | Some (Sjson.Arr rs) ->
+      List.filter_map
+        (fun r ->
+          match r with
+          | Sjson.Obj _ ->
+            let ts = Option.value ~default:0. (fnum "ts" r) in
+            Some
+              {
+                Flight.fr_ts = ts;
+                fr_mono = Option.value ~default:ts (fnum "mono" r);
+                fr_tid = Option.value ~default:0 (Sjson.mem_int "tid" r);
+                fr_rid = Option.value ~default:"" (Sjson.mem_str "rid" r);
+                fr_kind =
+                  (match Sjson.mem_str "kind" r with
+                  | Some "span" -> Flight.Span
+                  | Some "log" -> Flight.Log
+                  | Some "progress" -> Flight.Progress
+                  | _ -> Flight.Event);
+                fr_name = Option.value ~default:"" (Sjson.mem_str "name" r);
+                fr_dur_ms = Option.value ~default:0. (fnum "dur_ms" r);
+                fr_data =
+                  (match Sjson.member "data" r with
+                  | Some (Sjson.Obj kvs) ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        match v with Sjson.Str s -> Some (k, s) | _ -> None)
+                      kvs
+                  | _ -> []);
+              }
+          | _ -> None)
+        rs
+    | _ -> []
+  in
+  {
+    Flight.src_label = label;
+    src_pid = Option.value ~default:0 (Sjson.mem_int "pid" j);
+    src_wall = wall;
+    src_mono = mono;
+    src_records = records;
+  }
+
+let trace_cmd =
+  let run socket rid out =
+    let path =
+      match socket with
+      | Some p -> p
+      | None ->
+        Format.eprintf "trace requires --socket PATH@.";
+        exit 2
+    in
+    let session =
+      try Session.connect ~retries:50 path
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "cannot connect to %s: %s@." path (Unix.error_message e);
+        exit 2
+    in
+    let body =
+      match Session.dump session with
+      | Some b -> b
+      | None ->
+        Format.eprintf "server did not answer the dump op@.";
+        exit 3
+    in
+    Session.close session;
+    let doc =
+      match Sjson.parse body with
+      | Error e ->
+        Format.eprintf "malformed dump: %s@." e;
+        exit 3
+      | Ok j -> j
+    in
+    (* A fleet router nests one flight document per process; a single
+       server answers its own flight document directly. Either way the
+       result is one lane per process. *)
+    let sources =
+      match Sjson.mem_str "schema" doc with
+      | Some "sepsat-fleet-dump-1" ->
+        let router =
+          match Sjson.member "router" doc with
+          | Some (Sjson.Obj _ as r) ->
+            [ flight_source_of_json ~label:"router" r ]
+          | _ -> []
+        in
+        let backends =
+          match Sjson.member "backends" doc with
+          | Some (Sjson.Arr parts) ->
+            List.filter_map
+              (fun p ->
+                let b = Option.value ~default:0 (Sjson.mem_int "backend" p) in
+                match Sjson.member "flight" p with
+                | Some (Sjson.Obj _ as f) ->
+                  Some
+                    (flight_source_of_json
+                       ~label:(Printf.sprintf "backend-%d" b)
+                       f)
+                | _ -> None)
+              parts
+          | _ -> []
+        in
+        router @ backends
+      | _ -> [ flight_source_of_json ~label:"server" doc ]
+    in
+    let trace = Flight.assemble ?rid sources in
+    let kept (r : Flight.record) =
+      match rid with None -> true | Some id -> r.Flight.fr_rid = id
+    in
+    let total =
+      List.fold_left
+        (fun acc s ->
+          acc + List.length (List.filter kept s.Flight.src_records))
+        0 sources
+    in
+    let rids =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun s ->
+             List.filter_map
+               (fun (r : Flight.record) ->
+                 if kept r && r.Flight.fr_rid <> "" then
+                   Some r.Flight.fr_rid
+                 else None)
+               s.Flight.src_records)
+           sources)
+    in
+    if out = "-" then print_endline trace
+    else begin
+      let oc = open_out out in
+      output_string oc trace;
+      output_char oc '\n';
+      close_out oc
+    end;
+    Format.eprintf "trace: %d lanes (%s), %d records, %d request ids%s%s@."
+      (List.length sources)
+      (String.concat ", "
+         (List.map (fun s -> s.Flight.src_label) sources))
+      total (List.length rids)
+      (match rid with
+      | Some id -> Printf.sprintf ", filtered to rid %s" id
+      | None -> "")
+      (if out = "-" then "" else Printf.sprintf " -> %s" out);
+    if total = 0 then exit 3
+  in
+  let rid_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rid" ] ~docv:"RID"
+          ~doc:
+            "Keep only records of this request id (e.g. the p99 exemplar \
+             from $(b,sufdec top)); default keeps every record.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Output file for the Chrome trace (open in chrome://tracing \
+             or Perfetto); '-' writes it to stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Assemble one cross-process Chrome trace from a running server or \
+          fleet: fetch every process's flight-recorder dump over the \
+          protocol's dump op, align their clocks via the dumps' wall/mono \
+          anchor pairs, and merge the records into a single timeline with \
+          one lane per process.")
+    Term.(const run $ socket_arg $ rid_arg $ out_arg)
 
 let loadgen_cmd =
   let run clients repeats workers method_ timeout fleet json_out min_speedup =
@@ -1170,5 +1394,6 @@ let () =
        (Cmd.group info
           [
             solve_cmd; smt_cmd; stats_cmd; cnf_cmd; gen_cmd; bench_cmd;
-            list_cmd; serve_cmd; submit_cmd; top_cmd; loadgen_cmd; fleet_cmd;
+            list_cmd; serve_cmd; submit_cmd; top_cmd; trace_cmd; loadgen_cmd;
+            fleet_cmd;
           ]))

@@ -40,6 +40,8 @@ module Obs = Sepsat_obs.Obs
 module Metrics = Sepsat_obs.Metrics
 module Prom = Sepsat_obs.Prom
 module Window = Sepsat_obs.Window
+module Flight = Sepsat_obs.Flight
+module Clock = Sepsat_obs.Clock
 
 type config = {
   rc_socket : string;
@@ -65,9 +67,14 @@ type psolve = {
   ps_orig_id : string;
   ps_digest : string;  (* ring key *)
   ps_key : string;  (* digest|method — the cache key *)
-  ps_rq : Protocol.solve_req;
+  ps_rq : Protocol.solve_req;  (* carries the minted trace context *)
   ps_tried : int list;  (* backends this solve was already sent to *)
   ps_t0 : float;
+  ps_rid : string;  (* fleet-wide trace rid, minted once per request *)
+  ps_recv_wall : float;  (* request arrival, Clock.pair *)
+  ps_recv_mono : float;
+  ps_parsed_mono : float;  (* after parse + digest *)
+  ps_sent_mono : float;  (* last dispatch to a backend; re-stamped on failover *)
 }
 
 type fan = {
@@ -85,6 +92,30 @@ type pending = { pd_backend : int; pd_kind : kind }
 
 type client = { cl_id : int; cl_conn : Lineconn.t }
 
+(* Per-backend hop-time accumulator (summed ms + request count), the
+   source of the per-backend hop columns in merged stats / `sufdec top`.
+   Plain mutable fields: the router is single-threaded. *)
+type hop_acc = {
+  mutable ha_count : int;
+  mutable ha_parse : float;
+  mutable ha_queue : float;
+  mutable ha_wire : float;
+  mutable ha_shard_queue : float;
+  mutable ha_solve : float;
+  mutable ha_reply : float;
+}
+
+let fresh_hop_acc () =
+  {
+    ha_count = 0;
+    ha_parse = 0.;
+    ha_queue = 0.;
+    ha_wire = 0.;
+    ha_shard_queue = 0.;
+    ha_solve = 0.;
+    ha_reply = 0.;
+  }
+
 type t = {
   cfg : config;
   sup : Supervisor.t;
@@ -98,6 +129,8 @@ type t = {
   pending : (string, pending) Hashtbl.t;
   mutable next_client : int;
   mutable next_wire : int;
+  mutable next_rid : int;
+  hops : hop_acc array;  (* per backend, indexed like bconns *)
   lat : Window.t;
   mutable submitted : int;
   mutable completed : int;
@@ -118,11 +151,26 @@ let m_disk_hits = lazy (Metrics.counter "fleet.disk.hits")
 let m_redispatch = lazy (Metrics.counter "fleet.redispatch")
 let m_clients = lazy (Metrics.gauge "fleet.clients")
 
+(* The six-hop latency decomposition of a fleet request, as histograms
+   (seconds, rid exemplars): where did the time go, across processes. *)
+let m_hop_parse = lazy (Metrics.histogram "fleet.hop.router_parse_s")
+let m_hop_queue = lazy (Metrics.histogram "fleet.hop.router_queue_s")
+let m_hop_wire = lazy (Metrics.histogram "fleet.hop.wire_s")
+let m_hop_shard_queue = lazy (Metrics.histogram "fleet.hop.shard_queue_s")
+let m_hop_solve = lazy (Metrics.histogram "fleet.hop.shard_solve_s")
+let m_hop_reply = lazy (Metrics.histogram "fleet.hop.reply_s")
+
 let stop_flag = Atomic.make false
 
 let mint_wire t =
   t.next_wire <- t.next_wire + 1;
   Printf.sprintf "f%d" t.next_wire
+
+(* Fleet-wide request ids: the pid makes them unique across router
+   restarts sharing a socket path, so merged flight dumps never collide. *)
+let mint_rid t =
+  t.next_rid <- t.next_rid + 1;
+  Printf.sprintf "fl-%d-%d" (Unix.getpid ()) t.next_rid
 
 (* -- Client I/O ------------------------------------------------------------- *)
 
@@ -246,9 +294,16 @@ let dispatch t (ps : psolve) =
     reply_client t ps.ps_client (Protocol.Busy ps.ps_orig_id)
   | b :: _ ->
     let wire = mint_wire t in
-    let ps = { ps with ps_tried = b :: ps.ps_tried } in
+    let sent_mono = Clock.mono_now () in
+    let ps =
+      { ps with ps_tried = b :: ps.ps_tried; ps_sent_mono = sent_mono }
+    in
     Hashtbl.replace t.pending wire
       { pd_backend = b; pd_kind = K_solve ps };
+    Flight.record ~rid:ps.ps_rid
+      ~dur_ms:((sent_mono -. ps.ps_parsed_mono) *. 1000.)
+      ~data:[ ("backend", string_of_int b) ]
+      Flight.Span "hop.router_queue";
     (match t.bconns.(b) with
     | Some conn ->
       Lineconn.enqueue conn
@@ -267,6 +322,12 @@ let redispatch t wire (ps : psolve) =
   else begin
     t.redispatched <- t.redispatched + 1;
     Metrics.incr (Lazy.force m_redispatch);
+    (* The re-dispatched request keeps its original rid (ps_rq still
+       carries the minted trace context), so the trace shows one request
+       crossing two backends rather than two requests. *)
+    Flight.record ~rid:ps.ps_rid
+      ~data:[ ("attempt", string_of_int (List.length ps.ps_tried)) ]
+      Flight.Event "fleet.redispatch";
     dispatch t ps
   end
 
@@ -319,6 +380,30 @@ let fan_merge_stats t fan =
         | _ -> [])
       parts
   in
+  (* A part's own "backend" field (the shard's const label) names it;
+     the ring index is the fallback for shards predating the field. *)
+  let label_of b j =
+    match Option.bind j (J.mem_str "backend") with
+    | Some l when l <> "" -> l
+    | _ -> string_of_int b
+  in
+  (* Exemplars merge tagged with their backend, so `top` can show which
+     shard each slow rid ran on instead of an indistinguishable pool. *)
+  let exemplars =
+    List.concat_map
+      (fun (b, j) ->
+        match Option.bind j (J.member "exemplars") with
+        | Some (J.Arr es) ->
+          List.map
+            (fun e ->
+              match e with
+              | J.Obj fields ->
+                J.Obj (fields @ [ ("backend", J.Str (label_of b j)) ])
+              | other -> other)
+            es
+        | _ -> [])
+      parts
+  in
   let quantiles = Window.quantiles t.lat [ 0.5; 0.9; 0.99 ] in
   let p50, p90, p99 =
     match quantiles with [ a; b; c ] -> (a, b, c) | _ -> (0., 0., 0.)
@@ -337,12 +422,31 @@ let fan_merge_stats t fan =
           ("misses", J.Num (float_of_int s.Disk_cache.s_misses));
         ]
   in
+  let hops_json b =
+    if b < 0 || b >= Array.length t.hops then J.Null
+    else
+      let a = t.hops.(b) in
+      if a.ha_count = 0 then J.Null
+      else
+        let mean v = v /. float_of_int a.ha_count in
+        J.Obj
+          [
+            ("count", J.Num (float_of_int a.ha_count));
+            ("router_parse_ms", J.Num (mean a.ha_parse));
+            ("router_queue_ms", J.Num (mean a.ha_queue));
+            ("wire_ms", J.Num (mean a.ha_wire));
+            ("shard_queue_ms", J.Num (mean a.ha_shard_queue));
+            ("shard_solve_ms", J.Num (mean a.ha_solve));
+            ("reply_ms", J.Num (mean a.ha_reply));
+          ]
+  in
   let backend_detail =
     List.map
       (fun (b, j) ->
         J.Obj
           [
             ("backend", J.Num (float_of_int b));
+            ("label", J.Str (label_of b j));
             ("up", J.Bool (Supervisor.is_up t.sup b));
             ( "pid",
               match Supervisor.pid t.sup b with
@@ -350,6 +454,7 @@ let fan_merge_stats t fan =
               | None -> J.Null );
             ("spawns", J.Num (float_of_int (Supervisor.spawns t.sup b)));
             ("failures", J.Num (float_of_int (Supervisor.failures t.sup b)));
+            ("hops", hops_json b);
             ("stats", match j with Some j -> j | None -> J.Null);
           ])
       parts
@@ -379,7 +484,7 @@ let fan_merge_stats t fan =
                 | Some (_, rid) -> rid
                 | None -> "") );
           ] );
-      ("exemplars", J.Arr []);
+      ("exemplars", J.Arr exemplars);
       ("lanes", J.Arr lanes);
       ( "cache",
         J.Obj
@@ -445,10 +550,19 @@ let fan_merge_dump fan =
            Json.Obj
              [ ("backend", Json.Num (float_of_int b)); ("flight", flight) ])
   in
+  (* The router's own flight ring rides along: it holds the hop spans
+     (hop.router_parse, hop.router_queue, hop.wire, fleet.request) that
+     the per-process lanes of an assembled trace are built from. *)
+  let router_flight =
+    match Json.parse (Flight.to_json ()) with
+    | Ok j -> j
+    | Error _ -> Json.Null
+  in
   Json.to_string
     (Json.Obj
        [
          ("schema", Json.Str "sepsat-fleet-dump-1");
+         ("router", router_flight);
          ("backends", Json.Arr parts);
        ])
 
@@ -536,7 +650,21 @@ let handle_solve t cl_id (rq : Protocol.solve_req) =
     reply_client t cl_id (Protocol.Busy rq.Protocol.sq_id)
   end
   else begin
-    let t0 = Unix.gettimeofday () in
+    let recv_wall, recv_mono = Clock.pair () in
+    let t0 = recv_wall in
+    (* Trace context for the request's whole fleet crossing: adopt the
+       client's context when it sent one (a client that is itself a hop),
+       mint a fleet-unique rid otherwise. Installed once in ps_rq, it
+       survives re-dispatch untouched — whichever shard the solve lands
+       on adopts the same rid. *)
+    let rid, path =
+      match rq.Protocol.sq_trace with
+      | Some tc -> (tc.Protocol.tc_rid, tc.Protocol.tc_path @ [ "router" ])
+      | None -> (mint_rid t, [ "router" ])
+    in
+    let rq =
+      { rq with Protocol.sq_trace = Some { Protocol.tc_rid = rid; tc_path = path } }
+    in
     t.submitted <- t.submitted + 1;
     match parse_formula rq.Protocol.sq_lang rq.Protocol.sq_text with
     | Error msg ->
@@ -544,16 +672,27 @@ let handle_solve t cl_id (rq : Protocol.solve_req) =
       Metrics.incr (Lazy.force m_errors);
       reply_client t cl_id (Protocol.Error (rq.Protocol.sq_id, msg))
     | Ok formula -> (
+      let parsed_mono = Clock.mono_now () in
+      let parse_ms = (parsed_mono -. recv_mono) *. 1000. in
+      Flight.record ~rid ~dur_ms:parse_ms Flight.Span "hop.router_parse";
+      Metrics.observe ~rid (Lazy.force m_hop_parse) (parse_ms /. 1000.);
       let digest = Ast.digest formula in
       let key = digest ^ "|" ^ Protocol.method_to_wire rq.Protocol.sq_method in
       match Option.bind t.store (fun s -> Disk_cache.find s key) with
       | Some e ->
         (* Persistent hit: answered by the router, no backend involved —
-           the restart-surviving layer of the cache hierarchy. *)
+           the restart-surviving layer of the cache hierarchy. The reply
+           trace says so: served_by "cache" with the lookup as its own
+           hop, so cached answers stay distinguishable from shard-solved
+           ones in traces and exemplars. *)
         Metrics.incr (Lazy.force m_disk_hits);
         t.completed <- t.completed + 1;
-        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
-        Window.add t.lat ms;
+        let send_wall, send_mono = Clock.pair () in
+        let ms = (send_mono -. recv_mono) *. 1000. in
+        Window.add ~rid t.lat ms;
+        Flight.record ~rid ~dur_ms:ms
+          ~data:[ ("served_by", "cache") ]
+          Flight.Span "fleet.request";
         reply_client t cl_id
           (Protocol.Ok_solve
              {
@@ -564,6 +703,21 @@ let handle_solve t cl_id (rq : Protocol.solve_req) =
                sv_witness = e.Disk_cache.d_witness;
                sv_solve_ms = e.Disk_cache.d_solve_ms;
                sv_time_ms = ms;
+               sv_trace =
+                 Some
+                   {
+                     Protocol.rt_rid = rid;
+                     rt_served_by = "cache";
+                     rt_hops =
+                       [
+                         ("router.parse", parse_ms);
+                         ("router.cache", Float.max 0. (ms -. parse_ms));
+                       ];
+                     rt_recv_wall = recv_wall;
+                     rt_recv_mono = recv_mono;
+                     rt_send_wall = send_wall;
+                     rt_send_mono = send_mono;
+                   };
              })
       | None ->
         dispatch t
@@ -575,6 +729,11 @@ let handle_solve t cl_id (rq : Protocol.solve_req) =
             ps_rq = rq;
             ps_tried = [];
             ps_t0 = t0;
+            ps_rid = rid;
+            ps_recv_wall = recv_wall;
+            ps_recv_mono = recv_mono;
+            ps_parsed_mono = parsed_mono;
+            ps_sent_mono = parsed_mono;
           })
   end
 
@@ -639,10 +798,97 @@ let handle_backend_reply t b reply =
           t.disk_writes <- t.disk_writes + 1
         | _ -> ());
         t.completed <- t.completed + 1;
-        let ms = (Unix.gettimeofday () -. ps.ps_t0) *. 1000. in
-        Window.add t.lat ms;
+        let send_wall, send_mono = Clock.pair () in
+        let ms = (send_mono -. ps.ps_recv_mono) *. 1000. in
+        Window.add ~rid:ps.ps_rid t.lat ms;
+        (* Six-hop decomposition. Every subtraction below pairs mono
+           readings from a single process — the shard's residency comes
+           from its own recv/send anchors in the reply trace — so the
+           breakdown is immune to router/shard wall-clock skew. The
+           final [reply] hop is the remainder, so the six sum to the
+           router-observed end-to-end time by construction (up to the
+           max-0 clamps on pathological clock behaviour). *)
+        let parse_ms = (ps.ps_parsed_mono -. ps.ps_recv_mono) *. 1000. in
+        let queue_ms = (ps.ps_sent_mono -. ps.ps_parsed_mono) *. 1000. in
+        let rtt_ms = (send_mono -. ps.ps_sent_mono) *. 1000. in
+        let shard_queue_ms, shard_solve_ms, shard_res_ms =
+          match s.Protocol.sv_trace with
+          | Some st ->
+            let hop name =
+              Option.value ~default:0.
+                (List.assoc_opt name st.Protocol.rt_hops)
+            in
+            ( hop "shard.queue",
+              hop "shard.solve",
+              (st.Protocol.rt_send_mono -. st.Protocol.rt_recv_mono) *. 1000.
+            )
+          | None ->
+            (* Trace-less backend (version skew): charge its reported
+               engine time as solve and fold the rest into wire. *)
+            (0., s.Protocol.sv_time_ms, s.Protocol.sv_time_ms)
+        in
+        let wire_ms = Float.max 0. (rtt_ms -. shard_res_ms) in
+        let reply_ms =
+          Float.max 0.
+            (ms -. parse_ms -. queue_ms -. wire_ms -. shard_queue_ms
+           -. shard_solve_ms)
+        in
+        let served_by =
+          match s.Protocol.sv_trace with
+          | Some st when st.Protocol.rt_served_by <> "" ->
+            st.Protocol.rt_served_by
+          | _ -> string_of_int b
+        in
+        let rid = ps.ps_rid in
+        Metrics.observe ~rid (Lazy.force m_hop_queue) (queue_ms /. 1000.);
+        Metrics.observe ~rid (Lazy.force m_hop_wire) (wire_ms /. 1000.);
+        Metrics.observe ~rid (Lazy.force m_hop_shard_queue)
+          (shard_queue_ms /. 1000.);
+        Metrics.observe ~rid (Lazy.force m_hop_solve)
+          (shard_solve_ms /. 1000.);
+        Metrics.observe ~rid (Lazy.force m_hop_reply) (reply_ms /. 1000.);
+        (if b >= 0 && b < Array.length t.hops then
+           let a = t.hops.(b) in
+           a.ha_count <- a.ha_count + 1;
+           a.ha_parse <- a.ha_parse +. parse_ms;
+           a.ha_queue <- a.ha_queue +. queue_ms;
+           a.ha_wire <- a.ha_wire +. wire_ms;
+           a.ha_shard_queue <- a.ha_shard_queue +. shard_queue_ms;
+           a.ha_solve <- a.ha_solve +. shard_solve_ms;
+           a.ha_reply <- a.ha_reply +. reply_ms);
+        Flight.record ~rid ~dur_ms:wire_ms
+          ~data:[ ("backend", string_of_int b) ]
+          Flight.Span "hop.wire";
+        Flight.record ~rid ~dur_ms:ms
+          ~data:[ ("served_by", served_by) ]
+          Flight.Span "fleet.request";
+        let trace =
+          {
+            Protocol.rt_rid = rid;
+            rt_served_by = served_by;
+            rt_hops =
+              [
+                ("router.parse", parse_ms);
+                ("router.queue", queue_ms);
+                ("wire", wire_ms);
+                ("shard.queue", shard_queue_ms);
+                ("shard.solve", shard_solve_ms);
+                ("reply", reply_ms);
+              ];
+            rt_recv_wall = ps.ps_recv_wall;
+            rt_recv_mono = ps.ps_recv_mono;
+            rt_send_wall = send_wall;
+            rt_send_mono = send_mono;
+          }
+        in
         reply_client t ps.ps_client
-          (Protocol.Ok_solve { s with Protocol.sv_id = ps.ps_orig_id })
+          (Protocol.Ok_solve
+             {
+               s with
+               Protocol.sv_id = ps.ps_orig_id;
+               sv_time_ms = ms;
+               sv_trace = Some trace;
+             })
       | Protocol.Error (_, msg) ->
         Hashtbl.remove t.pending wire;
         t.errors <- t.errors + 1;
@@ -791,6 +1037,13 @@ let run cfg sup =
   let prev_term = (try Some (Sys.signal Sys.sigterm handle_term) with _ -> None) in
   let prev_int = (try Some (Sys.signal Sys.sigint handle_term) with _ -> None) in
   Metrics.set_always_on true;
+  (* The router is an observability citizen like any shard: its flight
+     ring holds the router-side hop spans an assembled cross-process
+     trace needs, and its metric series carry the label the metrics
+     merge has always documented. *)
+  Flight.enable ();
+  if Prom.const_label "backend" = None then
+    Prom.set_const_labels [ ("backend", "router") ];
   let store = Option.map (fun path -> Disk_cache.open_ ~path) cfg.rc_cache_path in
   (match store with
   | Some s ->
@@ -818,6 +1071,8 @@ let run cfg sup =
       pending = Hashtbl.create 64;
       next_client = 0;
       next_wire = 0;
+      next_rid = 0;
+      hops = Array.init (Supervisor.n sup) (fun _ -> fresh_hop_acc ());
       lat = Window.create ();
       submitted = 0;
       completed = 0;

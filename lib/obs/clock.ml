@@ -1,0 +1,30 @@
+(* Process-global monotone clock, derived from the wall clock.
+
+   The toolchain ships no monotonic-clock binding (no mtime, no ptime),
+   so we make our own guarantee: [mono_now] is [Unix.gettimeofday]
+   clamped to be non-decreasing across the whole process via a CAS-max
+   on one atomic. Within one process, differences of [mono_now] readings
+   are valid durations even if NTP steps the wall clock backwards —
+   time stands still through the step instead of going negative.
+
+   Cross-process alignment is the reason [pair] exists: both clocks are
+   sampled from the *same* wall reading, so a (wall, mono) pair pins the
+   process's mono timeline to the shared wall timeline at one instant.
+   A flight-dump header carries such a pair; the assembler maps any
+   record's mono stamp to an absolute time as
+   [wall_at_dump -. (mono_at_dump -. record_mono)], which never compares
+   raw wall readings from two processes. *)
+
+let last = Atomic.make 0.
+
+let rec clamp w =
+  let prev = Atomic.get last in
+  if w <= prev then prev
+  else if Atomic.compare_and_set last prev w then w
+  else clamp w
+
+let mono_now () = clamp (Unix.gettimeofday ())
+
+let pair () =
+  let w = Unix.gettimeofday () in
+  (w, clamp w)

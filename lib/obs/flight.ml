@@ -25,6 +25,7 @@ let kind_name = function
 
 type record = {
   fr_ts : float;  (* completion wall-clock time *)
+  fr_mono : float;  (* same instant on this process's Clock.mono_now *)
   fr_tid : int;
   fr_rid : string;  (* "" when outside any request *)
   fr_kind : kind;
@@ -91,9 +92,11 @@ let record ?rid ?(dur_ms = 0.) ?(data = []) kind name =
   if Atomic.get enabled_ then begin
     let rid = match rid with Some r -> r | None -> Trace_ctx.rid () in
     let r = ring () in
+    let wall, mono = Clock.pair () in
     let rec_ =
       {
-        fr_ts = Unix.gettimeofday ();
+        fr_ts = wall;
+        fr_mono = mono;
         fr_tid = r.r_tid;
         fr_rid = rid;
         fr_kind = kind;
@@ -148,8 +151,8 @@ let add_json_string buf s =
 
 let add_record buf r =
   Buffer.add_string buf
-    (Printf.sprintf "{\"ts\": %.6f, \"tid\": %d, \"kind\": \"%s\", " r.fr_ts
-       r.fr_tid (kind_name r.fr_kind));
+    (Printf.sprintf "{\"ts\": %.6f, \"mono\": %.6f, \"tid\": %d, \"kind\": \"%s\", "
+       r.fr_ts r.fr_mono r.fr_tid (kind_name r.fr_kind));
   Buffer.add_string buf "\"name\": ";
   add_json_string buf r.fr_name;
   if r.fr_rid <> "" then begin
@@ -174,11 +177,15 @@ let add_record buf r =
 let to_json () =
   let recs = records () in
   let buf = Buffer.create 65536 in
+  (* The (wall, mono) pair is sampled together so a consumer can map any
+     record's mono stamp onto the wall timeline without assuming the two
+     processes' wall clocks agree — see [assemble]. *)
+  let wall, mono = Clock.pair () in
   Buffer.add_string buf
     (Printf.sprintf
        "{\"schema\": \"sepsat-flight-1\", \"pid\": %d, \"dumped_at\": %.6f, \
-        \"dropped\": %d, \"records\": ["
-       (Unix.getpid ()) (Unix.gettimeofday ()) (dropped ()));
+        \"wall\": %.6f, \"mono\": %.6f, \"dropped\": %d, \"records\": ["
+       (Unix.getpid ()) wall wall mono (dropped ()));
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string buf ", ";
@@ -194,6 +201,105 @@ let write path =
     (fun () ->
       output_string oc (to_json ());
       output_char oc '\n')
+
+(* -- Cross-process assembly ----------------------------------------------- *)
+
+type source = {
+  src_label : string;
+  src_pid : int;
+  src_wall : float;
+  src_mono : float;
+  src_records : record list;
+}
+
+(* One Chrome trace from many processes' flight dumps. Each source's
+   (wall, mono) header pair pins its mono timeline to the shared wall
+   timeline; a record's absolute end time is then
+
+     src_wall -. (src_mono -. fr_mono)
+
+   which only ever subtracts mono readings from the *same* process —
+   immune to wall-clock skew between router and shards. Spans become
+   "X" (complete) events ending at that instant; point records become
+   thread-scoped instants. One Chrome pid per source, named via
+   process_name metadata, gives the lane-per-process view. *)
+let assemble ?rid sources =
+  let keep r = match rid with None -> true | Some id -> r.fr_rid = id in
+  let abs_end src r = src.src_wall -. (src.src_mono -. r.fr_mono) in
+  let origin =
+    List.fold_left
+      (fun acc src ->
+        List.fold_left
+          (fun acc r ->
+            if keep r then Float.min acc (abs_end src r -. (r.fr_dur_ms /. 1e3))
+            else acc)
+          acc src.src_records)
+      Float.infinity sources
+  in
+  let origin = if origin = Float.infinity then 0. else origin in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ", "
+  in
+  List.iteri
+    (fun pid src ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \
+            \"tid\": 0, \"args\": {\"name\": "
+           pid);
+      add_json_string buf src.src_label;
+      Buffer.add_string buf "}}")
+    sources;
+  (* Flatten, tag with the source lane, and sort by start time so the
+     event stream reads in causal order. *)
+  let events =
+    List.concat
+      (List.mapi
+         (fun pid src ->
+           List.filter_map
+             (fun r ->
+               if keep r then
+                 let start_us =
+                   (abs_end src r -. origin) *. 1e6 -. (r.fr_dur_ms *. 1e3)
+                 in
+                 Some (Float.max 0. start_us, pid, r)
+               else None)
+             src.src_records)
+         sources)
+    |> List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b)
+  in
+  List.iter
+    (fun (start_us, pid, r) ->
+      sep ();
+      Buffer.add_string buf "{\"name\": ";
+      add_json_string buf r.fr_name;
+      Buffer.add_string buf
+        (Printf.sprintf
+           ", \"cat\": \"%s\", \"pid\": %d, \"tid\": %d, \"ts\": %.3f"
+           (kind_name r.fr_kind) pid r.fr_tid start_us);
+      if r.fr_dur_ms > 0. then
+        Buffer.add_string buf
+          (Printf.sprintf ", \"ph\": \"X\", \"dur\": %.3f"
+             (r.fr_dur_ms *. 1e3))
+      else Buffer.add_string buf ", \"ph\": \"i\", \"s\": \"t\"";
+      Buffer.add_string buf ", \"args\": {";
+      Buffer.add_string buf "\"rid\": ";
+      add_json_string buf r.fr_rid;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf ", ";
+          add_json_string buf ("data." ^ k);
+          Buffer.add_string buf ": ";
+          add_json_string buf v)
+        r.fr_data;
+      Buffer.add_string buf "}}")
+    events;
+  Buffer.add_string buf "], \"displayTimeUnit\": \"ms\"}";
+  Buffer.contents buf
 
 (* -- Dump management ------------------------------------------------------ *)
 

@@ -14,6 +14,7 @@ type kind = Span | Log | Progress | Event
 
 type record = {
   fr_ts : float;  (** completion wall-clock time *)
+  fr_mono : float;  (** the same instant on this process's {!Clock.mono_now} *)
   fr_tid : int;  (** recording domain id *)
   fr_rid : string;  (** request id; [""] outside any request *)
   fr_kind : kind;
@@ -55,8 +56,32 @@ val dropped : unit -> int
 
 val to_json : unit -> string
 (** The full recorder state as one JSON document
-    [{"schema": "sepsat-flight-1", "pid", "dumped_at", "dropped",
-    "records": [...]}]. *)
+    [{"schema": "sepsat-flight-1", "pid", "dumped_at", "wall", "mono",
+    "dropped", "records": [...]}]. [wall] and [mono] are one
+    {!Clock.pair} sampled at dump time — the anchor {!assemble} uses to
+    align this process's records with other processes' dumps. *)
+
+(** {1 Cross-process assembly} *)
+
+type source = {
+  src_label : string;  (** Chrome lane (process) name, e.g. ["router"] *)
+  src_pid : int;  (** the dumping process's OS pid (informational) *)
+  src_wall : float;  (** dump-header [wall] *)
+  src_mono : float;  (** dump-header [mono], paired with [src_wall] *)
+  src_records : record list;
+}
+(** One process's flight dump, decoded. For dumps predating the header
+    pair, set [src_mono = src_wall] and each record's [fr_mono = fr_ts]
+    — alignment degrades to raw wall time, exactly the old behaviour. *)
+
+val assemble : ?rid:string -> source list -> string
+(** Merge many processes' flight records into one Chrome trace document
+    (catapult JSON, one [pid] lane per source, named by [src_label]).
+    Spans become ["X"] complete events; point records become instants.
+    Record times are aligned onto one timeline via each source's
+    wall/mono anchor pair, so only same-process mono differences are
+    ever taken — correct even when the processes' wall clocks disagree.
+    [rid] keeps only records of that request. *)
 
 val write : string -> unit
 (** Write {!to_json} (plus a trailing newline) to a file. *)

@@ -61,6 +61,8 @@ let const_labels = ref []
 
 let set_const_labels l = const_labels := l
 
+let const_label k = List.assoc_opt k !const_labels
+
 let label_str () =
   String.concat ","
     (List.map

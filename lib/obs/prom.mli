@@ -18,6 +18,11 @@ val set_const_labels : (string * string) list -> unit
     backends' expositions into one document. The default (empty) renders
     the historical unlabelled format byte-for-byte. *)
 
+val const_label : string -> string option
+(** Look up one constant label by (unsanitized) name — how the serve
+    engine reports which fleet backend it is ([const_label "backend"])
+    in [stats] so merged exemplars stay attributable. *)
+
 val render : (string * Metrics.value) list -> string
 (** Render an explicit snapshot (for tests and offline reports). *)
 

@@ -9,6 +9,10 @@ type t = { rid : string; path : string list (* innermost first *) }
 
 let none = { rid = ""; path = [] }
 
+(* [path] arrives outermost-first (the order a wire hop list reads);
+   internally the stack is innermost-first. *)
+let make ~rid ?(path = []) () = { rid; path = List.rev path }
+
 let key : t ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref none)
 
 let current () = !(Domain.DLS.get key)

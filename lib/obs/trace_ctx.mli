@@ -14,6 +14,13 @@ type t
 val none : t
 (** The empty context: no rid, no open spans. *)
 
+val make : rid:string -> ?path:string list -> unit -> t
+(** Build a context from parts received over the wire — how a fleet shard
+    adopts the router-minted trace: [make ~rid ~path ()] with [path]
+    outermost-first (e.g. [["router"]]), installed via {!with_ctx}, makes
+    every span, flight record, log line and exemplar under it carry the
+    fleet-wide rid. *)
+
 val capture : unit -> t
 (** Snapshot the calling domain's current context, for handing to a child
     domain. Cheap (returns the current immutable record). *)

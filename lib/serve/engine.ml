@@ -12,6 +12,7 @@ module Window = Sepsat_obs.Window
 module Flight = Sepsat_obs.Flight
 module Trace_ctx = Sepsat_obs.Trace_ctx
 module Progress = Sepsat_obs.Progress
+module Clock = Sepsat_obs.Clock
 
 type job = {
   jb_text : string;
@@ -20,10 +21,12 @@ type job = {
   jb_timeout_s : float option;
   jb_id : string;
   jb_rid : string;
+  jb_path : string list;  (* trace hops crossed upstream, outermost first *)
+  jb_enq_mono : float;  (* Clock.mono_now at job creation = enqueue time *)
 }
 
 let job ?(lang = Protocol.Suf) ?(method_ = Decide.Hybrid_default) ?timeout_s
-    ?(id = "") ?rid text =
+    ?(id = "") ?rid ?(path = []) text =
   {
     jb_text = text;
     jb_lang = lang;
@@ -31,8 +34,11 @@ let job ?(lang = Protocol.Suf) ?(method_ = Decide.Hybrid_default) ?timeout_s
     jb_timeout_s = timeout_s;
     jb_id = id;
     (* Client ids are echoes, not identities — they may repeat or be empty,
-       so every job also gets a server-minted correlation id. *)
+       so every job also gets a correlation id: the wire-carried fleet rid
+       when the request arrived with a trace context, minted otherwise. *)
     jb_rid = (match rid with Some r -> r | None -> Log.mint "rq");
+    jb_path = path;
+    jb_enq_mono = Clock.mono_now ();
   }
 
 type outcome = {
@@ -42,6 +48,7 @@ type outcome = {
   o_witness : string option;
   o_solve_ms : float;
   o_time_ms : float;
+  o_queue_ms : float;
 }
 
 type reply = (outcome, string) result
@@ -142,14 +149,19 @@ let parse_job jb =
 
 let process t (jb : job) : reply =
   let t0 = Deadline.wall_now () in
+  let queue_ms = (Clock.mono_now () -. jb.jb_enq_mono) *. 1000. in
   (* Every log line emitted anywhere below — including deep inside the
      pipeline — carries the request's correlation id, so one grep on the
      rid reconstructs the request's full path. The ambient Trace_ctx rid
      does the same for Obs spans and flight records: the request-root span
      and every descendant (parse, solve, portfolio lanes, component/cube
-     workers via the spawn handoff) is tagged with this rid. *)
-  Trace_ctx.with_rid jb.jb_rid
+     workers via the spawn handoff) is tagged with this rid. Installing a
+     whole context (not just the rid) both adopts the upstream hop path of
+     a fleet request and guarantees no span path leaks in from whatever
+     ran on this worker before. *)
+  Trace_ctx.with_ctx (Trace_ctx.make ~rid:jb.jb_rid ~path:jb.jb_path ())
   @@ fun () ->
+  Flight.record ~dur_ms:queue_ms Flight.Span "hop.shard_queue";
   Log.with_fields [ ("rid", Log.S jb.jb_rid); ("id", Log.S jb.jb_id) ]
   @@ fun () ->
   Obs.span ~cat:"serve" "serve.request" (fun () ->
@@ -261,6 +273,7 @@ let process t (jb : job) : reply =
             o_witness = entry.e_witness;
             o_solve_ms = entry.e_solve_ms;
             o_time_ms = time_ms;
+            o_queue_ms = queue_ms;
           })
 
 let worker t i () =
@@ -465,6 +478,13 @@ let stats_json t =
   let c = s.st_cache in
   Json.Obj
     [
+      (* Which fleet member this is, from the Prometheus const label the
+         CLI stamps at startup ("" outside a fleet) — lets the router's
+         merged stats attribute exemplars and lanes to a shard. *)
+      ( "backend",
+        Json.Str
+          (Option.value (Sepsat_obs.Prom.const_label "backend") ~default:"")
+      );
       ("workers", Json.Num (float_of_int s.st_workers));
       ("submitted", Json.Num (float_of_int s.st_submitted));
       ("completed", Json.Num (float_of_int s.st_completed));

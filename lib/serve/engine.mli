@@ -40,8 +40,16 @@ type job = {
   jb_timeout_s : float option;  (** [None]: the engine's default budget *)
   jb_id : string;  (** client-chosen id, echoed on the reply; may repeat *)
   jb_rid : string;
-      (** server-minted correlation id, unique per job — the key that ties
-          this request's log lines together *)
+      (** correlation id, the key that ties this request's log lines,
+          spans and exemplars together — the wire-carried fleet rid when
+          the request arrived with a {!Protocol.trace_ctx}, server-minted
+          otherwise *)
+  jb_path : string list;
+      (** trace hops crossed upstream of this process, outermost first
+          (e.g. [["router"]]); installed as the base span path *)
+  jb_enq_mono : float;
+      (** {!Sepsat_obs.Clock.mono_now} at job creation; queue time is
+          measured from here to processing start *)
 }
 
 val job :
@@ -50,10 +58,12 @@ val job :
   ?timeout_s:float ->
   ?id:string ->
   ?rid:string ->
+  ?path:string list ->
   string ->
   job
 (** Defaults: SUF text, [Hybrid_default], engine default budget, empty
-    client id, freshly minted correlation id. *)
+    client id, freshly minted correlation id, empty hop path. Stamps the
+    enqueue clock. *)
 
 type outcome = {
   o_verdict : Protocol.verdict;
@@ -64,6 +74,9 @@ type outcome = {
       (** pipeline time of the run that produced the verdict; a cache hit
           reports the original solve's cost *)
   o_time_ms : float;  (** this request's wall time inside the engine *)
+  o_queue_ms : float;
+      (** time spent waiting in the request queue before a worker picked
+          the job up — the [shard.queue] hop of a fleet trace *)
 }
 
 type reply = (outcome, string) result

@@ -10,12 +10,20 @@ let lang_of_string = function
 
 let lang_to_string = function Suf -> "suf" | Smt -> "smt"
 
+(* Dapper-style trace context carried on solve requests: the fleet
+   router mints one rid per client request and every process it crosses
+   adopts it, so spans, flight records, logs and exemplars from router
+   and shard all answer to the same id. Absent on the wire means the
+   receiver mints its own rid, exactly the pre-trace behaviour. *)
+type trace_ctx = { tc_rid : string; tc_path : string list }
+
 type solve_req = {
   sq_id : string;
   sq_lang : lang;
   sq_text : string;
   sq_method : Decide.method_;
   sq_timeout_s : float option;
+  sq_trace : trace_ctx option;
 }
 
 type verdict = Valid | Invalid | Unknown of string
@@ -99,6 +107,20 @@ let request_of_line line =
           match Decide.method_of_string method_s with
           | None -> Result.Error (Printf.sprintf "unknown method %S" method_s)
           | Some m ->
+            let sq_trace =
+              match Json.member "trace" j with
+              | Some t -> (
+                match Json.mem_str "rid" t with
+                | None -> None
+                | Some tc_rid ->
+                  let tc_path =
+                    match Json.member "path" t with
+                    | Some (Json.Arr l) -> List.filter_map Json.to_str l
+                    | _ -> []
+                  in
+                  Some { tc_rid; tc_path })
+              | None -> None
+            in
             Ok
               (Solve
                  {
@@ -107,6 +129,7 @@ let request_of_line line =
                    sq_text = text;
                    sq_method = m;
                    sq_timeout_s = Json.mem_num "timeout_s" j;
+                   sq_trace;
                  }))))
     | op -> Result.Error (Printf.sprintf "unknown op %S" op))
 
@@ -147,6 +170,21 @@ let request_to_line = function
       | None -> base
       | Some t -> base @ [ ("timeout_s", Json.Num t) ]
     in
+    let fields =
+      match r.sq_trace with
+      | None -> fields
+      | Some tc ->
+        fields
+        @ [
+            ( "trace",
+              Json.Obj
+                [
+                  ("rid", Json.Str tc.tc_rid);
+                  ( "path",
+                    Json.Arr (List.map (fun s -> Json.Str s) tc.tc_path) );
+                ] );
+          ]
+    in
     Json.to_string (Obj fields)
 
 (* -- Replies --------------------------------------------------------------- *)
@@ -169,6 +207,21 @@ let origin_of_string = function
   | "joined" -> Some Joined
   | _ -> None
 
+(* The trace a reply carries back: who served it, the hop-latency
+   breakdown, and this replier's clock anchor (recv/send as wall+mono
+   pairs sampled with Clock.pair). The receiver computes wire time as
+   rtt minus the replier's own mono residency (send_mono - recv_mono) —
+   only same-process mono differences, so clock skew cancels out. *)
+type reply_trace = {
+  rt_rid : string;
+  rt_served_by : string;  (* backend label, "cache", or "" *)
+  rt_hops : (string * float) list;  (* (hop name, milliseconds) *)
+  rt_recv_wall : float;
+  rt_recv_mono : float;
+  rt_send_wall : float;
+  rt_send_mono : float;
+}
+
 type solved = {
   sv_id : string;
   sv_verdict : verdict;
@@ -177,6 +230,7 @@ type solved = {
   sv_witness : string option;
   sv_solve_ms : float;
   sv_time_ms : float;
+  sv_trace : reply_trace option;
 }
 
 type reply =
@@ -237,6 +291,28 @@ let reply_to_line = function
           ("solve_ms", Json.Num s.sv_solve_ms);
           ("time_ms", Json.Num s.sv_time_ms);
         ]
+      @
+      match s.sv_trace with
+      | None -> []
+      | Some tr ->
+        [
+          ( "trace",
+            Json.Obj
+              [
+                ("rid", Json.Str tr.rt_rid);
+                ("served_by", Json.Str tr.rt_served_by);
+                ( "hops",
+                  Json.Arr
+                    (List.map
+                       (fun (name, ms) ->
+                         Json.Arr [ Json.Str name; Json.Num ms ])
+                       tr.rt_hops) );
+                ("recv_wall", Json.Num tr.rt_recv_wall);
+                ("recv_mono", Json.Num tr.rt_recv_mono);
+                ("send_wall", Json.Num tr.rt_send_wall);
+                ("send_mono", Json.Num tr.rt_send_mono);
+              ] );
+        ]
     in
     Json.to_string (Obj fields)
 
@@ -282,6 +358,37 @@ let reply_of_line line =
               Cache_hit
             else Solved
         in
+        let sv_trace =
+          match Json.member "trace" j with
+          | Some t -> (
+            match Json.mem_str "rid" t with
+            | None -> None
+            | Some rt_rid ->
+              let rt_hops =
+                match Json.member "hops" t with
+                | Some (Json.Arr l) ->
+                  List.filter_map
+                    (function
+                      | Json.Arr [ Json.Str name; Json.Num ms ] ->
+                        Some (name, ms)
+                      | _ -> None)
+                    l
+                | _ -> []
+              in
+              let num k = Option.value (Json.mem_num k t) ~default:0. in
+              Some
+                {
+                  rt_rid;
+                  rt_served_by =
+                    Option.value (Json.mem_str "served_by" t) ~default:"";
+                  rt_hops;
+                  rt_recv_wall = num "recv_wall";
+                  rt_recv_mono = num "recv_mono";
+                  rt_send_wall = num "send_wall";
+                  rt_send_mono = num "send_mono";
+                })
+          | None -> None
+        in
         Ok
           (Ok_solve
              {
@@ -294,6 +401,7 @@ let reply_of_line line =
                  Option.value (Json.mem_num "solve_ms" j) ~default:0.;
                sv_time_ms =
                  Option.value (Json.mem_num "time_ms" j) ~default:0.;
+               sv_trace;
              }))
     | Some other -> Result.Error (Printf.sprintf "unknown status %S" other))
 

@@ -29,12 +29,25 @@ val lang_of_string : string -> lang option
 
 val lang_to_string : lang -> string
 
+type trace_ctx = {
+  tc_rid : string;  (** fleet-wide request id, e.g. ["fl-3121-17"] *)
+  tc_path : string list;  (** hops crossed so far, outermost first *)
+}
+(** Dapper-style trace context on a solve request — wire field
+    ["trace":{"rid":…,"path":[…]}]. The fleet router mints one per client
+    request; a shard receiving it adopts the rid as its ambient
+    {!Sepsat_obs.Trace_ctx}, so spans, flight records, logs and exemplars
+    on both sides of the wire answer to the same id. Absent means the
+    receiver mints its own rid — the pre-trace behaviour, so old clients
+    and servers interoperate unchanged. *)
+
 type solve_req = {
   sq_id : string;
   sq_lang : lang;
   sq_text : string;  (** formula (SUF s-expression) or SMT-LIB 2 script *)
   sq_method : Sepsat.Decide.method_;
   sq_timeout_s : float option;  (** [None]: the server's default budget *)
+  sq_trace : trace_ctx option;
 }
 
 type verdict = Valid | Invalid | Unknown of string
@@ -94,6 +107,29 @@ type origin =
 
 val origin_to_string : origin -> string
 
+type reply_trace = {
+  rt_rid : string;
+  rt_served_by : string;
+      (** the serving shard's [backend] const label, ["cache"] for a
+          router disk-cache hit, [""] when unknown *)
+  rt_hops : (string * float) list;
+      (** (hop name, milliseconds). A fleet reply carries the full
+          six-hop breakdown [router.parse]; [router.queue]; [wire];
+          [shard.queue]; [shard.solve]; [reply], which sums to
+          [sv_time_ms] by construction; a shard's reply to the router
+          carries its local two ([shard.queue]; [shard.solve]). *)
+  rt_recv_wall : float;  (** request arrival, replier's wall clock *)
+  rt_recv_mono : float;  (** the same instant, replier's {!Sepsat_obs.Clock} *)
+  rt_send_wall : float;  (** reply emission, replier's wall clock *)
+  rt_send_mono : float;
+}
+(** Trace information on a reply — wire field ["trace":{…}]. The recv and
+    send stamps are (wall, mono) {!Sepsat_obs.Clock.pair}s from the
+    {e replier's} clocks; the receiver derives wire time as its own
+    round-trip minus the replier's mono residency, so the two processes'
+    wall clocks never need to agree. Present only when the request
+    carried a {!trace_ctx} (or came through the fleet router). *)
+
 type solved = {
   sv_id : string;
   sv_verdict : verdict;
@@ -104,7 +140,10 @@ type solved = {
   sv_solve_ms : float;
       (** pipeline time of the run that produced the verdict (a cache hit
           reports the original solve's time) *)
-  sv_time_ms : float;  (** this request's wall time inside the engine *)
+  sv_time_ms : float;
+      (** this request's wall time inside the replier — engine time from
+          a single server, full router end-to-end time from a fleet *)
+  sv_trace : reply_trace option;
 }
 
 type reply =

@@ -1,5 +1,6 @@
 module Obs = Sepsat_obs.Obs
 module Prom = Sepsat_obs.Prom
+module Clock = Sepsat_obs.Clock
 
 let with_lock mu f =
   Mutex.lock mu;
@@ -11,7 +12,7 @@ let with_lock mu f =
     Mutex.unlock mu;
     raise e
 
-let solved_of_outcome id (o : Engine.outcome) =
+let solved_of_outcome ?trace id (o : Engine.outcome) =
   Protocol.Ok_solve
     {
       Protocol.sv_id = id;
@@ -21,7 +22,29 @@ let solved_of_outcome id (o : Engine.outcome) =
       sv_witness = o.Engine.o_witness;
       sv_solve_ms = o.Engine.o_solve_ms;
       sv_time_ms = o.Engine.o_time_ms;
+      sv_trace = trace;
     }
+
+(* Reply-side trace for a request that arrived with a wire trace context:
+   this process's recv/send clock anchors plus its local hop breakdown.
+   The receiver (the fleet router) turns the anchors into the [wire] hop
+   and splices these local hops into the six-hop fleet view. *)
+let reply_trace_of (tc : Protocol.trace_ctx) ~recv_wall ~recv_mono
+    (o : Engine.outcome) =
+  let send_wall, send_mono = Clock.pair () in
+  {
+    Protocol.rt_rid = tc.Protocol.tc_rid;
+    rt_served_by =
+      Option.value (Prom.const_label "backend") ~default:"";
+    rt_hops =
+      [
+        ("shard.queue", o.Engine.o_queue_ms); ("shard.solve", o.Engine.o_time_ms);
+      ];
+    rt_recv_wall = recv_wall;
+    rt_recv_mono = recv_mono;
+    rt_send_wall = send_wall;
+    rt_send_mono = send_mono;
+  }
 
 let serve_channels eng ic oc =
   let out_mu = Mutex.create () in
@@ -41,8 +64,16 @@ let serve_channels eng ic oc =
     with Sys_error _ -> ()
   in
   let job_of (rq : Protocol.solve_req) =
+    (* A wire trace context wins over local minting: the job adopts the
+       fleet rid and hop path so everything recorded while serving it
+       answers to the fleet-wide id. *)
+    let rid, path =
+      match rq.Protocol.sq_trace with
+      | Some tc -> (Some tc.Protocol.tc_rid, tc.Protocol.tc_path)
+      | None -> (None, [])
+    in
     Engine.job ~lang:rq.Protocol.sq_lang ~method_:rq.Protocol.sq_method
-      ?timeout_s:rq.Protocol.sq_timeout_s ~id:rq.Protocol.sq_id
+      ?timeout_s:rq.Protocol.sq_timeout_s ~id:rq.Protocol.sq_id ?rid ~path
       rq.Protocol.sq_text
   in
   let rec loop () =
@@ -84,10 +115,17 @@ let serve_channels eng ic oc =
           loop ()
         | Ok (Protocol.Solve rq) ->
           let id = rq.Protocol.sq_id in
+          let recv_wall, recv_mono = Clock.pair () in
           with_lock pend_mu (fun () -> incr pending);
           let cb (reply : Engine.reply) =
             (match reply with
-            | Ok o -> send (solved_of_outcome id o)
+            | Ok o ->
+              let trace =
+                Option.map
+                  (fun tc -> reply_trace_of tc ~recv_wall ~recv_mono o)
+                  rq.Protocol.sq_trace
+              in
+              send (solved_of_outcome ?trace id o)
             | Error msg -> send (Protocol.Error (id, msg)));
             with_lock pend_mu (fun () ->
                 decr pending;

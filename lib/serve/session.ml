@@ -44,7 +44,7 @@ let rpc t req =
   | None -> Protocol.Error ("", "connection closed")
 
 let solve t ?(id = "") ?(lang = Protocol.Suf)
-    ?(method_ = Sepsat.Decide.Hybrid_default) ?timeout_s text =
+    ?(method_ = Sepsat.Decide.Hybrid_default) ?timeout_s ?trace text =
   rpc t
     (Protocol.Solve
        {
@@ -53,6 +53,7 @@ let solve t ?(id = "") ?(lang = Protocol.Suf)
          sq_text = text;
          sq_method = method_;
          sq_timeout_s = timeout_s;
+         sq_trace = trace;
        })
 
 let ping t =

@@ -35,8 +35,12 @@ val solve :
   ?lang:Protocol.lang ->
   ?method_:Sepsat.Decide.method_ ->
   ?timeout_s:float ->
+  ?trace:Protocol.trace_ctx ->
   string ->
   Protocol.reply
+(** [trace] propagates an existing trace context to the server (a client
+    that is itself a hop, or a test); without it the server mints its
+    own rid and the reply carries no trace. *)
 
 val ping : t -> bool
 

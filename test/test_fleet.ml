@@ -494,21 +494,101 @@ let test_fleet_end_to_end () =
   in
   let fleet = Domain.spawn (fun () -> Fleet.run cfg) in
   let session = ref (Session.connect ~retries:100 socket) in
-  (* Cold solve through the router (retry rides out backend startup). *)
+  (* Cold solve through the router (retry rides out backend startup).
+     The reply must carry the router-minted trace: a fleet rid and the
+     six-hop breakdown summing to the end-to-end time — the [reply] hop
+     is the remainder by construction, so the sum check is really a
+     check that no hop went negative or wildly over. *)
   (match solve_retrying ~path:socket session "(= x x)" with
-  | Protocol.Ok_solve s ->
+  | Protocol.Ok_solve s -> (
     Alcotest.(check string) "valid through the fleet" "valid"
-      (Protocol.verdict_to_string s.Protocol.sv_verdict)
+      (Protocol.verdict_to_string s.Protocol.sv_verdict);
+    match s.Protocol.sv_trace with
+    | None -> Alcotest.fail "fleet reply carries no trace"
+    | Some tr ->
+      Alcotest.(check bool) "router-minted fl- rid" true
+        (String.length tr.Protocol.rt_rid > 3
+        && String.sub tr.Protocol.rt_rid 0 3 = "fl-");
+      Alcotest.(check (list string)) "six hops in causal order"
+        [
+          "router.parse"; "router.queue"; "wire"; "shard.queue";
+          "shard.solve"; "reply";
+        ]
+        (List.map fst tr.Protocol.rt_hops);
+      List.iter
+        (fun (name, ms) ->
+          Alcotest.(check bool) (name ^ " non-negative") true (ms >= 0.))
+        tr.Protocol.rt_hops;
+      let sum = List.fold_left (fun a (_, ms) -> a +. ms) 0. tr.Protocol.rt_hops in
+      Alcotest.(check bool) "hops sum to the end-to-end time" true
+        (Float.abs (sum -. s.Protocol.sv_time_ms)
+        <= Float.max 0.05 (0.01 *. s.Protocol.sv_time_ms));
+      Alcotest.(check bool) "served by a shard, not the cache" true
+        (tr.Protocol.rt_served_by <> "cache"))
   | r ->
     Alcotest.failf "expected a verdict, got %s" (Protocol.reply_to_line r));
-  (* Same formula again: the persistent tier answers at the router. *)
+  (* Same formula again: the persistent tier answers at the router, and
+     the trace says so — served_by "cache", with the lookup as a hop. *)
   (match solve_retrying ~path:socket session "(= x x)" with
-  | Protocol.Ok_solve s ->
+  | Protocol.Ok_solve s -> (
     Alcotest.(check bool) "repeat served from cache" true
-      (s.Protocol.sv_origin = Protocol.Cache_hit)
+      (s.Protocol.sv_origin = Protocol.Cache_hit);
+    match s.Protocol.sv_trace with
+    | None -> Alcotest.fail "cache-hit reply carries no trace"
+    | Some tr ->
+      Alcotest.(check string) "cache hit attributed" "cache"
+        tr.Protocol.rt_served_by;
+      Alcotest.(check bool) "cache lookup is its own hop" true
+        (List.mem_assoc "router.cache" tr.Protocol.rt_hops))
   | r ->
     Alcotest.failf "expected a cached verdict, got %s"
       (Protocol.reply_to_line r));
+  (* The fleet dump nests one flight document per process: the router's
+     own ring plus each backend's, the raw material of [sufdec trace]. *)
+  (match Session.dump !session with
+  | None -> Alcotest.fail "fleet did not answer dump"
+  | Some body -> (
+    match Json.parse body with
+    | Error e -> Alcotest.failf "fleet dump does not parse: %s" e
+    | Ok j ->
+      Alcotest.(check (option string)) "fleet dump schema"
+        (Some "sepsat-fleet-dump-1") (Json.mem_str "schema" j);
+      Alcotest.(check bool) "router flight document present" true
+        (match Json.member "router" j with
+        | Some (Json.Obj _) -> true
+        | _ -> false);
+      let parts =
+        match Json.member "backends" j with
+        | Some (Json.Arr l) -> l
+        | _ -> []
+      in
+      Alcotest.(check int) "one flight part per backend" 2
+        (List.length parts);
+      (* the router's hop spans and the shard's serve spans share the
+         fleet rid — the property [sufdec trace] assembly rests on *)
+      let rids_of flight =
+        match Json.member "records" flight with
+        | Some (Json.Arr rs) ->
+          List.filter_map (Json.mem_str "rid") rs
+          |> List.filter (fun r ->
+                 String.length r > 3 && String.sub r 0 3 = "fl-")
+        | _ -> []
+      in
+      let router_rids =
+        match Json.member "router" j with
+        | Some f -> rids_of f
+        | None -> []
+      in
+      let backend_rids =
+        List.concat_map
+          (fun p ->
+            match Json.member "flight" p with
+            | Some f -> rids_of f
+            | None -> [])
+          parts
+      in
+      Alcotest.(check bool) "a fleet rid appears on both sides" true
+        (List.exists (fun r -> List.mem r backend_rids) router_rids)));
   (* Invalid formula, exercising witness plumbing through the router. *)
   (match solve_retrying ~path:socket session "(= a b)" with
   | Protocol.Ok_solve s ->

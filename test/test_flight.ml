@@ -194,6 +194,184 @@ let test_signal_dump () =
        (fun r -> Json.mem_str "name" r = Some "before-signal")
        (dump_records j))
 
+(* -- Clock anchors and cross-process assembly ------------------------------ *)
+
+let test_records_carry_mono () =
+  fresh ();
+  Flight.record ~rid:"rq-m" Flight.Event "stamp";
+  (match Flight.records () with
+  | [ r ] ->
+    (* fr_ts and fr_mono come from one [Clock.pair] reading: the clamp
+       only ever pushes mono forward, never behind the wall stamp *)
+    Alcotest.(check bool) "mono present and >= wall" true
+      (r.Flight.fr_mono >= r.Flight.fr_ts);
+    Alcotest.(check bool) "mono close to wall" true
+      (r.Flight.fr_mono -. r.Flight.fr_ts < 60.)
+  | rs ->
+    Alcotest.fail
+      (Printf.sprintf "expected 1 record, got %d" (List.length rs)));
+  let j = parse_dump (Flight.to_json ()) in
+  let wall = Json.mem_num "wall" j and mono = Json.mem_num "mono" j in
+  Alcotest.(check bool) "dump header carries the wall/mono pair" true
+    (wall <> None && mono <> None && Option.get mono >= Option.get wall);
+  match dump_records j with
+  | [ r ] ->
+    Alcotest.(check bool) "record mono serialized" true
+      (Json.mem_num "mono" r <> None)
+  | _ -> Alcotest.fail "dump lost the record"
+
+let mk_record ?(rid = "") ?(dur_ms = 0.) ~mono name =
+  {
+    Flight.fr_ts = 0.;
+    (* deliberately bogus: assemble must use mono, not ts *)
+    fr_mono = mono;
+    fr_tid = 0;
+    fr_rid = rid;
+    fr_kind = (if dur_ms > 0. then Flight.Span else Flight.Event);
+    fr_name = name;
+    fr_dur_ms = dur_ms;
+    fr_data = [];
+  }
+
+let assemble_events doc =
+  match Json.parse doc with
+  | Error e -> Alcotest.fail ("assembled trace does not parse: " ^ e)
+  | Ok j -> (
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr es) -> (j, es)
+    | _ -> Alcotest.fail "no traceEvents array")
+
+(* Two processes whose mono clocks have wildly different bases (one a
+   boot-relative counter, one epoch-like) but whose dump anchors tie each
+   to the wall timeline: assembly must align via anchor-relative mono
+   offsets only, landing both records where their wall/mono pairs say
+   they ended. *)
+let test_assemble_aligns_skewed_clocks () =
+  let a =
+    {
+      Flight.src_label = "router";
+      src_pid = 100;
+      src_wall = 1000.;
+      src_mono = 500.;
+      src_records = [ mk_record ~rid:"fl-1" ~dur_ms:10. ~mono:499.9 "hop.a" ];
+    }
+  in
+  let b =
+    {
+      Flight.src_label = "backend-0";
+      src_pid = 200;
+      src_wall = 1000.05;
+      src_mono = 9999.;
+      (* ends 0.1 s before B's dump => abs 999.95, before A's record *)
+      src_records = [ mk_record ~rid:"fl-1" ~dur_ms:20. ~mono:9998.9 "hop.b" ];
+    }
+  in
+  let _, es = assemble_events (Flight.assemble [ a; b ]) in
+  let lanes =
+    List.filter_map
+      (fun e ->
+        if Json.mem_str "ph" e = Some "M" then
+          Option.bind (Json.member "args" e) (Json.mem_str "name")
+        else None)
+      es
+  in
+  Alcotest.(check (list string)) "one lane per source, in order"
+    [ "router"; "backend-0" ] lanes;
+  let find name =
+    List.find
+      (fun e -> Json.mem_str "name" e = Some name)
+      es
+  in
+  let ts e = Option.get (Json.mem_num "ts" e) in
+  let dur e = Option.get (Json.mem_num "dur" e) in
+  let ea = find "hop.a" and eb = find "hop.b" in
+  Alcotest.(check string) "spans are X events" "X"
+    (Option.get (Json.mem_str "ph" ea));
+  (* absolute ends: a = 1000 - 0.1 = 999.9, b = 1000.05 - 0.1 = 999.95;
+     starts: a = 999.89, b = 999.93; origin = min start = a's start *)
+  Alcotest.(check (float 1.)) "a starts at the origin" 0. (ts ea);
+  Alcotest.(check (float 1.)) "b starts 40ms later" 40_000. (ts eb);
+  Alcotest.(check (float 1e-3)) "a duration in us" 10_000. (dur ea);
+  Alcotest.(check (float 1e-3)) "b duration in us" 20_000. (dur eb);
+  Alcotest.(check bool) "rid in args" true
+    (Option.bind (Json.member "args" ea) (Json.mem_str "rid")
+    = Some "fl-1")
+
+let test_assemble_rid_filter () =
+  let src =
+    {
+      Flight.src_label = "server";
+      src_pid = 1;
+      src_wall = 100.;
+      src_mono = 100.;
+      src_records =
+        [
+          mk_record ~rid:"fl-keep" ~dur_ms:1. ~mono:99.9 "keep.span";
+          mk_record ~rid:"fl-drop" ~dur_ms:1. ~mono:99.9 "drop.span";
+          mk_record ~rid:"fl-keep" ~mono:99.95 "keep.mark";
+        ];
+    }
+  in
+  let _, es = assemble_events (Flight.assemble ~rid:"fl-keep" [ src ]) in
+  let names =
+    List.filter_map
+      (fun e ->
+        if Json.mem_str "ph" e = Some "M" then None
+        else Json.mem_str "name" e)
+      es
+  in
+  Alcotest.(check (list string)) "only the rid's records survive"
+    [ "keep.span"; "keep.mark" ] names;
+  let mark =
+    List.find (fun e -> Json.mem_str "name" e = Some "keep.mark") es
+  in
+  Alcotest.(check (option string)) "point records become instants"
+    (Some "i") (Json.mem_str "ph" mark)
+
+(* End-to-end through the real recorder: record under two rids, dump,
+   re-decode the dump as a source (the [sufdec trace] path), assemble. *)
+let test_assemble_from_live_dump () =
+  fresh ();
+  Flight.record ~rid:"fl-live" ~dur_ms:2. Flight.Span "serve.solve";
+  Flight.record ~rid:"rq-other" ~dur_ms:1. Flight.Span "noise";
+  let j = parse_dump (Flight.to_json ()) in
+  let wall = Option.get (Json.mem_num "wall" j) in
+  let mono = Option.get (Json.mem_num "mono" j) in
+  let records =
+    List.map
+      (fun r ->
+        let ts = Option.get (Json.mem_num "ts" r) in
+        {
+          Flight.fr_ts = ts;
+          fr_mono = Option.value ~default:ts (Json.mem_num "mono" r);
+          fr_tid = Option.value ~default:0 (Json.mem_int "tid" r);
+          fr_rid = Option.value ~default:"" (Json.mem_str "rid" r);
+          fr_kind = Flight.Span;
+          fr_name = Option.value ~default:"" (Json.mem_str "name" r);
+          fr_dur_ms = Option.value ~default:0. (Json.mem_num "dur_ms" r);
+          fr_data = [];
+        })
+      (dump_records j)
+  in
+  let src =
+    {
+      Flight.src_label = "server";
+      src_pid = Option.value ~default:0 (Json.mem_int "pid" j);
+      src_wall = wall;
+      src_mono = mono;
+      src_records = records;
+    }
+  in
+  let _, es = assemble_events (Flight.assemble ~rid:"fl-live" [ src ]) in
+  let spans =
+    List.filter (fun e -> Json.mem_str "ph" e = Some "X") es
+  in
+  Alcotest.(check int) "exactly the one request's span" 1
+    (List.length spans);
+  Alcotest.(check (option string)) "span name survives the round trip"
+    (Some "serve.solve")
+    (Json.mem_str "name" (List.hd spans))
+
 (* -- Concurrency ----------------------------------------------------------- *)
 
 (* Writers on several domains emit records whose rid, name and payload are
@@ -308,6 +486,17 @@ let () =
           Alcotest.test_case "write and dump files" `Quick
             test_write_and_dump_files;
           Alcotest.test_case "SIGUSR1 dump" `Quick test_signal_dump;
+        ] );
+      ( "assemble",
+        [
+          Alcotest.test_case "records and dumps carry clock anchors" `Quick
+            test_records_carry_mono;
+          Alcotest.test_case "skewed mono clocks align via anchors" `Quick
+            test_assemble_aligns_skewed_clocks;
+          Alcotest.test_case "rid filter and instants" `Quick
+            test_assemble_rid_filter;
+          Alcotest.test_case "live dump decodes and assembles" `Quick
+            test_assemble_from_live_dump;
         ] );
       ( "concurrency",
         [

@@ -997,6 +997,48 @@ let test_pipeline_spans_end_to_end () =
   Alcotest.(check int) "four phases" 4
     (List.length r.Sepsat.Decide.phase_times)
 
+(* ------------------------------------------------------------------ *)
+(* Clock: the process-global monotone-clamped wall clock behind trace
+   timestamps and cross-process dump anchors *)
+
+module Clock = Sepsat_obs.Clock
+
+let test_clock_monotone () =
+  let prev = ref (Clock.mono_now ()) in
+  for _ = 1 to 10_000 do
+    let v = Clock.mono_now () in
+    Alcotest.(check bool) "never decreases" true (v >= !prev);
+    prev := v
+  done
+
+let test_clock_pair_coherent () =
+  let w1, m1 = Clock.pair () in
+  let w2, m2 = Clock.pair () in
+  (* the mono stamp is the wall reading clamped forward, never behind *)
+  Alcotest.(check bool) "mono >= wall" true (m1 >= w1 && m2 >= w2);
+  Alcotest.(check bool) "mono ordered across pairs" true (m2 >= m1);
+  Alcotest.(check bool) "wall and mono agree to within the clamp" true
+    (Float.abs (m1 -. w1) < 60.)
+
+(* Domains hammering the clock concurrently: each domain's own sequence
+   of readings must still be monotone — the CAS-max clamp is the shared
+   state that makes this hold across all of them. *)
+let test_clock_concurrent_monotone () =
+  let failures = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let prev = ref (Clock.mono_now ()) in
+            for _ = 1 to 50_000 do
+              let v = Clock.mono_now () in
+              if v < !prev then Atomic.incr failures;
+              prev := v
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no domain ever saw time go backwards" 0
+    (Atomic.get failures)
+
 let () =
   Obs.set_level Obs.Quiet;
   Alcotest.run "obs"
@@ -1012,6 +1054,15 @@ let () =
           Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
           Alcotest.test_case "span summary" `Quick test_span_summary;
           QCheck_alcotest.to_alcotest prop_concurrent_well_nested;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotone under clamping" `Quick
+            test_clock_monotone;
+          Alcotest.test_case "wall/mono pair coherence" `Quick
+            test_clock_pair_coherent;
+          Alcotest.test_case "concurrent readers stay monotone" `Quick
+            test_clock_concurrent_monotone;
         ] );
       ( "trace-ctx",
         [

@@ -17,6 +17,7 @@ module Verdict = Sepsat_sep.Verdict
 module Deadline = Sepsat_util.Deadline
 module Random_formula = Sepsat_workloads.Random_formula
 module Loadgen = Sepsat_harness.Loadgen
+module Trace_ctx = Sepsat_obs.Trace_ctx
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -103,6 +104,7 @@ let test_protocol_requests () =
           sq_text = "(= x y)";
           sq_method = Decide.Hybrid_at 700;
           sq_timeout_s = Some 2.5;
+          sq_trace = None;
         };
       Protocol.Solve
         {
@@ -111,6 +113,12 @@ let test_protocol_requests () =
           sq_text = "(assert true)(check-sat)";
           sq_method = Decide.Hybrid_default;
           sq_timeout_s = None;
+          sq_trace =
+            Some
+              {
+                Protocol.tc_rid = "fl-1-7";
+                tc_path = [ "router" ];
+              };
         };
       Protocol.Ping "p1";
       Protocol.Stats_req "s1";
@@ -147,6 +155,7 @@ let test_protocol_replies () =
           sv_witness = None;
           sv_solve_ms = 12.5;
           sv_time_ms = 13.;
+          sv_trace = None;
         };
       Protocol.Ok_solve
         {
@@ -157,6 +166,18 @@ let test_protocol_replies () =
           sv_witness = Some (String.make 32 'c');
           sv_solve_ms = 1.;
           sv_time_ms = 0.25;
+          sv_trace =
+            Some
+              {
+                Protocol.rt_rid = "fl-1-7";
+                rt_served_by = "2";
+                rt_hops =
+                  [ ("shard.queue", 0.5); ("shard.solve", 1.25) ];
+                rt_recv_wall = 1000.5;
+                rt_recv_mono = 1000.5;
+                rt_send_wall = 1000.625;
+                rt_send_mono = 1000.625;
+              };
         };
       Protocol.Ok_solve
         {
@@ -167,6 +188,7 @@ let test_protocol_replies () =
           sv_witness = None;
           sv_solve_ms = 0.;
           sv_time_ms = 0.;
+          sv_trace = None;
         };
       Protocol.Busy "r4";
       Protocol.Error ("r5", "parse error: oops");
@@ -444,6 +466,125 @@ let test_engine_deadline_unknown () =
   | Error e -> Alcotest.failf "unexpected error %s" e);
   Engine.shutdown engine
 
+(* The trace-context handoff (the fleet's correctness property): a job
+   built from a wire trace adopts the fleet rid and upstream hop path as
+   the ambient context of everything recorded while serving it, and the
+   next untraced job on the same worker gets a fresh server-minted rid —
+   installing a whole context, not just a rid, is what prevents stale
+   ambient state from leaking between requests that share a domain. *)
+let test_engine_trace_adoption () =
+  let seen = Bqueue.create ~capacity:8 in
+  let backend ~method_:_ ~deadline:_ ctx _f =
+    ignore ctx;
+    ignore (Bqueue.try_push seen (Trace_ctx.rid (), Trace_ctx.path ()));
+    Verdict.Valid
+  in
+  let engine = Engine.create ~workers:1 ~cache_capacity:64 ~backend () in
+  let solve job = Option.get (Engine.solve ~block:true engine job) in
+  let traced =
+    solve (Engine.job ~rid:"fl-9-1" ~path:[ "router" ] "(= a a)")
+  in
+  (* Submitting from inside an ambient context must not leak it into the
+     job: the job minted its own rid at creation. *)
+  (* structurally distinct from the first formula — names wash out of
+     the digest, so a mere rename would be answered from the cache and
+     the backend (and this test's probe) would never run *)
+  let untraced =
+    Trace_ctx.with_rid "stale-ambient" (fun () ->
+        solve (Engine.job "(= b (f b))"))
+  in
+  (match (traced, untraced) with
+  | Ok a, Ok b ->
+    Alcotest.(check bool) "queue time measured" true
+      (a.Engine.o_queue_ms >= 0. && b.Engine.o_queue_ms >= 0.)
+  | _ -> Alcotest.fail "expected two Ok outcomes");
+  (match Bqueue.pop seen with
+  | Some (rid, path) ->
+    Alcotest.(check string) "wire rid adopted" "fl-9-1" rid;
+    Alcotest.(check bool) "upstream hop is the path root" true
+      (match path with "router" :: _ -> true | _ -> false)
+  | None -> Alcotest.fail "backend never ran for the traced job");
+  (match Bqueue.pop seen with
+  | Some (rid, path) ->
+    Alcotest.(check bool) "untraced job gets a minted rq- rid" true
+      (String.length rid > 3 && String.sub rid 0 3 = "rq-");
+    Alcotest.(check bool) "no stale upstream hops" true
+      (not (List.mem "router" path) && rid <> "stale-ambient")
+  | None -> Alcotest.fail "backend never ran for the untraced job");
+  Engine.shutdown engine
+
+(* Wire compatibility: a solve without a trace object and a reply without
+   one parse to None — old clients and old servers interoperate with new
+   ones; and the trace context round-trips exactly when present. *)
+let test_protocol_trace_compat () =
+  (match Protocol.request_of_line "{\"op\":\"solve\",\"formula\":\"(= x x)\"}" with
+  | Ok (Protocol.Solve q) ->
+    Alcotest.(check bool) "absent trace parses to None" true
+      (q.Protocol.sq_trace = None)
+  | _ -> Alcotest.fail "expected solve");
+  (match
+     Protocol.request_of_line
+       "{\"op\":\"solve\",\"formula\":\"(= x x)\",\"trace\":{\"rid\":\"fl-1-2\",\"path\":[\"router\",\"edge\"]}}"
+   with
+  | Ok (Protocol.Solve q) -> (
+    match q.Protocol.sq_trace with
+    | Some tc ->
+      Alcotest.(check string) "rid" "fl-1-2" tc.Protocol.tc_rid;
+      Alcotest.(check (list string)) "path" [ "router"; "edge" ]
+        tc.Protocol.tc_path
+    | None -> Alcotest.fail "trace dropped")
+  | _ -> Alcotest.fail "expected solve");
+  (* a reply trace survives print -> parse with its hop list ordered *)
+  let reply =
+    Protocol.Ok_solve
+      {
+        Protocol.sv_id = "t";
+        sv_verdict = Protocol.Valid;
+        sv_origin = Protocol.Solved;
+        sv_digest = String.make 32 'e';
+        sv_witness = None;
+        sv_solve_ms = 2.;
+        sv_time_ms = 3.;
+        sv_trace =
+          Some
+            {
+              Protocol.rt_rid = "fl-1-3";
+              rt_served_by = "1";
+              rt_hops =
+                [
+                  ("router.parse", 0.1); ("router.queue", 0.2);
+                  ("wire", 0.3); ("shard.queue", 0.4);
+                  ("shard.solve", 1.9); ("reply", 0.1);
+                ];
+              (* realistic epoch-seconds anchors: the parse must preserve
+                 them to sub-microsecond, or hop arithmetic downstream
+                 turns to noise *)
+              rt_recv_wall = 1786307311.712345;
+              rt_recv_mono = 1786307311.712345;
+              rt_send_wall = 1786307311.7159;
+              rt_send_mono = 1786307311.7159;
+            };
+      }
+  in
+  match Protocol.reply_of_line (Protocol.reply_to_line reply) with
+  | Ok (Protocol.Ok_solve s) -> (
+    match s.Protocol.sv_trace with
+    | Some tr ->
+      Alcotest.(check string) "rid" "fl-1-3" tr.Protocol.rt_rid;
+      Alcotest.(check string) "served_by" "1" tr.Protocol.rt_served_by;
+      Alcotest.(check (list (pair string (float 1e-9)))) "hops in order"
+        [
+          ("router.parse", 0.1); ("router.queue", 0.2); ("wire", 0.3);
+          ("shard.queue", 0.4); ("shard.solve", 1.9); ("reply", 0.1);
+        ]
+        tr.Protocol.rt_hops;
+      Alcotest.(check (float 1e-7)) "recv anchor exact" 1786307311.712345
+        tr.Protocol.rt_recv_mono;
+      Alcotest.(check (float 1e-7)) "send anchor exact" 1786307311.7159
+        tr.Protocol.rt_send_mono
+    | None -> Alcotest.fail "reply trace dropped")
+  | _ -> Alcotest.fail "reply did not round-trip"
+
 let test_engine_parse_error () =
   let engine = Engine.create ~workers:1 () in
   let r =
@@ -469,6 +610,7 @@ let test_serve_channels () =
                sq_text = "(= x x)";
                sq_method = Decide.Hybrid_default;
                sq_timeout_s = Some 10.;
+               sq_trace = None;
              });
         "this is not json";
         "";
@@ -824,6 +966,7 @@ let test_serve_channels_metrics_op () =
             sq_text = "(= m m)";
             sq_method = Decide.Hybrid_default;
             sq_timeout_s = Some 10.;
+            sq_trace = None;
           });
         Protocol.request_to_line (Protocol.Metrics_req "m");
         Protocol.request_to_line (Protocol.Shutdown "q");
@@ -1051,6 +1194,8 @@ let () =
         [
           Alcotest.test_case "requests" `Quick test_protocol_requests;
           Alcotest.test_case "replies" `Quick test_protocol_replies;
+          Alcotest.test_case "trace context compat and roundtrip" `Quick
+            test_protocol_trace_compat;
         ] );
       ( "bqueue",
         [
@@ -1071,6 +1216,8 @@ let () =
           Alcotest.test_case "deadline yields unknown" `Quick
             test_engine_deadline_unknown;
           Alcotest.test_case "parse error" `Quick test_engine_parse_error;
+          Alcotest.test_case "wire trace adoption, no stale context" `Quick
+            test_engine_trace_adoption;
         ] );
       ( "server",
         [
